@@ -1,0 +1,71 @@
+//! Criterion benches for the discrete-event engine: flow routing and
+//! telescope counting throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cw_honeypot::deployment::Deployment;
+use cw_netsim::asn::Asn;
+use cw_netsim::engine::{Agent, Engine, Network};
+use cw_netsim::flow::{ConnectionIntent, FlowSpec};
+use cw_netsim::rng::SimRng;
+use cw_netsim::time::{SimDuration, SimTime};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+/// Sends `n` probes to random telescope addresses, then retires.
+struct Blaster {
+    rng: SimRng,
+    n: u64,
+    telescope_base: u32,
+    telescope_size: u64,
+}
+
+impl Agent for Blaster {
+    fn on_wake(&mut self, _now: SimTime, net: &mut dyn Network) -> Option<SimTime> {
+        for _ in 0..self.n {
+            let dst =
+                Ipv4Addr::from(self.telescope_base + self.rng.below(self.telescope_size) as u32);
+            net.send(FlowSpec {
+                src: Ipv4Addr::new(100, 0, 0, 1),
+                src_asn: Asn(64_512),
+                dst,
+                dst_port: 445,
+                intent: ConnectionIntent::ProbeOnly,
+            });
+        }
+        None
+    }
+}
+
+fn bench_flow_routing(c: &mut Criterion) {
+    const FLOWS: u64 = 50_000;
+    let mut g = c.benchmark_group("engine");
+    g.throughput(Throughput::Elements(FLOWS));
+    g.sample_size(10);
+    g.bench_function("route_50k_telescope_probes", |b| {
+        b.iter(|| {
+            let deployment = Deployment::standard();
+            let mut engine = Engine::new();
+            deployment.register(&mut engine);
+            engine.add_agent(
+                Box::new(Blaster {
+                    rng: SimRng::seed_from_u64(5),
+                    n: FLOWS,
+                    telescope_base: u32::from(Ipv4Addr::new(10, 0, 0, 0)),
+                    telescope_size: 7 * 65_536,
+                }),
+                SimTime::ZERO,
+            );
+            black_box(engine.run(SimTime::ZERO + SimDuration::WEEK))
+        })
+    });
+    g.finish();
+}
+
+fn bench_deployment_build(c: &mut Criterion) {
+    c.bench_function("deployment_standard_build", |b| {
+        b.iter(|| black_box(Deployment::standard()))
+    });
+}
+
+criterion_group!(benches, bench_flow_routing, bench_deployment_build);
+criterion_main!(benches);

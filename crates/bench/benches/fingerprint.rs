@@ -1,0 +1,58 @@
+//! Criterion benches for the LZR-style fingerprinter — it runs once per
+//! captured payload (hundreds of thousands per scenario).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cw_protocols::fingerprint;
+use std::hint::black_box;
+
+fn corpus() -> Vec<Vec<u8>> {
+    vec![
+        cw_protocols::HttpRequest::new("GET", "/")
+            .header("Host", "x")
+            .header("User-Agent", "zgrab/0.x")
+            .to_bytes(),
+        cw_protocols::tls::build_client_hello(7, Some("example.test")),
+        cw_protocols::ssh::build_banner("OpenSSH_8.9"),
+        cw_protocols::telnet::build_negotiation(&[1, 3]),
+        cw_protocols::smb::build_negotiate(),
+        cw_protocols::rtsp::build_request("OPTIONS", "rtsp://x/"),
+        cw_protocols::sip::build_options("100@x"),
+        cw_protocols::ntp::build_client_request(),
+        cw_protocols::rdp::build_connection_request("probe"),
+        cw_protocols::adb::build_connect(),
+        cw_protocols::fox::build_hello(),
+        cw_protocols::redis::build_command(&["CONFIG", "GET", "*"]),
+        cw_protocols::sql::build_prelogin(),
+        b"completely unknown garbage payload \x00\x01\x02".to_vec(),
+    ]
+}
+
+fn bench_fingerprint(c: &mut Criterion) {
+    let payloads = corpus();
+    let bytes: u64 = payloads.iter().map(|p| p.len() as u64).sum();
+    let mut g = c.benchmark_group("fingerprint");
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_function("all_14_payload_kinds", |b| {
+        b.iter(|| {
+            for p in &payloads {
+                black_box(fingerprint(black_box(p)));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_normalize(c: &mut Criterion) {
+    let req = cw_protocols::HttpRequest::new("POST", "/api/user/login")
+        .header("Host", "10.1.2.3")
+        .header("Date", "Mon, 05 Jul 2021 00:00:00 GMT")
+        .header("User-Agent", "Mozilla/5.0")
+        .body(b"username=admin&password=123456")
+        .to_bytes();
+    c.bench_function("http_normalize", |b| {
+        b.iter(|| black_box(cw_protocols::http::normalize(black_box(&req))))
+    });
+}
+
+criterion_group!(benches, bench_fingerprint, bench_normalize);
+criterion_main!(benches);

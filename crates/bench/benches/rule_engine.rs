@@ -1,0 +1,33 @@
+//! Criterion benches for the Suricata-like rule engine — every payload
+//! event is classified through the full vetted ruleset.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use cw_detection::RuleSet;
+use std::hint::black_box;
+
+fn bench_ruleset(c: &mut Criterion) {
+    let rules = RuleSet::builtin();
+    let malicious = cw_scanners::exploits::log4shell("198.51.100.1:1389");
+    let benign = cw_scanners::exploits::benign_get("Mozilla/5.0 zgrab/0.x");
+    let shell = cw_scanners::exploits::shell_chain("198.51.100.2");
+
+    let mut g = c.benchmark_group("rule_engine");
+    g.throughput(Throughput::Bytes(
+        (malicious.len() + benign.len() + shell.len()) as u64,
+    ));
+    g.bench_function("classify_three_payloads", |b| {
+        b.iter(|| {
+            black_box(rules.is_malicious(black_box(&malicious), 80));
+            black_box(rules.is_malicious(black_box(&benign), 80));
+            black_box(rules.is_malicious(black_box(&shell), 23));
+        })
+    });
+    g.finish();
+
+    c.bench_function("ruleset_compile", |b| {
+        b.iter(|| black_box(RuleSet::builtin()))
+    });
+}
+
+criterion_group!(benches, bench_ruleset);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! End-to-end scenario benches: a (scaled-down) simulated week plus the
+//! heaviest analyses — what an experiment binary actually costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cw_core::scenario::{Scenario, ScenarioConfig};
+use cw_scanners::population::ScenarioYear;
+use std::hint::black_box;
+
+fn bench_scenario_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario");
+    g.sample_size(10);
+    g.bench_function("simulated_week_scale_0.05", |b| {
+        b.iter(|| {
+            black_box(Scenario::run(
+                ScenarioConfig::fast(ScenarioYear::Y2021)
+                    .with_scale(0.05)
+                    .with_seed(99),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    let s = Scenario::run(
+        ScenarioConfig::fast(ScenarioYear::Y2021)
+            .with_scale(0.05)
+            .with_seed(99),
+    );
+    let mut g = c.benchmark_group("analysis");
+    g.sample_size(10);
+    g.bench_function("table2_neighborhoods", |b| {
+        b.iter(|| black_box(cw_core::neighborhood::table2(&s.dataset, &s.deployment)))
+    });
+    g.bench_function("table8_overlap", |b| {
+        b.iter(|| {
+            let tel = s.telescope.borrow();
+            black_box(cw_core::overlap::table8(&s.dataset, &s.deployment, &tel))
+        })
+    });
+    g.bench_function("figure1_series_port22", |b| {
+        b.iter(|| {
+            let tel = s.telescope.borrow();
+            black_box(cw_core::figure1::series(&tel, 22))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scenario_run, bench_analyses);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benches for the statistical kernels that run thousands of
+//! times per analysis (every neighborhood × characteristic × slice).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cw_netsim::rng::SimRng;
+use cw_stats::{
+    chi_squared_from_table, cramers_v, ks_two_sample, mann_whitney_u, top_k_union_table,
+    Alternative, ContingencyTable, TopKSpec,
+};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn random_table(rng: &mut SimRng, rows: usize, cols: usize) -> ContingencyTable {
+    let categories = (0..cols).map(|i| format!("c{i}")).collect();
+    let counts = (0..rows)
+        .map(|_| (0..cols).map(|_| rng.below(500)).collect())
+        .collect();
+    ContingencyTable::new(categories, counts)
+}
+
+fn bench_chi2(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from_u64(1);
+    let tables: Vec<ContingencyTable> = (0..64).map(|_| random_table(&mut rng, 4, 9)).collect();
+    c.bench_function("chi2_4x9_with_v", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let t = &tables[i % tables.len()];
+            i += 1;
+            let r = chi_squared_from_table(black_box(t)).unwrap();
+            black_box(cramers_v(&r));
+        })
+    });
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from_u64(2);
+    let groups: Vec<BTreeMap<String, u64>> = (0..4)
+        .map(|_| {
+            (0..200)
+                .map(|i| (format!("AS{}", 1000 + i), rng.below(1000)))
+                .collect()
+        })
+        .collect();
+    c.bench_function("top3_union_4_groups_200_cats", |b| {
+        b.iter(|| black_box(top_k_union_table(black_box(&groups), TopKSpec::paper())))
+    });
+}
+
+fn bench_rank_tests(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from_u64(3);
+    let x: Vec<f64> = (0..168).map(|_| rng.f64() * 50.0).collect();
+    let y: Vec<f64> = (0..168).map(|_| rng.f64() * 60.0).collect();
+    c.bench_function("mann_whitney_168x168", |b| {
+        b.iter_batched(
+            || (x.clone(), y.clone()),
+            |(x, y)| black_box(mann_whitney_u(&x, &y, Alternative::Greater)),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("ks_two_sample_168x168", |b| {
+        b.iter_batched(
+            || (x.clone(), y.clone()),
+            |(x, y)| black_box(ks_two_sample(&x, &y)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_chi2, bench_topk, bench_rank_tests);
+criterion_main!(benches);

@@ -1,0 +1,168 @@
+//! Regenerate every table and figure in one run (shares scenario runs
+//! across exhibits of the same year).
+
+use cw_bench::{header, parse_args, scenario, RunOptions};
+use cw_core::compare::CharKind;
+use cw_core::dataset::TrafficSlice;
+use cw_core::leak::{run as run_leak, LeakConfig, LeakGroup, LeakService};
+use cw_core::report::{fold_cell, pct, phi_value, TextTable};
+use cw_scanners::population::ScenarioYear;
+
+fn main() {
+    let opts = parse_args();
+    let s21 = scenario(opts, ScenarioYear::Y2021);
+
+    header("Table 2 (2021 neighborhoods)");
+    let mut t = TextTable::new(&["Slice", "Characteristic", "n", "% dif", "Avg phi"]);
+    for r in cw_core::neighborhood::table2(&s21.dataset, &s21.deployment) {
+        t.row(vec![
+            r.slice.label().to_string(),
+            r.characteristic.label().to_string(),
+            r.n.to_string(),
+            format!("{:.0}%", r.pct_different),
+            phi_value(r.avg_phi, 1),
+        ]);
+    }
+    println!("{}", t.render());
+
+    header("Table 3 (leak experiment)");
+    let leak = run_leak(&LeakConfig {
+        seed: opts.seed ^ 0x1EA4,
+        scale: opts.scale,
+        horizon: cw_netsim::time::SimDuration::WEEK,
+    });
+    let mut t = TextTable::new(&["Service", "Traffic", "Censys", "Shodan", "Prev"]);
+    for svc in LeakService::ALL {
+        for malicious in [false, true] {
+            let cell = |g: LeakGroup| {
+                leak.cells
+                    .iter()
+                    .find(|c| c.service == svc && c.group == g && c.malicious_only == malicious)
+                    .map(|c| fold_cell(c.fold, c.mwu_significant, c.ks_different))
+                    .unwrap_or_default()
+            };
+            t.row(vec![
+                svc.label().to_string(),
+                if malicious { "Malicious" } else { "All" }.to_string(),
+                cell(LeakGroup::CensysLeaked(svc)),
+                cell(LeakGroup::ShodanLeaked(svc)),
+                cell(LeakGroup::PreviouslyLeaked),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+
+    header("Table 4 (2021 geography)");
+    let mut t = TextTable::new(&["Characteristic", "Slice", "Provider", "Region", "phi"]);
+    for r in cw_core::geography::table4(&s21.dataset, &s21.deployment) {
+        t.row(vec![
+            r.characteristic.label().to_string(),
+            r.slice.label().to_string(),
+            format!("{:?}", r.provider),
+            r.region.unwrap_or_else(|| "-".into()),
+            phi_value(r.avg_phi, 1),
+        ]);
+    }
+    println!("{}", t.render());
+
+    header("Table 8 / Table 9 (telescope avoidance)");
+    {
+        let tel = s21.telescope.borrow();
+        let mut t = TextTable::new(&["Port", "Tel∩Cloud", "Tel∩EDU", "Cloud∩EDU"]);
+        for r in cw_core::overlap::table8(&s21.dataset, &s21.deployment, &tel) {
+            t.row(vec![
+                r.port.to_string(),
+                pct(r.tel_cloud),
+                pct(r.tel_edu),
+                pct(r.cloud_edu),
+            ]);
+        }
+        println!("{}", t.render());
+        let mut t = TextTable::new(&["Port", "Tel∩Mal-Cloud", "Tel∩Mal-EDU"]);
+        for r in cw_core::overlap::table9(&s21.dataset, &s21.deployment, &tel) {
+            t.row(vec![r.port.to_string(), pct(r.tel_cloud), pct(r.tel_edu)]);
+        }
+        println!("{}", t.render());
+    }
+
+    header("Table 11 + §3.2 (2021 ports)");
+    for port in [80u16, 8080] {
+        let (rows, _) = cw_core::ports::protocol_breakdown(
+            &s21.dataset,
+            &s21.deployment,
+            &s21.handles.reputation,
+            port,
+        );
+        for r in rows {
+            println!(
+                "  {}HTTP/{port}: {:.0}% (benign {:.0}%, malicious {:.0}%)",
+                if r.is_http { "" } else { "~" },
+                r.pct_of_scanners,
+                r.pct_benign,
+                r.pct_malicious
+            );
+        }
+    }
+    let c = cw_core::ports::composition_stats(&s21.dataset, &s21.deployment);
+    println!(
+        "  non-auth telnet {:.0}%, ssh {:.0}%; http80 benign {:.0}%; distinct-http malicious {:.0}%",
+        c.telnet_non_auth_pct, c.ssh_non_auth_pct, c.http80_benign_pct, c.distinct_http_malicious_pct
+    );
+
+    header("Figure 1 (sparklines)");
+    {
+        let tel = s21.telescope.borrow();
+        for port in [22u16, 445, 80, 17_128] {
+            if let Some(fig) = cw_core::figure1::series(&tel, port) {
+                println!(
+                    "  port {port:>5}: {}",
+                    cw_core::figure1::ascii_sparkline(&fig.rolling, 80)
+                );
+            }
+        }
+    }
+
+    header("Table 7 sample (network types, 2021)");
+    let cc = cw_core::network::cloud_cloud_cell(
+        &s21.dataset,
+        &s21.deployment,
+        TrafficSlice::SshPort22,
+        CharKind::TopAs,
+        0.05,
+    );
+    println!(
+        "  cloud-cloud SSH/22 Top-AS: {}/{} different, avg phi {}",
+        cc.n_different,
+        cc.n,
+        phi_value(cc.avg_phi, 1)
+    );
+
+    // Appendix years.
+    for year in [ScenarioYear::Y2020, ScenarioYear::Y2022] {
+        let s = scenario(
+            RunOptions {
+                year: Some(year),
+                ..opts
+            },
+            year,
+        );
+        header(&format!("Appendix snapshot ({})", year.year()));
+        let rows = cw_core::neighborhood::table2(&s.dataset, &s.deployment);
+        println!(
+            "  neighborhoods different (SSH/22 Top-AS): {:.0}% of {}",
+            rows[0].pct_different, rows[0].n
+        );
+        {
+            let port = 80u16;
+            let (rows, _) = cw_core::ports::protocol_breakdown(
+                &s.dataset,
+                &s.deployment,
+                &s.handles.reputation,
+                port,
+            );
+            if let Some(r) = rows.iter().find(|r| !r.is_http) {
+                println!("  ~HTTP/{port} share: {:.0}%", r.pct_of_scanners);
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Export the released dataset (CSV + JSONL), mirroring the paper's
+//! scans.io release of cloud-targeting scan traffic.
+
+use cw_bench::{header, parse_args, scenario};
+use cw_scanners::population::ScenarioYear;
+use std::io::BufWriter;
+
+fn main() {
+    let s = scenario(parse_args(), ScenarioYear::Y2021);
+    header("Dataset export");
+    std::fs::create_dir_all("out").expect("create out/");
+    let csv = std::fs::File::create("out/cloud_watching_2021.csv").expect("create csv");
+    s.dataset
+        .write_csv(BufWriter::new(csv))
+        .expect("write csv");
+    let jsonl = std::fs::File::create("out/cloud_watching_2021.jsonl").expect("create jsonl");
+    s.dataset
+        .write_jsonl(BufWriter::new(jsonl))
+        .expect("write jsonl");
+    let pcap = std::fs::File::create("out/cloud_watching_2021.pcap").expect("create pcap");
+    // 2021-07-01T00:00:00Z.
+    s.dataset
+        .write_pcap(BufWriter::new(pcap), 1_625_097_600)
+        .expect("write pcap");
+    println!(
+        "wrote {} events to out/cloud_watching_2021.{{csv,jsonl,pcap}}",
+        s.dataset.events().len()
+    );
+}

@@ -1,0 +1,18 @@
+//! §8: the paper's recommendations, re-derived from this run's data.
+
+use cw_bench::{header, parse_args, scenario};
+use cw_core::recommendations::evaluate;
+use cw_scanners::population::ScenarioYear;
+
+fn main() {
+    let s = scenario(parse_args(), ScenarioYear::Y2021);
+    header("Section 8: recommendations, with this run's supporting evidence");
+    for r in evaluate(&s) {
+        println!(
+            "{} {}\n    {}\n",
+            if r.supported { "✔" } else { "✘" },
+            r.title,
+            r.evidence
+        );
+    }
+}

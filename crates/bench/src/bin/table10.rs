@@ -1,0 +1,71 @@
+//! Table 10: a significantly different set of ASes target telescopes.
+
+use cw_bench::{header, paper_note, parse_args, scenario};
+use cw_core::dataset::TrafficSlice;
+use cw_core::network::telescope_vs_fleet;
+use cw_core::report::{phi_value, TextTable};
+use cw_scanners::population::ScenarioYear;
+
+fn main() {
+    let s = scenario(parse_args(), ScenarioYear::Y2021);
+    header("Table 10: telescope vs EDU / cloud — top-AS differences (2021)");
+    paper_note(
+        "Telescope-EDU: SSH 2/2 dif (0.41), TEL 2/2 (0.68), HTTP/80 0/2, All 2/2 (0.20); \
+         Telescope-Cloud: SSH 3/3 (0.71), TEL 3/3 (0.82), HTTP/80 2/3 (0.40), All 3/3 (0.30)",
+    );
+    let tel = s.telescope.borrow();
+    let edu_fleets = ["honeytrap/stanford", "honeytrap/merit"];
+    let cloud_fleets = [
+        "honeytrap/aws-west",
+        "honeytrap/google-west",
+        "honeytrap/google-east",
+    ];
+    let slices = [
+        TrafficSlice::SshPort22,
+        TrafficSlice::TelnetPort23,
+        TrafficSlice::HttpPort80,
+        TrafficSlice::AnyAll,
+    ];
+    let mut t = TextTable::new(&[
+        "Slice",
+        "Tel-EDU dif",
+        "Tel-EDU avg phi",
+        "Tel-Cloud dif",
+        "Tel-Cloud avg phi",
+    ]);
+    for slice in slices {
+        let run = |fleets: &[&str]| -> (usize, usize, Option<f64>) {
+            let mut n = 0;
+            let mut dif = 0;
+            let mut phis = Vec::new();
+            for f in fleets {
+                if let Some(cmp) = telescope_vs_fleet(
+                    &s.dataset,
+                    &s.deployment,
+                    &tel,
+                    f,
+                    slice,
+                    0.05,
+                    fleets.len(),
+                ) {
+                    n += 1;
+                    if cmp.significant {
+                        dif += 1;
+                        phis.push(cmp.effect.phi);
+                    }
+                }
+            }
+            (n, dif, cw_stats::descriptive::mean(&phis))
+        };
+        let (en, ed, ephi) = run(&edu_fleets);
+        let (cn, cd, cphi) = run(&cloud_fleets);
+        t.row(vec![
+            slice.label().to_string(),
+            format!("{ed}/{en}"),
+            phi_value(ephi, 1),
+            format!("{cd}/{cn}"),
+            phi_value(cphi, 1),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,28 @@
+//! Table 12 (Appendix C.1): neighborhood differences on 2020 data.
+
+use cw_bench::{header, paper_note, parse_args, scenario};
+use cw_core::neighborhood::table2;
+use cw_core::report::{phi_value, TextTable};
+use cw_scanners::population::ScenarioYear;
+
+fn main() {
+    let s = scenario(parse_args(), ScenarioYear::Y2020);
+    header("Table 12: % neighborhoods with different traffic (2020)");
+    paper_note(
+        "2020 shows the same phenomenon as 2021 with shifted magnitudes: SSH/22 AS 73% (0.23), \
+         FracMal 60% (0.10), User 74% (0.20), Pwd 19% (0.24); Telnet/23 AS 43% (0.38); \
+         HTTP/80 AS 2% (0.58); HTTP/All AS 61% (0.29), Payload 64% (0.50)",
+    );
+    let rows = table2(&s.dataset, &s.deployment);
+    let mut t = TextTable::new(&["Slice", "Characteristic", "n", "% dif neighborhoods", "Avg phi"]);
+    for r in &rows {
+        t.row(vec![
+            r.slice.label().to_string(),
+            r.characteristic.label().to_string(),
+            r.n.to_string(),
+            format!("{:.0}%", r.pct_different),
+            phi_value(r.avg_phi, 1),
+        ]);
+    }
+    println!("{}", t.render());
+}

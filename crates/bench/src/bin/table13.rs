@@ -1,0 +1,56 @@
+//! Table 13 (Appendix C.3): region-pair similarity on 2020 data.
+
+use cw_bench::{header, paper_note, parse_args, scenario};
+use cw_core::compare::CharKind;
+use cw_core::dataset::TrafficSlice;
+use cw_core::geography::table5;
+use cw_core::report::TextTable;
+use cw_netsim::geo::RegionPairKind;
+use cw_scanners::population::ScenarioYear;
+
+fn main() {
+    let s = scenario(parse_args(), ScenarioYear::Y2020);
+    header("Table 13: % similar pairs of regions per bucket (2020)");
+    paper_note(
+        "2020 keeps the APAC-least-similar shape (e.g. SSH/22 Top-AS: US 71, EU 42, APAC 30, IC 46)",
+    );
+    let mut t = TextTable::new(&["Slice", "Characteristic", "US", "EU", "APAC", "Intercont."]);
+    for (slice, kinds) in [
+        (
+            TrafficSlice::SshPort22,
+            vec![CharKind::TopAs, CharKind::FracMalicious, CharKind::TopUsername, CharKind::TopPassword],
+        ),
+        (
+            TrafficSlice::TelnetPort23,
+            vec![CharKind::TopAs, CharKind::FracMalicious, CharKind::TopUsername, CharKind::TopPassword],
+        ),
+        (
+            TrafficSlice::HttpPort80,
+            vec![CharKind::TopAs, CharKind::FracMalicious, CharKind::TopPayload],
+        ),
+        (
+            TrafficSlice::HttpAllPorts,
+            vec![CharKind::TopAs, CharKind::FracMalicious, CharKind::TopPayload],
+        ),
+    ] {
+        for kind in kinds {
+            let cells = table5(&s.dataset, &s.deployment, slice, kind);
+            let find = |b: RegionPairKind| {
+                cells
+                    .iter()
+                    .find(|c| c.bucket == b)
+                    .map(|c| format!("{:.0}%", c.pct_similar))
+                    .unwrap_or_else(|| "-".into())
+            };
+            t.row(vec![
+                slice.label().to_string(),
+                kind.label().to_string(),
+                find(RegionPairKind::WithinUs),
+                find(RegionPairKind::WithinEu),
+                find(RegionPairKind::WithinApac),
+                find(RegionPairKind::Intercontinental),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+}

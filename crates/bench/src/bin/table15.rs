@@ -1,0 +1,59 @@
+//! Table 15 (Appendix C.2): telescope-vs-X AS differences on 2022 data.
+
+use cw_bench::{header, paper_note, parse_args, scenario};
+use cw_core::dataset::TrafficSlice;
+use cw_core::network::telescope_vs_fleet;
+use cw_core::report::{phi_value, TextTable};
+use cw_scanners::population::ScenarioYear;
+
+fn main() {
+    let s = scenario(parse_args(), ScenarioYear::Y2022);
+    header("Table 15: telescope vs EDU / cloud, 2022 — preferences strengthen");
+    paper_note(
+        "2022 effect sizes grow vs 2021 (e.g. Any/All: Tel-EDU 0.90, Tel-Cloud 0.89 vs 0.30 in 2021)",
+    );
+    let tel = s.telescope.borrow();
+    let edu = ["honeytrap/stanford", "honeytrap/merit"];
+    let cloud = ["honeytrap/aws-west", "honeytrap/google-west"];
+    let mut t = TextTable::new(&[
+        "Slice",
+        "Tel-EDU dif",
+        "avg phi",
+        "Tel-Cloud dif",
+        "avg phi",
+    ]);
+    for slice in [
+        TrafficSlice::SshPort22,
+        TrafficSlice::TelnetPort23,
+        TrafficSlice::HttpPort80,
+        TrafficSlice::AnyAll,
+    ] {
+        let run = |fleets: &[&str]| {
+            let mut n = 0;
+            let mut dif = 0;
+            let mut phis = Vec::new();
+            for f in fleets {
+                if let Some(cmp) =
+                    telescope_vs_fleet(&s.dataset, &s.deployment, &tel, f, slice, 0.05, fleets.len())
+                {
+                    n += 1;
+                    if cmp.significant {
+                        dif += 1;
+                        phis.push(cmp.effect.phi);
+                    }
+                }
+            }
+            (n, dif, cw_stats::descriptive::mean(&phis))
+        };
+        let (en, ed, ep) = run(&edu);
+        let (cn, cd, cp) = run(&cloud);
+        t.row(vec![
+            slice.label().to_string(),
+            format!("{ed}/{en}"),
+            phi_value(ep, 1),
+            format!("{cd}/{cn}"),
+            phi_value(cp, 1),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,27 @@
+//! Table 17 (Appendix C.4): unexpected protocols on 2022 data.
+
+use cw_bench::{header, paper_note, parse_args, scenario};
+use cw_core::ports::protocol_breakdown;
+use cw_core::report::TextTable;
+use cw_scanners::population::ScenarioYear;
+
+fn main() {
+    let s = scenario(parse_args(), ScenarioYear::Y2022);
+    header("Table 17: protocol breakdown on ports 80/8080 (2022)");
+    paper_note(
+        "the unexpected share roughly doubles vs 2021: HTTP/80 66% vs ~HTTP/80 34%; \
+         HTTP/8080 66% vs ~HTTP/8080 34% (no reputation split — the GreyNoise feed ended)",
+    );
+    let mut t = TextTable::new(&["Protocol/Port", "Breakdown", "Scanners"]);
+    for port in [80u16, 8080] {
+        let (rows, _) = protocol_breakdown(&s.dataset, &s.deployment, &s.handles.reputation, port);
+        for r in &rows {
+            t.row(vec![
+                format!("{}HTTP/{}", if r.is_http { "" } else { "~" }, port),
+                format!("{:.0}%", r.pct_of_scanners),
+                r.scanners.to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,40 @@
+//! Table 4: geographic regions with the most different traffic patterns.
+
+use cw_bench::{header, paper_note, parse_args, scenario};
+use cw_core::geography::table4;
+use cw_core::report::{phi_value, TextTable};
+use cw_scanners::population::ScenarioYear;
+
+fn main() {
+    let s = scenario(parse_args(), ScenarioYear::Y2021);
+    header("Table 4: most-different geographic region per provider (2021)");
+    paper_note(
+        "Asia-Pacific regions dominate: e.g. Top-AS SSH/22 AWS=AP-JP (0.68), Google=AP-SG (0.16), \
+         Linode=AP-SG (0.27); Username TEL/23 AWS=AP-AU (0.56); Payload HTTP/80 AWS=AP-HK (0.31) \
+         — expect most named regions to be AP-*",
+    );
+    let rows = table4(&s.dataset, &s.deployment);
+    let mut t = TextTable::new(&["Characteristic", "Slice", "Provider", "Most Dif. Region", "Avg phi"]);
+    let mut ap_hits = 0usize;
+    let mut named = 0usize;
+    for r in &rows {
+        if let Some(region) = &r.region {
+            named += 1;
+            if region.starts_with("AP-") {
+                ap_hits += 1;
+            }
+        }
+        t.row(vec![
+            r.characteristic.label().to_string(),
+            r.slice.label().to_string(),
+            format!("{:?}", r.provider),
+            r.region.clone().unwrap_or_else(|| "-".into()),
+            phi_value(r.avg_phi, 1),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Asia-Pacific share of most-different regions: {ap_hits}/{named} \
+         (paper: AP dominates the grid)"
+    );
+}

@@ -1,0 +1,54 @@
+//! Table 5: traffic similarities within and between geo-locations.
+
+use cw_bench::{header, paper_note, parse_args, scenario};
+use cw_core::compare::CharKind;
+use cw_core::dataset::TrafficSlice;
+use cw_core::geography::table5;
+use cw_core::report::TextTable;
+use cw_netsim::geo::RegionPairKind;
+use cw_scanners::population::ScenarioYear;
+
+fn main() {
+    let s = scenario(parse_args(), ScenarioYear::Y2021);
+    header("Table 5: % similar pairs of regions per geographic bucket (2021)");
+    paper_note(
+        "US/EU pairs are nearly always similar (94-100%), APAC much less (e.g. Top-3 AS SSH/22: \
+         US 94, EU 100, APAC 63, intercontinental 70; HTTP/All payloads: US 50, EU 53, APAC 20, IC 11)",
+    );
+    let cells_for: &[(TrafficSlice, CharKind)] = &[
+        (TrafficSlice::SshPort22, CharKind::TopAs),
+        (TrafficSlice::SshPort22, CharKind::FracMalicious),
+        (TrafficSlice::SshPort22, CharKind::TopUsername),
+        (TrafficSlice::SshPort22, CharKind::TopPassword),
+        (TrafficSlice::TelnetPort23, CharKind::TopAs),
+        (TrafficSlice::TelnetPort23, CharKind::FracMalicious),
+        (TrafficSlice::TelnetPort23, CharKind::TopUsername),
+        (TrafficSlice::TelnetPort23, CharKind::TopPassword),
+        (TrafficSlice::HttpPort80, CharKind::TopAs),
+        (TrafficSlice::HttpPort80, CharKind::FracMalicious),
+        (TrafficSlice::HttpPort80, CharKind::TopPayload),
+        (TrafficSlice::HttpAllPorts, CharKind::TopAs),
+        (TrafficSlice::HttpAllPorts, CharKind::FracMalicious),
+        (TrafficSlice::HttpAllPorts, CharKind::TopPayload),
+    ];
+    let mut t = TextTable::new(&["Slice", "Characteristic", "US", "EU", "APAC", "Intercont."]);
+    for &(slice, kind) in cells_for {
+        let cells = table5(&s.dataset, &s.deployment, slice, kind);
+        let find = |b: RegionPairKind| {
+            cells
+                .iter()
+                .find(|c| c.bucket == b)
+                .map(|c| format!("{:.0}% (n={})", c.pct_similar, c.n))
+                .unwrap_or_else(|| "-".into())
+        };
+        t.row(vec![
+            slice.label().to_string(),
+            kind.label().to_string(),
+            find(RegionPairKind::WithinUs),
+            find(RegionPairKind::WithinEu),
+            find(RegionPairKind::WithinApac),
+            find(RegionPairKind::Intercontinental),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,39 @@
+//! Table 6: honeypots in multiple clouds — the city-matched placement matrix.
+
+use cw_bench::{header, paper_note};
+use cw_core::report::TextTable;
+use cw_honeypot::deployment::{Deployment, Provider};
+
+fn main() {
+    header("Table 6: city/state-matched multi-cloud deployments");
+    paper_note(
+        "paper lists CA, GA, OR, TX, VG, FRA rows; our Table 1-derived fleet yields the \
+         city-matched pairs below (the paper's own Tables 1 and 6 disagree slightly — see DESIGN.md)",
+    );
+    let d = Deployment::standard();
+    let regions = d.greynoise_provider_regions();
+    let mut codes: Vec<String> = regions.iter().map(|(_, r)| r.code.clone()).collect();
+    codes.sort();
+    codes.dedup();
+
+    let providers = [Provider::Aws, Provider::Google, Provider::Linode, Provider::Azure];
+    let mut t = TextTable::new(&["Region", "AWS", "Google", "Linode", "Azure"]);
+    for code in codes {
+        let has = |p: Provider| {
+            regions
+                .iter()
+                .any(|(pp, r)| *pp == p && r.code == code)
+        };
+        let marks: Vec<bool> = providers.iter().map(|&p| has(p)).collect();
+        if marks.iter().filter(|&&m| m).count() >= 2 {
+            t.row(vec![
+                code.clone(),
+                if marks[0] { "+" } else { "" }.to_string(),
+                if marks[1] { "+" } else { "" }.to_string(),
+                if marks[2] { "+" } else { "" }.to_string(),
+                if marks[3] { "+" } else { "" }.to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,110 @@
+//! Shared plumbing for the experiment regenerator binaries.
+//!
+//! Every binary accepts `--scale <f64>`, `--seed <u64>` and (where
+//! relevant) `--year <2020|2021|2022>`; defaults regenerate the published
+//! EXPERIMENTS.md values.
+
+use cw_core::scenario::{Scenario, ScenarioConfig, DEFAULT_SEED};
+use cw_scanners::population::ScenarioYear;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Population scale.
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Year override.
+    pub year: Option<ScenarioYear>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            scale: 1.0,
+            seed: DEFAULT_SEED,
+            year: None,
+        }
+    }
+}
+
+/// Parse `std::env::args()`. Malformed arguments print a usage message
+/// and exit with status 2.
+pub fn parse_args() -> RunOptions {
+    fn usage(problem: &str) -> ! {
+        eprintln!("error: {problem}");
+        eprintln!("usage: <binary> [--scale <f64>] [--seed <u64>] [--year <2020|2021|2022>]");
+        std::process::exit(2);
+    }
+    let mut opts = RunOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{name} requires a value")))
+        };
+        match arg.as_str() {
+            "--scale" => {
+                opts.scale = value("--scale")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--scale expects a number"));
+                if !(opts.scale > 0.0) {
+                    usage("--scale must be positive");
+                }
+            }
+            "--seed" => {
+                opts.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed expects an unsigned integer"));
+            }
+            "--year" => {
+                opts.year = Some(match value("--year").as_str() {
+                    "2020" => ScenarioYear::Y2020,
+                    "2021" => ScenarioYear::Y2021,
+                    "2022" => ScenarioYear::Y2022,
+                    other => usage(&format!("unknown year '{other}' (use 2020, 2021 or 2022)")),
+                })
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: <binary> [--scale <f64>] [--seed <u64>] [--year <2020|2021|2022>]");
+                std::process::exit(0);
+            }
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    opts
+}
+
+/// Run the scenario for a year under the given options.
+pub fn scenario(opts: RunOptions, default_year: ScenarioYear) -> Scenario {
+    let year = opts.year.unwrap_or(default_year);
+    let config = ScenarioConfig::paper(year)
+        .with_seed(opts.seed)
+        .with_scale(opts.scale);
+    eprintln!(
+        "[cw] running {} scenario (scale {}, seed {:#x}) ...",
+        year.year(),
+        opts.scale,
+        opts.seed
+    );
+    let start = std::time::Instant::now();
+    let s = Scenario::run(config);
+    eprintln!(
+        "[cw] simulated week complete in {:.1?}: {} flows delivered, {} honeypot events, {} telescope packets",
+        start.elapsed(),
+        s.stats.flows_delivered,
+        s.dataset.events().len(),
+        s.telescope.borrow().total_packets()
+    );
+    s
+}
+
+/// Print a titled section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+/// Print a `paper vs measured` context line.
+pub fn paper_note(note: &str) {
+    println!("(paper: {note})\n");
+}

@@ -1,0 +1,206 @@
+//! Who / what / why extraction (§3.3).
+//!
+//! "Across vantage points, we use the chi-squared test to compare scanning
+//! traffic using the following axes: who (i.e., which ASes are scanning),
+//! what (i.e., what are the top usernames/passwords/payloads being
+//! attempted), and why (i.e., the maliciousness of traffic)."
+//!
+//! Each extractor turns a set of classified events into a frequency map
+//! keyed by a category label; payload categories are the §3.3-normalized
+//! payload bytes (Date/Host/Content-Length stripped) rendered as a stable
+//! digest.
+
+use crate::dataset::ClassifiedEvent;
+use cw_detection::Verdict;
+use cw_honeypot::capture::Observed;
+use cw_netsim::rng::fnv1a;
+use std::collections::BTreeMap;
+
+/// Frequency of traffic per source AS ("who").
+pub fn as_freqs(events: &[&ClassifiedEvent]) -> BTreeMap<String, u64> {
+    let mut m = BTreeMap::new();
+    for e in events {
+        *m.entry(e.event.src_asn.to_string()).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Frequency of attempted usernames ("what", SSH/Telnet).
+pub fn username_freqs(events: &[&ClassifiedEvent]) -> BTreeMap<String, u64> {
+    let mut m = BTreeMap::new();
+    for e in events {
+        if let Observed::Credentials { username, .. } = &e.event.observed {
+            *m.entry(username.clone()).or_insert(0) += 1;
+        }
+    }
+    m
+}
+
+/// Frequency of attempted passwords ("what", SSH/Telnet).
+pub fn password_freqs(events: &[&ClassifiedEvent]) -> BTreeMap<String, u64> {
+    let mut m = BTreeMap::new();
+    for e in events {
+        if let Observed::Credentials { password, .. } = &e.event.observed {
+            *m.entry(password.clone()).or_insert(0) += 1;
+        }
+    }
+    m
+}
+
+/// Frequency of normalized payloads ("what", HTTP and friends).
+///
+/// Payloads are normalized per §3.3 (ephemeral Date/Host/Content-Length
+/// values removed) and keyed by a short stable digest plus a readable
+/// prefix, so top-3 tables stay legible.
+pub fn payload_freqs(events: &[&ClassifiedEvent]) -> BTreeMap<String, u64> {
+    let mut m = BTreeMap::new();
+    for e in events {
+        if let Observed::Payload(p) = &e.event.observed {
+            let normalized = cw_protocols::http::normalize(p);
+            *m.entry(payload_key(&normalized)).or_insert(0) += 1;
+        }
+    }
+    m
+}
+
+/// Render a normalized payload as a stable, human-readable category key.
+pub fn payload_key(normalized: &[u8]) -> String {
+    let digest = fnv1a(normalized);
+    let prefix: String = normalized
+        .iter()
+        .take(24)
+        .map(|&b| {
+            if (0x20..0x7F).contains(&b) {
+                b as char
+            } else {
+                '.'
+            }
+        })
+        .collect();
+    format!("{digest:016x}:{prefix}")
+}
+
+/// Malicious/benign event counts ("why"): `(attacker, scanner)`.
+pub fn maliciousness_counts(events: &[&ClassifiedEvent]) -> (u64, u64) {
+    let mut attacker = 0;
+    let mut scanner = 0;
+    for e in events {
+        match e.verdict {
+            Verdict::Attacker => attacker += 1,
+            Verdict::Scanner => scanner += 1,
+        }
+    }
+    (attacker, scanner)
+}
+
+/// The "why" axis as a two-category frequency map for chi-squared testing.
+pub fn maliciousness_freqs(events: &[&ClassifiedEvent]) -> BTreeMap<String, u64> {
+    let (attacker, scanner) = maliciousness_counts(events);
+    let mut m = BTreeMap::new();
+    m.insert("malicious".to_string(), attacker);
+    m.insert("not-malicious".to_string(), scanner);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cw_detection::RuleSet;
+    use cw_honeypot::capture::ScanEvent;
+    use cw_netsim::asn::Asn;
+    use cw_netsim::flow::LoginService;
+    use cw_netsim::time::SimTime;
+    use std::net::Ipv4Addr;
+
+    fn ev(asn: u32, observed: Observed, port: u16) -> ClassifiedEvent {
+        let e = ScanEvent {
+            time: SimTime(0),
+            src: Ipv4Addr::new(100, 0, 0, 1),
+            src_asn: Asn(asn),
+            dst: Ipv4Addr::new(20, 0, 0, 1),
+            dst_port: port,
+            observed,
+        };
+        let rules = RuleSet::builtin();
+        let (verdict, fingerprint) = crate::dataset::classify_event(&e, &rules);
+        ClassifiedEvent {
+            event: e,
+            verdict,
+            fingerprint,
+        }
+    }
+
+    #[test]
+    fn as_axis_counts_traffic() {
+        let evs = [ev(4134, Observed::Handshake, 22),
+            ev(4134, Observed::Handshake, 22),
+            ev(174, Observed::Handshake, 22)];
+        let refs: Vec<&ClassifiedEvent> = evs.iter().collect();
+        let m = as_freqs(&refs);
+        assert_eq!(m.get("AS4134"), Some(&2));
+        assert_eq!(m.get("AS174"), Some(&1));
+    }
+
+    #[test]
+    fn credential_axes() {
+        let evs = [ev(
+                1,
+                Observed::Credentials {
+                    service: LoginService::Ssh,
+                    username: "root".into(),
+                    password: "123456".into(),
+                },
+                22,
+            ),
+            ev(
+                1,
+                Observed::Credentials {
+                    service: LoginService::Ssh,
+                    username: "root".into(),
+                    password: "password".into(),
+                },
+                22,
+            ),
+            ev(1, Observed::Handshake, 22)];
+        let refs: Vec<&ClassifiedEvent> = evs.iter().collect();
+        assert_eq!(username_freqs(&refs).get("root"), Some(&2));
+        assert_eq!(password_freqs(&refs).len(), 2);
+    }
+
+    #[test]
+    fn payload_axis_normalizes_ephemeral_headers() {
+        let a = cw_protocols::HttpRequest::new("GET", "/")
+            .header("Host", "20.1.1.1")
+            .to_bytes();
+        let b = cw_protocols::HttpRequest::new("GET", "/")
+            .header("Host", "20.9.9.9")
+            .to_bytes();
+        let evs = [ev(1, Observed::Payload(a), 80),
+            ev(1, Observed::Payload(b), 80)];
+        let refs: Vec<&ClassifiedEvent> = evs.iter().collect();
+        let m = payload_freqs(&refs);
+        assert_eq!(m.len(), 1, "hosts must normalize away: {m:?}");
+        assert_eq!(*m.values().next().unwrap(), 2);
+    }
+
+    #[test]
+    fn maliciousness_axis() {
+        let evs = [ev(1, Observed::Payload(cw_scanners::exploits::log4shell("x")), 80),
+            ev(1, Observed::Payload(cw_scanners::exploits::benign_get("ua")), 80),
+            ev(1, Observed::Handshake, 80)];
+        let refs: Vec<&ClassifiedEvent> = evs.iter().collect();
+        assert_eq!(maliciousness_counts(&refs), (1, 2));
+        let m = maliciousness_freqs(&refs);
+        assert_eq!(m.get("malicious"), Some(&1));
+        assert_eq!(m.get("not-malicious"), Some(&2));
+    }
+
+    #[test]
+    fn payload_key_is_stable_and_readable() {
+        let k1 = payload_key(b"GET / HTTP/1.1\r\nabc");
+        let k2 = payload_key(b"GET / HTTP/1.1\r\nabc");
+        assert_eq!(k1, k2);
+        assert!(k1.contains("GET / HTTP/1.1"));
+        assert_ne!(payload_key(b"x"), payload_key(b"y"));
+    }
+}

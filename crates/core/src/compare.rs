@@ -1,0 +1,229 @@
+//! The §3.3 group-comparison procedure, plus the §4.4 median filter.
+//!
+//! A comparison takes k groups of events (honeypots, regions, or networks),
+//! extracts one characteristic's frequency map per group, builds the top-3
+//! union contingency table, runs chi-squared, applies Bonferroni correction
+//! for the whole comparison family, and reports Cramér's V with its
+//! df-aware magnitude.
+
+use crate::axes;
+use crate::dataset::ClassifiedEvent;
+use cw_stats::{
+    bonferroni_alpha, chi_squared_from_table, cramers_v, top_k_union_table, Chi2Result,
+    ContingencyTable, EffectSize, TopKSpec,
+};
+use std::collections::BTreeMap;
+
+/// The comparable traffic characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CharKind {
+    /// Top scanning ASes ("who").
+    TopAs,
+    /// Fraction of malicious traffic ("why").
+    FracMalicious,
+    /// Top attempted usernames ("what", login protocols).
+    TopUsername,
+    /// Top attempted passwords ("what", login protocols).
+    TopPassword,
+    /// Top normalized payloads ("what", payload protocols).
+    TopPayload,
+}
+
+impl CharKind {
+    /// Display label matching the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CharKind::TopAs => "Top 3 AS",
+            CharKind::FracMalicious => "Fraction Malicious",
+            CharKind::TopUsername => "Top 3 Username",
+            CharKind::TopPassword => "Top 3 Password",
+            CharKind::TopPayload => "Top 3 Payloads",
+        }
+    }
+
+    /// Extract this characteristic's frequency map from one group.
+    pub fn freqs(&self, events: &[&ClassifiedEvent]) -> BTreeMap<String, u64> {
+        match self {
+            CharKind::TopAs => axes::as_freqs(events),
+            CharKind::FracMalicious => axes::maliciousness_freqs(events),
+            CharKind::TopUsername => axes::username_freqs(events),
+            CharKind::TopPassword => axes::password_freqs(events),
+            CharKind::TopPayload => axes::payload_freqs(events),
+        }
+    }
+
+    /// Is this a top-3 characteristic (vs the 2-category maliciousness)?
+    pub fn uses_top_k(&self) -> bool {
+        !matches!(self, CharKind::FracMalicious)
+    }
+}
+
+/// Outcome of one k-group comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupComparison {
+    /// The chi-squared result.
+    pub chi2: Chi2Result,
+    /// Cramér's V with magnitude.
+    pub effect: EffectSize,
+    /// Significant at the Bonferroni-corrected level?
+    pub significant: bool,
+}
+
+/// Build the contingency table for a characteristic across groups.
+pub fn characteristic_table(
+    kind: CharKind,
+    group_freqs: &[BTreeMap<String, u64>],
+) -> ContingencyTable {
+    if kind.uses_top_k() {
+        top_k_union_table(group_freqs, TopKSpec::paper())
+    } else {
+        // Maliciousness: use both categories directly.
+        let categories = vec!["malicious".to_string(), "not-malicious".to_string()];
+        let counts = group_freqs
+            .iter()
+            .map(|g| {
+                categories
+                    .iter()
+                    .map(|c| *g.get(c).unwrap_or(&0))
+                    .collect()
+            })
+            .collect();
+        ContingencyTable::new(categories, counts)
+    }
+}
+
+/// Run one comparison: `family_size` is the number of simultaneous tests in
+/// this analysis (Bonferroni `m`); `alpha` is the uncorrected level (0.05 in
+/// the paper). Returns `None` when the table is degenerate (the paper's
+/// "cannot be calculated" ×).
+pub fn compare_freqs(
+    kind: CharKind,
+    group_freqs: &[BTreeMap<String, u64>],
+    alpha: f64,
+    family_size: usize,
+) -> Option<GroupComparison> {
+    let table = characteristic_table(kind, group_freqs);
+    let chi2 = chi_squared_from_table(&table)?;
+    let effect = cramers_v(&chi2);
+    let corrected = bonferroni_alpha(alpha, family_size.max(1));
+    Some(GroupComparison {
+        chi2,
+        effect,
+        significant: chi2.p_value < corrected,
+    })
+}
+
+/// Convenience: extract each group's frequencies and compare.
+pub fn compare_groups(
+    kind: CharKind,
+    groups: &[Vec<&ClassifiedEvent>],
+    alpha: f64,
+    family_size: usize,
+) -> Option<GroupComparison> {
+    let freqs: Vec<BTreeMap<String, u64>> =
+        groups.iter().map(|g| kind.freqs(g)).collect();
+    compare_freqs(kind, &freqs, alpha, family_size)
+}
+
+/// §4.4 median filtering: combine per-honeypot frequency maps into one
+/// region-representative map by taking, per category, the median count
+/// across the region's honeypots. This damps single-honeypot anomalies
+/// (botnet latches, single-IP floods) when comparing *regions*.
+pub fn median_freqs(per_honeypot: &[BTreeMap<String, u64>]) -> BTreeMap<String, u64> {
+    let mut categories: Vec<&String> = per_honeypot.iter().flat_map(|m| m.keys()).collect();
+    categories.sort();
+    categories.dedup();
+    let mut out = BTreeMap::new();
+    for cat in categories {
+        let counts: Vec<f64> = per_honeypot
+            .iter()
+            .map(|m| *m.get(cat).unwrap_or(&0) as f64)
+            .collect();
+        let med = cw_stats::descriptive::median(&counts).unwrap_or(0.0);
+        let med = med.round() as u64;
+        if med > 0 {
+            out.insert(cat.clone(), med);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn freqs(pairs: &[(&str, u64)]) -> BTreeMap<String, u64> {
+        pairs.iter().map(|(s, c)| (s.to_string(), *c)).collect()
+    }
+
+    #[test]
+    fn identical_groups_not_significant() {
+        let g = freqs(&[("AS1", 100), ("AS2", 50), ("AS3", 25)]);
+        let r = compare_freqs(CharKind::TopAs, &[g.clone(), g], 0.05, 1).unwrap();
+        assert!(!r.significant);
+        assert!(r.effect.phi < 0.01);
+    }
+
+    #[test]
+    fn disjoint_groups_significant_with_large_effect() {
+        let g1 = freqs(&[("AS1", 200), ("AS2", 100), ("AS3", 50)]);
+        let g2 = freqs(&[("AS7", 200), ("AS8", 100), ("AS9", 50)]);
+        let r = compare_freqs(CharKind::TopAs, &[g1, g2], 0.05, 10).unwrap();
+        assert!(r.significant);
+        assert_eq!(r.effect.magnitude, cw_stats::EffectMagnitude::Large);
+    }
+
+    #[test]
+    fn bonferroni_family_size_matters() {
+        // A borderline difference: significant alone, not after correcting
+        // for a large family.
+        let g1 = freqs(&[("AS1", 60), ("AS2", 40), ("AS3", 20)]);
+        let g2 = freqs(&[("AS1", 40), ("AS2", 60), ("AS3", 20)]);
+        let alone = compare_freqs(CharKind::TopAs, &[g1.clone(), g2.clone()], 0.05, 1).unwrap();
+        let family = compare_freqs(CharKind::TopAs, &[g1, g2], 0.05, 100_000).unwrap();
+        assert!(alone.significant);
+        assert!(!family.significant);
+    }
+
+    #[test]
+    fn frac_malicious_uses_two_categories() {
+        let g1 = freqs(&[("malicious", 90), ("not-malicious", 10)]);
+        let g2 = freqs(&[("malicious", 10), ("not-malicious", 90)]);
+        let r = compare_freqs(CharKind::FracMalicious, &[g1, g2], 0.05, 1).unwrap();
+        assert!(r.significant);
+        assert_eq!(r.chi2.cols, 2);
+    }
+
+    #[test]
+    fn empty_characteristic_cannot_be_calculated() {
+        // Honeytrap vantages never observe credentials: × in the tables.
+        let empty = BTreeMap::new();
+        assert!(compare_freqs(CharKind::TopUsername, &[empty.clone(), empty], 0.05, 1).is_none());
+    }
+
+    #[test]
+    fn median_filter_damps_single_honeypot_anomaly() {
+        // Four honeypots; one is flooded by AS666 (the Axtel shape).
+        let normal = freqs(&[("AS1", 50), ("AS2", 30)]);
+        let flooded = freqs(&[("AS1", 50), ("AS2", 30), ("AS666", 5_000)]);
+        let med = median_freqs(&[normal.clone(), normal.clone(), normal, flooded]);
+        assert_eq!(med.get("AS1"), Some(&50));
+        assert!(!med.contains_key("AS666"), "median must drop the flood");
+    }
+
+    #[test]
+    fn median_filter_keeps_majority_signals() {
+        let a = freqs(&[("AS1", 10)]);
+        let b = freqs(&[("AS1", 20)]);
+        let c = freqs(&[("AS1", 30)]);
+        let med = median_freqs(&[a, b, c]);
+        assert_eq!(med.get("AS1"), Some(&20));
+    }
+
+    #[test]
+    fn char_labels() {
+        assert_eq!(CharKind::TopAs.label(), "Top 3 AS");
+        assert!(CharKind::TopAs.uses_top_k());
+        assert!(!CharKind::FracMalicious.uses_top_k());
+    }
+}

@@ -1,0 +1,526 @@
+//! The queryable event store behind every analysis.
+//!
+//! A [`Dataset`] flattens all honeypot captures, attaches vantage metadata,
+//! pre-classifies every event with the vetted ruleset (§3.2), and exposes
+//! the §3.3 traffic slices. It also writes the released dataset as
+//! CSV/JSONL.
+
+use cw_detection::{classify_intent, RuleSet, Verdict};
+use cw_honeypot::capture::{Capture, Observed, ScanEvent};
+use cw_honeypot::deployment::{Deployment, VantagePoint};
+use cw_netsim::flow::{ConnectionIntent, LoginService};
+use cw_protocols::ProtocolId;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::net::Ipv4Addr;
+
+/// The §3.3 traffic slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TrafficSlice {
+    /// Traffic to port 22.
+    SshPort22,
+    /// Traffic to port 23.
+    TelnetPort23,
+    /// Traffic to port 80.
+    HttpPort80,
+    /// HTTP-fingerprinted payloads on any port ("HTTP/All Ports").
+    HttpAllPorts,
+    /// Everything ("Any/All").
+    AnyAll,
+}
+
+impl TrafficSlice {
+    /// The slices of Table 2/4/5/7.
+    pub const PAPER: [TrafficSlice; 4] = [
+        TrafficSlice::SshPort22,
+        TrafficSlice::TelnetPort23,
+        TrafficSlice::HttpPort80,
+        TrafficSlice::HttpAllPorts,
+    ];
+
+    /// Display label matching the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrafficSlice::SshPort22 => "SSH/22",
+            TrafficSlice::TelnetPort23 => "Telnet/23",
+            TrafficSlice::HttpPort80 => "HTTP/80",
+            TrafficSlice::HttpAllPorts => "HTTP/All",
+            TrafficSlice::AnyAll => "Any/All",
+        }
+    }
+}
+
+/// A classified event: the capture record plus analysis metadata.
+#[derive(Debug, Clone)]
+pub struct ClassifiedEvent {
+    /// The raw observation.
+    pub event: ScanEvent,
+    /// §3.2 verdict.
+    pub verdict: Verdict,
+    /// LZR fingerprint of the payload, if one was observed.
+    pub fingerprint: Option<ProtocolId>,
+}
+
+impl ClassifiedEvent {
+    /// Does the event fall into a traffic slice?
+    pub fn in_slice(&self, slice: TrafficSlice) -> bool {
+        match slice {
+            TrafficSlice::SshPort22 => self.event.dst_port == 22,
+            TrafficSlice::TelnetPort23 => self.event.dst_port == 23,
+            TrafficSlice::HttpPort80 => self.event.dst_port == 80,
+            TrafficSlice::HttpAllPorts => self.fingerprint == Some(ProtocolId::Http),
+            TrafficSlice::AnyAll => true,
+        }
+    }
+}
+
+/// The flattened, classified event store.
+pub struct Dataset {
+    events: Vec<ClassifiedEvent>,
+    vantage_by_ip: BTreeMap<Ipv4Addr, VantagePoint>,
+    by_dst: BTreeMap<Ipv4Addr, Vec<usize>>,
+}
+
+impl Dataset {
+    /// Build from captures and the deployment's vantage metadata.
+    pub fn from_captures(captures: &[&Capture], deployment: &Deployment) -> Self {
+        let rules = RuleSet::builtin();
+        let vantage_by_ip: BTreeMap<Ipv4Addr, VantagePoint> = deployment
+            .vantages
+            .iter()
+            .map(|v| (v.ip, v.clone()))
+            .collect();
+        let mut events = Vec::new();
+        let mut by_dst: BTreeMap<Ipv4Addr, Vec<usize>> = BTreeMap::new();
+        for cap in captures {
+            for e in &cap.events {
+                let (verdict, fingerprint) = classify_event(e, &rules);
+                by_dst.entry(e.dst).or_default().push(events.len());
+                events.push(ClassifiedEvent {
+                    event: e.clone(),
+                    verdict,
+                    fingerprint,
+                });
+            }
+        }
+        Dataset {
+            events,
+            vantage_by_ip,
+            by_dst,
+        }
+    }
+
+    /// All classified events.
+    pub fn events(&self) -> &[ClassifiedEvent] {
+        &self.events
+    }
+
+    /// Events destined to one vantage IP.
+    pub fn events_at(&self, ip: Ipv4Addr) -> Vec<&ClassifiedEvent> {
+        self.by_dst
+            .get(&ip)
+            .map(|idxs| idxs.iter().map(|&i| &self.events[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Events at one vantage IP within a slice.
+    pub fn events_at_in(&self, ip: Ipv4Addr, slice: TrafficSlice) -> Vec<&ClassifiedEvent> {
+        self.events_at(ip)
+            .into_iter()
+            .filter(|e| e.in_slice(slice))
+            .collect()
+    }
+
+    /// Events pooled across a set of vantage IPs within a slice.
+    pub fn events_at_group(
+        &self,
+        ips: &[Ipv4Addr],
+        slice: TrafficSlice,
+    ) -> Vec<&ClassifiedEvent> {
+        let mut out = Vec::new();
+        for &ip in ips {
+            out.extend(self.events_at_in(ip, slice));
+        }
+        out
+    }
+
+    /// Vantage metadata for an observed IP.
+    pub fn vantage(&self, ip: Ipv4Addr) -> Option<&VantagePoint> {
+        self.vantage_by_ip.get(&ip)
+    }
+
+    /// Distinct source IPs seen on one port across a set of vantages.
+    pub fn sources_on_port(&self, ips: &[Ipv4Addr], port: u16) -> std::collections::BTreeSet<Ipv4Addr> {
+        let mut out = std::collections::BTreeSet::new();
+        for &ip in ips {
+            for e in self.events_at(ip) {
+                if e.event.dst_port == port {
+                    out.insert(e.event.src);
+                }
+            }
+        }
+        out
+    }
+
+    /// Distinct *attacker* source IPs (≥1 malicious event) on one port.
+    pub fn malicious_sources_on_port(
+        &self,
+        ips: &[Ipv4Addr],
+        port: u16,
+    ) -> std::collections::BTreeSet<Ipv4Addr> {
+        let mut out = std::collections::BTreeSet::new();
+        for &ip in ips {
+            for e in self.events_at(ip) {
+                if e.event.dst_port == port && e.verdict == Verdict::Attacker {
+                    out.insert(e.event.src);
+                }
+            }
+        }
+        out
+    }
+
+    /// Distinct (source IP, source AS) pairs across a set of vantages —
+    /// Table 1's unique-scanner columns.
+    pub fn unique_sources(&self, ips: &[Ipv4Addr]) -> (usize, usize) {
+        let mut srcs = std::collections::BTreeSet::new();
+        let mut asns = std::collections::BTreeSet::new();
+        for &ip in ips {
+            for e in self.events_at(ip) {
+                srcs.insert(e.event.src);
+                asns.insert(e.event.src_asn.0);
+            }
+        }
+        (srcs.len(), asns.len())
+    }
+
+    /// Write the dataset as CSV (one row per event; payloads hex-encoded).
+    pub fn write_csv<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(
+            w,
+            "time,src,src_asn,dst,dst_port,kind,verdict,fingerprint,username,password,payload_hex"
+        )?;
+        for ce in &self.events {
+            let e = &ce.event;
+            let (kind, user, pass, payload) = match &e.observed {
+                Observed::Syn => ("syn", "", "", String::new()),
+                Observed::Handshake => ("handshake", "", "", String::new()),
+                Observed::Payload(p) => ("payload", "", "", hex(p)),
+                Observed::Credentials {
+                    username, password, ..
+                } => ("credentials", username.as_str(), password.as_str(), String::new()),
+            };
+            writeln!(
+                w,
+                "{},{},{},{},{},{},{},{},{},{},{}",
+                e.time.secs(),
+                e.src,
+                e.src_asn.0,
+                e.dst,
+                e.dst_port,
+                kind,
+                match ce.verdict {
+                    Verdict::Attacker => "attacker",
+                    Verdict::Scanner => "scanner",
+                },
+                ce.fingerprint.map(|p| p.label()).unwrap_or(""),
+                csv_escape(user),
+                csv_escape(pass),
+                payload,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Write the dataset as a libpcap capture (synthesized Ethernet/IPv4/TCP
+    /// frames; opens in Wireshark/tcpdump). `epoch` is the UNIX timestamp of
+    /// simulated time zero — e.g. 1625097600 for 2021-07-01T00:00:00Z.
+    ///
+    /// Credential observations are rendered as the client's first protocol
+    /// bytes (SSH banner / Telnet negotiation) since a pcap carries wire
+    /// data, not harvested application state.
+    pub fn write_pcap<W: Write>(&self, w: W, epoch: u32) -> std::io::Result<()> {
+        use cw_netsim::pcap::PcapWriter;
+        let mut pcap = PcapWriter::new(w, epoch)?;
+        for ce in &self.events {
+            let e = &ce.event;
+            // Deterministic ephemeral source port derived from the flow.
+            let src_port = 32_768 + (cw_netsim::rng::fnv1a(&e.src.octets()) % 28_000) as u16;
+            let (payload, syn_only): (Vec<u8>, bool) = match &e.observed {
+                Observed::Syn => (Vec::new(), true),
+                Observed::Handshake => (Vec::new(), false),
+                Observed::Payload(p) => (p.clone(), false),
+                Observed::Credentials { service, .. } => match service {
+                    LoginService::Ssh => (b"SSH-2.0-Go\r\n".to_vec(), false),
+                    LoginService::Telnet => (vec![0xFF, 0xFD, 0x01, 0xFF, 0xFD, 0x03], false),
+                },
+            };
+            pcap.write_tcp(e.time, e.src, src_port, e.dst, e.dst_port, &payload, syn_only)?;
+        }
+        pcap.finish()?;
+        Ok(())
+    }
+
+    /// Write the dataset as JSON Lines.
+    pub fn write_jsonl<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        for ce in &self.events {
+            let e = &ce.event;
+            let mut obj = format!(
+                "{{\"time\":{},\"src\":\"{}\",\"src_asn\":{},\"dst\":\"{}\",\"dst_port\":{},\"verdict\":\"{}\"",
+                e.time.secs(),
+                e.src,
+                e.src_asn.0,
+                e.dst,
+                e.dst_port,
+                match ce.verdict {
+                    Verdict::Attacker => "attacker",
+                    Verdict::Scanner => "scanner",
+                }
+            );
+            match &e.observed {
+                Observed::Syn => obj.push_str(",\"kind\":\"syn\""),
+                Observed::Handshake => obj.push_str(",\"kind\":\"handshake\""),
+                Observed::Payload(p) => {
+                    obj.push_str(&format!(",\"kind\":\"payload\",\"payload_hex\":\"{}\"", hex(p)));
+                }
+                Observed::Credentials {
+                    username, password, ..
+                } => {
+                    obj.push_str(&format!(
+                        ",\"kind\":\"credentials\",\"username\":{},\"password\":{}",
+                        json_string(username),
+                        json_string(password)
+                    ));
+                }
+            }
+            if let Some(fp) = ce.fingerprint {
+                obj.push_str(&format!(",\"fingerprint\":\"{}\"", fp.label()));
+            }
+            obj.push('}');
+            writeln!(w, "{obj}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Classify one capture event per §3.2.
+pub fn classify_event(e: &ScanEvent, rules: &RuleSet) -> (Verdict, Option<ProtocolId>) {
+    match &e.observed {
+        Observed::Syn | Observed::Handshake => (Verdict::Scanner, None),
+        Observed::Payload(p) => {
+            let intent = ConnectionIntent::Payload(p.clone());
+            (
+                classify_intent(&intent, e.dst_port, rules),
+                cw_protocols::fingerprint(p),
+            )
+        }
+        Observed::Credentials { service, .. } => {
+            let fp = match service {
+                LoginService::Ssh => Some(ProtocolId::Ssh),
+                LoginService::Telnet => Some(ProtocolId::Telnet),
+            };
+            (Verdict::Attacker, fp)
+        }
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        s.push(DIGITS[(b >> 4) as usize] as char);
+        s.push(DIGITS[(b & 0x0F) as usize] as char);
+    }
+    s
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cw_netsim::asn::Asn;
+    use cw_netsim::time::SimTime;
+
+    fn mk_event(dst_port: u16, observed: Observed) -> ScanEvent {
+        ScanEvent {
+            time: SimTime(60),
+            src: Ipv4Addr::new(100, 0, 0, 1),
+            src_asn: Asn(4134),
+            dst: Ipv4Addr::new(20, 10, 0, 0),
+            dst_port,
+            observed,
+        }
+    }
+
+    fn mk_dataset(events: Vec<ScanEvent>) -> Dataset {
+        let mut cap = Capture::new("test");
+        for e in events {
+            cap.record(e);
+        }
+        let deployment = Deployment::standard();
+        Dataset::from_captures(&[&cap], &deployment)
+    }
+
+    #[test]
+    fn classification_is_applied() {
+        let ds = mk_dataset(vec![
+            mk_event(
+                22,
+                Observed::Credentials {
+                    service: LoginService::Ssh,
+                    username: "root".into(),
+                    password: "123456".into(),
+                },
+            ),
+            mk_event(80, Observed::Payload(cw_scanners::exploits::log4shell("x"))),
+            mk_event(
+                80,
+                Observed::Payload(cw_scanners::exploits::benign_get("zgrab")),
+            ),
+            mk_event(443, Observed::Handshake),
+        ]);
+        let verdicts: Vec<Verdict> = ds.events().iter().map(|e| e.verdict).collect();
+        assert_eq!(
+            verdicts,
+            vec![
+                Verdict::Attacker,
+                Verdict::Attacker,
+                Verdict::Scanner,
+                Verdict::Scanner
+            ]
+        );
+    }
+
+    #[test]
+    fn slices_select_correctly() {
+        let ds = mk_dataset(vec![
+            mk_event(22, Observed::Handshake),
+            mk_event(23, Observed::Handshake),
+            mk_event(
+                8080,
+                Observed::Payload(cw_scanners::exploits::benign_get("x")),
+            ),
+            mk_event(
+                8080,
+                Observed::Payload(cw_protocols::tls::build_client_hello(1, None)),
+            ),
+        ]);
+        let ip = Ipv4Addr::new(20, 10, 0, 0);
+        assert_eq!(ds.events_at_in(ip, TrafficSlice::SshPort22).len(), 1);
+        assert_eq!(ds.events_at_in(ip, TrafficSlice::TelnetPort23).len(), 1);
+        assert_eq!(ds.events_at_in(ip, TrafficSlice::HttpPort80).len(), 0);
+        // HTTP/All catches the HTTP payload on 8080 but not the TLS one.
+        assert_eq!(ds.events_at_in(ip, TrafficSlice::HttpAllPorts).len(), 1);
+        assert_eq!(ds.events_at_in(ip, TrafficSlice::AnyAll).len(), 4);
+    }
+
+    #[test]
+    fn source_sets_and_unique_counts() {
+        let mut e1 = mk_event(22, Observed::Handshake);
+        e1.src = Ipv4Addr::new(100, 0, 0, 1);
+        let mut e2 = mk_event(
+            22,
+            Observed::Credentials {
+                service: LoginService::Ssh,
+                username: "root".into(),
+                password: "root".into(),
+            },
+        );
+        e2.src = Ipv4Addr::new(100, 0, 0, 2);
+        e2.src_asn = Asn(174);
+        let ds = mk_dataset(vec![e1, e2]);
+        let ip = Ipv4Addr::new(20, 10, 0, 0);
+        assert_eq!(ds.sources_on_port(&[ip], 22).len(), 2);
+        assert_eq!(ds.malicious_sources_on_port(&[ip], 22).len(), 1);
+        assert_eq!(ds.unique_sources(&[ip]), (2, 2));
+    }
+
+    #[test]
+    fn csv_and_jsonl_export() {
+        let ds = mk_dataset(vec![
+            mk_event(
+                23,
+                Observed::Credentials {
+                    service: LoginService::Telnet,
+                    username: "ad,min".into(),
+                    password: "p\"w".into(),
+                },
+            ),
+            mk_event(80, Observed::Payload(b"GET / HTTP/1.1\r\n\r\n".to_vec())),
+        ]);
+        let mut csv = Vec::new();
+        ds.write_csv(&mut csv).unwrap();
+        let csv = String::from_utf8(csv).unwrap();
+        assert!(csv.starts_with("time,src"));
+        assert!(csv.contains("\"ad,min\""));
+        assert!(csv.contains("\"p\"\"w\""));
+
+        let mut jsonl = Vec::new();
+        ds.write_jsonl(&mut jsonl).unwrap();
+        let jsonl = String::from_utf8(jsonl).unwrap();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.contains("\\\""));
+        assert!(jsonl.contains("\"fingerprint\":\"HTTP\""));
+    }
+
+    #[test]
+    fn pcap_export_is_wellformed() {
+        let ds = mk_dataset(vec![
+            mk_event(22, Observed::Syn),
+            mk_event(80, Observed::Payload(b"GET / HTTP/1.1\r\n\r\n".to_vec())),
+            mk_event(
+                23,
+                Observed::Credentials {
+                    service: LoginService::Telnet,
+                    username: "root".into(),
+                    password: "root".into(),
+                },
+            ),
+        ]);
+        let mut buf = Vec::new();
+        ds.write_pcap(&mut buf, 1_625_097_600).unwrap();
+        // Global header + 3 records.
+        assert_eq!(&buf[0..4], &0xA1B2_C3D4u32.to_le_bytes());
+        let mut offset = 24;
+        let mut records = 0;
+        while offset + 16 <= buf.len() {
+            let incl = u32::from_le_bytes(buf[offset + 8..offset + 12].try_into().unwrap());
+            offset += 16 + incl as usize;
+            records += 1;
+        }
+        assert_eq!(offset, buf.len());
+        assert_eq!(records, 3);
+    }
+
+    #[test]
+    fn vantage_lookup() {
+        let ds = mk_dataset(vec![]);
+        let v = ds.vantage(Ipv4Addr::new(20, 10, 0, 0)).unwrap();
+        assert!(v.id.starts_with("greynoise/aws/"));
+        assert!(ds.vantage(Ipv4Addr::new(9, 9, 9, 9)).is_none());
+    }
+}

@@ -1,0 +1,219 @@
+//! Figure 1: address-structure preferences inside the telescope.
+//!
+//! "To suppress inconsistent outliers, we compute a rolling average of the
+//! # of scanning IPs across every consecutive 512 IPs." The four panels:
+//! (a) port 22 — spikes at /16 first addresses; (b) port 445 and (c) port
+//! 80 — dips at addresses with a 255 octet; (d) port 17128 — a four-address
+//! latch.
+
+use cw_honeypot::telescope::Telescope;
+use cw_netsim::ip::IpExt;
+use std::net::Ipv4Addr;
+
+/// The paper's rolling window.
+pub const WINDOW: usize = 512;
+
+/// Rolling average over consecutive windows of `window` values (trailing;
+/// the first `window-1` positions average the prefix).
+pub fn rolling_average(counts: &[u32], window: usize) -> Vec<f64> {
+    assert!(window > 0);
+    let mut out = Vec::with_capacity(counts.len());
+    let mut sum = 0u64;
+    for i in 0..counts.len() {
+        sum += counts[i] as u64;
+        if i >= window {
+            sum -= counts[i - window] as u64;
+        }
+        let n = (i + 1).min(window);
+        out.push(sum as f64 / n as f64);
+    }
+    out
+}
+
+/// One Figure 1 panel.
+#[derive(Debug, Clone)]
+pub struct Figure1Series {
+    /// The port.
+    pub port: u16,
+    /// Per-IP unique-scanner counts (block offset order).
+    pub counts: Vec<u32>,
+    /// Rolling-512 average.
+    pub rolling: Vec<f64>,
+}
+
+/// Extract the series for a tracked port.
+pub fn series(telescope: &Telescope, port: u16) -> Option<Figure1Series> {
+    let counts = telescope.unique_scanners_per_ip(port)?.to_vec();
+    let rolling = rolling_average(&counts, WINDOW);
+    Some(Figure1Series {
+        port,
+        counts,
+        rolling,
+    })
+}
+
+/// Structure statistics quantifying the §4.2 claims.
+#[derive(Debug, Clone, Copy)]
+pub struct StructureStats {
+    /// Mean unique scanners on addresses matching the predicate.
+    pub mean_matching: f64,
+    /// Mean on the rest.
+    pub mean_rest: f64,
+    /// `mean_rest / mean_matching` — the "N× less likely" factor.
+    pub avoidance_factor: f64,
+}
+
+/// Compare per-IP means between addresses matching `pred` and the rest.
+pub fn structure_stats<F: Fn(Ipv4Addr) -> bool>(
+    telescope: &Telescope,
+    port: u16,
+    pred: F,
+) -> Option<StructureStats> {
+    let counts = telescope.unique_scanners_per_ip(port)?;
+    let block = telescope.block();
+    let mut m_sum = 0u64;
+    let mut m_n = 0u64;
+    let mut r_sum = 0u64;
+    let mut r_n = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        let ip = block.nth(i as u64);
+        if pred(ip) {
+            m_sum += c as u64;
+            m_n += 1;
+        } else {
+            r_sum += c as u64;
+            r_n += 1;
+        }
+    }
+    if m_n == 0 || r_n == 0 {
+        return None;
+    }
+    let mean_matching = m_sum as f64 / m_n as f64;
+    let mean_rest = r_sum as f64 / r_n as f64;
+    Some(StructureStats {
+        mean_matching,
+        mean_rest,
+        avoidance_factor: if mean_matching > 0.0 {
+            mean_rest / mean_matching
+        } else {
+            f64::INFINITY
+        },
+    })
+}
+
+/// The §4.2 "first address of a /16" preference factor for a port:
+/// mean(unique scanners at x.y.0.0) / mean(elsewhere).
+pub fn slash16_first_preference(telescope: &Telescope, port: u16) -> Option<f64> {
+    let s = structure_stats(telescope, port, |ip| ip.is_first_of_slash16())?;
+    if s.mean_rest == 0.0 {
+        return None;
+    }
+    Some(s.mean_matching / s.mean_rest)
+}
+
+/// Render a series as a fixed-width ASCII sparkline (for terminal output
+/// and EXPERIMENTS.md). Downsamples by averaging into `width` buckets.
+pub fn ascii_sparkline(series: &[f64], width: usize) -> String {
+    if series.is_empty() || width == 0 {
+        return String::new();
+    }
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let bucket = (series.len() as f64 / width as f64).max(1.0);
+    let mut values = Vec::with_capacity(width);
+    for w in 0..width {
+        let lo = (w as f64 * bucket) as usize;
+        let hi = (((w + 1) as f64 * bucket) as usize).min(series.len());
+        if lo >= hi {
+            break;
+        }
+        let mean: f64 = series[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+        values.push(mean);
+    }
+    let max = values.iter().cloned().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return "▁".repeat(values.len());
+    }
+    values
+        .iter()
+        .map(|&v| LEVELS[((v / max * 7.0).round() as usize).min(7)])
+        .collect()
+}
+
+/// Write a series as CSV (`offset,ip,count,rolling`).
+pub fn write_csv<W: std::io::Write>(
+    telescope: &Telescope,
+    s: &Figure1Series,
+    mut w: W,
+) -> std::io::Result<()> {
+    writeln!(w, "offset,ip,count,rolling")?;
+    let block = telescope.block();
+    for (i, (&c, &r)) in s.counts.iter().zip(&s.rolling).enumerate() {
+        writeln!(w, "{},{},{},{:.4}", i, block.nth(i as u64), c, r)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, ScenarioConfig};
+    use cw_scanners::population::ScenarioYear;
+
+    #[test]
+    fn rolling_average_basics() {
+        let r = rolling_average(&[4, 0, 0, 0], 2);
+        assert_eq!(r, vec![4.0, 2.0, 0.0, 0.0]);
+        let r = rolling_average(&[1, 1, 1], 5);
+        assert_eq!(r, vec![1.0, 1.0, 1.0]);
+        assert!(rolling_average(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        let flat = ascii_sparkline(&[0.0; 100], 10);
+        assert_eq!(flat, "▁".repeat(10));
+        let spike = ascii_sparkline(&[0.0, 0.0, 10.0, 0.0], 4);
+        assert!(spike.contains('█'));
+    }
+
+    #[test]
+    fn figure1_shapes_on_fast_scenario() {
+        let s = Scenario::run(ScenarioConfig::fast(ScenarioYear::Y2021).with_seed(17));
+        let tel = s.telescope.borrow();
+
+        // (a) port 22: /16-first addresses strongly preferred.
+        let pref = slash16_first_preference(&tel, 22).unwrap();
+        assert!(pref > 3.0, "slash16-first preference only {pref:.1}x");
+
+        // (b) port 445: 255-octet addresses avoided.
+        let stats = structure_stats(&tel, 445, |ip| ip.has_255_octet()).unwrap();
+        assert!(
+            stats.avoidance_factor > 2.0,
+            "445 avoidance only {:.2}x",
+            stats.avoidance_factor
+        );
+
+        // (d) port 17128: four latched addresses dominate.
+        let fig = series(&tel, 17_128).unwrap();
+        let mut sorted = fig.counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top4: u64 = sorted.iter().take(4).map(|&c| c as u64).sum();
+        let total: u64 = fig.counts.iter().map(|&c| c as u64).sum();
+        assert!(
+            top4 as f64 > 0.9 * total as f64,
+            "latch: top4 {top4} of {total}"
+        );
+    }
+
+    #[test]
+    fn csv_export_has_header_and_rows() {
+        let s = Scenario::run(ScenarioConfig::fast(ScenarioYear::Y2021).with_seed(17));
+        let tel = s.telescope.borrow();
+        let fig = series(&tel, 80).unwrap();
+        let mut out = Vec::new();
+        write_csv(&tel, &fig, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("offset,ip,count,rolling"));
+        assert_eq!(text.lines().count(), 1 + fig.counts.len());
+    }
+}

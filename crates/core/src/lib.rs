@@ -1,0 +1,47 @@
+//! # cw-core
+//!
+//! The paper's contribution: the statistically rigorous measurement
+//! pipeline that turns raw honeypot/telescope captures into the published
+//! tables and figures.
+//!
+//! - [`scenario`] — builds the world (Table 1 fleet + actor population) for
+//!   a year and runs the one-week collection window;
+//! - [`dataset`] — the queryable event store, traffic slices
+//!   (SSH/22, Telnet/23, HTTP/80, HTTP/All-Ports), and CSV/JSONL export
+//!   (the "released dataset");
+//! - [`axes`] — who / what / why extraction: top ASes, top usernames and
+//!   passwords, top normalized payloads, fraction malicious;
+//! - [`compare`] — the §3.3 comparison procedure: top-3 union contingency
+//!   tables, chi-squared with Bonferroni correction, Cramér's V with
+//!   df-aware magnitudes, plus the §4.4 median-across-honeypots filter;
+//! - [`neighborhood`] — Table 2 / Table 12: do neighboring identical
+//!   services see different traffic?
+//! - [`geography`] — Tables 4, 5, 13, 16: regional discrimination;
+//! - [`network`] — Tables 7, 10, 14, 15: cloud vs education vs telescope;
+//! - [`overlap`] — Tables 8, 9: who avoids the telescope, per port;
+//! - [`leak`] — Table 3: the Censys/Shodan leak experiment;
+//! - [`ports`] — Tables 11, 17 and the §3.2 traffic-composition stats;
+//! - [`figure1`] — the address-structure series of Figure 1;
+//! - [`report`] — text table rendering shared by the experiment binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod axes;
+pub mod compare;
+pub mod dataset;
+pub mod figure1;
+pub mod geography;
+pub mod leak;
+pub mod neighborhood;
+pub mod network;
+pub mod overlap;
+pub mod ports;
+pub mod recommendations;
+pub mod report;
+pub mod scenario;
+pub mod temporal;
+
+pub use compare::{CharKind, GroupComparison};
+pub use dataset::{Dataset, TrafficSlice};
+pub use scenario::{Scenario, ScenarioConfig};

@@ -1,0 +1,322 @@
+//! Tables 7, 10 (and 14, 15): network-type discrimination.
+//!
+//! Three comparison families:
+//!
+//! - **Cloud–Cloud** — city-matched GreyNoise provider-region pairs (the
+//!   Table 6 matrix), compared with §4.4 median region representatives;
+//! - **Cloud–EDU / EDU–EDU** — Honeytrap fleets only (the paper never
+//!   compares across collection software); credential characteristics are
+//!   uncomputable there (×);
+//! - **Telescope–X** — the telescope observes no payloads, so only the
+//!   "who" (top ASes per port) axis is comparable (Table 10).
+
+use crate::compare::{compare_freqs, CharKind, GroupComparison};
+use crate::dataset::{Dataset, TrafficSlice};
+use crate::geography::region_freqs;
+use cw_honeypot::deployment::{CollectorKind, Deployment, Provider};
+use cw_honeypot::telescope::Telescope;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// A city-matched pair of provider regions (Table 6 rows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CityPair {
+    /// Shared city/state-level region code.
+    pub code: String,
+    /// First provider.
+    pub a: Provider,
+    /// Second provider.
+    pub b: Provider,
+}
+
+/// All city-matched GreyNoise provider pairs (the Table 6 matrix).
+pub fn city_pairs(deployment: &Deployment) -> Vec<CityPair> {
+    let regions = deployment.greynoise_provider_regions();
+    let mut out = Vec::new();
+    for i in 0..regions.len() {
+        for j in i + 1..regions.len() {
+            let (pa, ra) = &regions[i];
+            let (pb, rb) = &regions[j];
+            if pa != pb && ra.code == rb.code && *pa != Provider::HurricaneElectric
+                && *pb != Provider::HurricaneElectric
+            {
+                out.push(CityPair {
+                    code: ra.code.clone(),
+                    a: *pa,
+                    b: *pb,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// One Table 7 cell: a characteristic × slice across a comparison family.
+#[derive(Debug, Clone)]
+pub struct NetworkCell {
+    /// Compared characteristic.
+    pub characteristic: CharKind,
+    /// Traffic slice.
+    pub slice: TrafficSlice,
+    /// Number of pairs tested.
+    pub n: usize,
+    /// Number significantly different.
+    pub n_different: usize,
+    /// Mean φ over significant pairs.
+    pub avg_phi: Option<f64>,
+    /// True when the characteristic cannot be observed by the collection
+    /// method (the paper's ×).
+    pub uncomputable: bool,
+}
+
+fn greynoise_region_ips(
+    deployment: &Deployment,
+    provider: Provider,
+    code: &str,
+    slice: TrafficSlice,
+) -> Vec<Ipv4Addr> {
+    let needs_payload = matches!(
+        slice,
+        TrafficSlice::HttpPort80 | TrafficSlice::HttpAllPorts | TrafficSlice::AnyAll
+    );
+    deployment
+        .vantages
+        .iter()
+        .filter(|v| {
+            v.collector == CollectorKind::GreyNoise
+                && v.provider == provider
+                && v.region.code == code
+                && (!needs_payload || v.payload_ports)
+        })
+        .map(|v| v.ip)
+        .collect()
+}
+
+/// Compare city-matched cloud pairs for one characteristic × slice.
+pub fn cloud_cloud_cell(
+    dataset: &Dataset,
+    deployment: &Deployment,
+    slice: TrafficSlice,
+    kind: CharKind,
+    alpha: f64,
+) -> NetworkCell {
+    let pairs = city_pairs(deployment);
+    let m = pairs.len().max(1);
+    let mut tested = 0;
+    let mut different = 0;
+    let mut phis = Vec::new();
+    for p in &pairs {
+        let a_ips = greynoise_region_ips(deployment, p.a, &p.code, slice);
+        let b_ips = greynoise_region_ips(deployment, p.b, &p.code, slice);
+        if a_ips.is_empty() || b_ips.is_empty() {
+            continue;
+        }
+        let fa = region_freqs(dataset, &a_ips, slice, kind);
+        let fb = region_freqs(dataset, &b_ips, slice, kind);
+        if let Some(cmp) = compare_freqs(kind, &[fa, fb], alpha, m) {
+            tested += 1;
+            if cmp.significant {
+                different += 1;
+                phis.push(cmp.effect.phi);
+            }
+        }
+    }
+    NetworkCell {
+        characteristic: kind,
+        slice,
+        n: tested,
+        n_different: different,
+        avg_phi: cw_stats::descriptive::mean(&phis),
+        uncomputable: false,
+    }
+}
+
+/// The Honeytrap fleets used for cloud–EDU / EDU–EDU comparisons.
+pub fn honeytrap_fleet_ips(deployment: &Deployment, name: &str) -> Vec<Ipv4Addr> {
+    deployment
+        .vantages
+        .iter()
+        .filter(|v| v.id.starts_with(name) && v.collector == CollectorKind::Honeytrap)
+        .map(|v| v.ip)
+        .collect()
+}
+
+/// Compare two pooled Honeytrap fleets for one characteristic × slice.
+/// Returns `None` when the characteristic is unobservable for Honeytrap
+/// (credentials: the paper's ×).
+#[allow(clippy::too_many_arguments)]
+pub fn honeytrap_pair(
+    dataset: &Dataset,
+    deployment: &Deployment,
+    fleet_a: &str,
+    fleet_b: &str,
+    slice: TrafficSlice,
+    kind: CharKind,
+    alpha: f64,
+    family: usize,
+) -> Option<GroupComparison> {
+    if matches!(kind, CharKind::TopUsername | CharKind::TopPassword) {
+        return None; // Honeytrap never observes credentials.
+    }
+    let a = dataset.events_at_group(&honeytrap_fleet_ips(deployment, fleet_a), slice);
+    let b = dataset.events_at_group(&honeytrap_fleet_ips(deployment, fleet_b), slice);
+    let fa = kind.freqs(&a);
+    let fb = kind.freqs(&b);
+    compare_freqs(kind, &[fa, fb], alpha, family)
+}
+
+/// The cloud–EDU pair list (geographically matched, §5.2 methodology).
+pub const CLOUD_EDU_PAIRS: [(&str, &str); 4] = [
+    ("honeytrap/stanford", "honeytrap/aws-west"),
+    ("honeytrap/stanford", "honeytrap/google-west"),
+    ("honeytrap/merit", "honeytrap/google-east"),
+    ("honeytrap/stanford", "honeytrap/google-east"),
+];
+
+/// Aggregate a Honeytrap pair family into one Table 7 cell.
+pub fn honeytrap_cell(
+    dataset: &Dataset,
+    deployment: &Deployment,
+    pairs: &[(&str, &str)],
+    slice: TrafficSlice,
+    kind: CharKind,
+    alpha: f64,
+) -> NetworkCell {
+    if matches!(kind, CharKind::TopUsername | CharKind::TopPassword) {
+        return NetworkCell {
+            characteristic: kind,
+            slice,
+            n: 0,
+            n_different: 0,
+            avg_phi: None,
+            uncomputable: true,
+        };
+    }
+    let m = pairs.len().max(1);
+    let mut tested = 0;
+    let mut different = 0;
+    let mut phis = Vec::new();
+    for (a, b) in pairs {
+        if let Some(cmp) = honeytrap_pair(dataset, deployment, a, b, slice, kind, alpha, m) {
+            tested += 1;
+            if cmp.significant {
+                different += 1;
+                phis.push(cmp.effect.phi);
+            }
+        }
+    }
+    NetworkCell {
+        characteristic: kind,
+        slice,
+        n: tested,
+        n_different: different,
+        avg_phi: cw_stats::descriptive::mean(&phis),
+        uncomputable: false,
+    }
+}
+
+/// Table 10: telescope vs honeypot fleets, top-AS axis per port.
+///
+/// `slice` determines the port (SSH/22, Telnet/23, HTTP/80) or all ports.
+pub fn telescope_vs_fleet(
+    dataset: &Dataset,
+    deployment: &Deployment,
+    telescope: &Telescope,
+    fleet: &str,
+    slice: TrafficSlice,
+    alpha: f64,
+    family: usize,
+) -> Option<GroupComparison> {
+    let tel_freqs: BTreeMap<String, u64> = match slice {
+        TrafficSlice::SshPort22 => telescope.asn_freqs_on_port(22),
+        TrafficSlice::TelnetPort23 => telescope.asn_freqs_on_port(23),
+        TrafficSlice::HttpPort80 => telescope.asn_freqs_on_port(80),
+        TrafficSlice::HttpAllPorts | TrafficSlice::AnyAll => telescope.asn_freqs_all(),
+    };
+    let ips = honeytrap_fleet_ips(deployment, fleet);
+    let ips = if ips.is_empty() {
+        // GreyNoise fleets are addressed by block prefix instead.
+        deployment
+            .vantages
+            .iter()
+            .filter(|v| v.id.starts_with(fleet))
+            .map(|v| v.ip)
+            .collect()
+    } else {
+        ips
+    };
+    let events = dataset.events_at_group(&ips, slice);
+    let fleet_freqs = CharKind::TopAs.freqs(&events);
+    compare_freqs(CharKind::TopAs, &[tel_freqs, fleet_freqs], alpha, family)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, ScenarioConfig};
+    use cw_scanners::population::ScenarioYear;
+
+    fn scenario() -> Scenario {
+        Scenario::run(ScenarioConfig::fast(ScenarioYear::Y2021).with_seed(13))
+    }
+
+    #[test]
+    fn city_pairs_match_the_deployment() {
+        let d = Deployment::standard();
+        let pairs = city_pairs(&d);
+        assert!(pairs.len() >= 8, "only {} city pairs", pairs.len());
+        assert!(pairs
+            .iter()
+            .any(|p| p.code == "US-CA" && (p.a == Provider::Aws || p.b == Provider::Aws)));
+        // HE is single-region and excluded.
+        assert!(pairs
+            .iter()
+            .all(|p| p.a != Provider::HurricaneElectric && p.b != Provider::HurricaneElectric));
+    }
+
+    #[test]
+    fn credentials_are_uncomputable_for_honeytrap() {
+        let s = scenario();
+        let cell = honeytrap_cell(
+            &s.dataset,
+            &s.deployment,
+            &CLOUD_EDU_PAIRS,
+            TrafficSlice::SshPort22,
+            CharKind::TopUsername,
+            0.05,
+        );
+        assert!(cell.uncomputable);
+    }
+
+    #[test]
+    fn cloud_cloud_cells_run() {
+        let s = scenario();
+        let cell = cloud_cloud_cell(
+            &s.dataset,
+            &s.deployment,
+            TrafficSlice::SshPort22,
+            CharKind::TopAs,
+            0.05,
+        );
+        assert!(cell.n > 0);
+        assert!(cell.n_different <= cell.n);
+    }
+
+    #[test]
+    fn telescope_comparison_shows_large_difference() {
+        // §5.2: "a significantly different set of ASes target telescopes".
+        let s = scenario();
+        let tel = s.telescope.borrow();
+        let cmp = telescope_vs_fleet(
+            &s.dataset,
+            &s.deployment,
+            &tel,
+            "honeytrap/stanford",
+            TrafficSlice::TelnetPort23,
+            0.05,
+            5,
+        );
+        // With the fast scenario the comparison must at least be testable.
+        assert!(cmp.is_some());
+    }
+}

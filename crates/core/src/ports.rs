@@ -1,0 +1,265 @@
+//! Tables 11 and 17, plus the §3.2 traffic-composition statistics.
+//!
+//! §6 methodology: take the three /26 Honeytrap fleets (Stanford, AWS-west,
+//! Google-west), fingerprint every first payload on ports 80/8080 with the
+//! LZR-style fingerprinter, and split scanners into HTTP-speaking vs
+//! not-HTTP-speaking, then label each source with the GreyNoise-style
+//! reputation oracle.
+
+use crate::dataset::{Dataset, TrafficSlice};
+use crate::network::honeytrap_fleet_ips;
+use cw_detection::{ActorLabel, ReputationDb, Verdict};
+use cw_honeypot::capture::Observed;
+use cw_honeypot::deployment::Deployment;
+use cw_protocols::ProtocolId;
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+/// One Table 11 row: the scanners on a port, split by spoken protocol.
+#[derive(Debug, Clone)]
+pub struct ProtocolBreakdownRow {
+    /// Destination port.
+    pub port: u16,
+    /// True for the HTTP-speaking row, false for the ~HTTP row.
+    pub is_http: bool,
+    /// Share of fingerprinted scanners in this row (percent).
+    pub pct_of_scanners: f64,
+    /// Percent of this row's scanners labeled benign.
+    pub pct_benign: f64,
+    /// Percent labeled malicious.
+    pub pct_malicious: f64,
+    /// Distinct scanner IPs in the row.
+    pub scanners: usize,
+}
+
+/// Per-protocol share of the non-HTTP scanners (the §6 "7% TLS, 0.5%
+/// Telnet, …" breakdown).
+#[derive(Debug, Clone)]
+pub struct UnexpectedShare {
+    /// The protocol spoken.
+    pub protocol: ProtocolId,
+    /// Percent of all fingerprinted scanners on the port.
+    pub pct: f64,
+}
+
+/// The §6 fleets.
+pub fn section6_fleets(deployment: &Deployment) -> Vec<Ipv4Addr> {
+    let mut ips = Vec::new();
+    for fleet in [
+        "honeytrap/stanford",
+        "honeytrap/aws-west",
+        "honeytrap/google-west",
+    ] {
+        ips.extend(honeytrap_fleet_ips(deployment, fleet));
+    }
+    ips
+}
+
+/// Fingerprint scanners on one port: maps each source IP to the protocol it
+/// spoke (a source speaking several counts under each; the paper counts
+/// scanners, and multi-protocol sources are rare).
+fn scanners_by_protocol(
+    dataset: &Dataset,
+    ips: &[Ipv4Addr],
+    port: u16,
+) -> BTreeMap<ProtocolId, BTreeSet<Ipv4Addr>> {
+    let mut out: BTreeMap<ProtocolId, BTreeSet<Ipv4Addr>> = BTreeMap::new();
+    for &ip in ips {
+        for e in dataset.events_at(ip) {
+            if e.event.dst_port != port {
+                continue;
+            }
+            if let Some(proto) = e.fingerprint {
+                out.entry(proto).or_default().insert(e.event.src);
+            }
+        }
+    }
+    out
+}
+
+/// Table 11 (and Table 17's left column) for one port.
+pub fn protocol_breakdown(
+    dataset: &Dataset,
+    deployment: &Deployment,
+    reputation: &ReputationDb,
+    port: u16,
+) -> (Vec<ProtocolBreakdownRow>, Vec<UnexpectedShare>) {
+    let ips = section6_fleets(deployment);
+    let by_proto = scanners_by_protocol(dataset, &ips, port);
+    let total: usize = by_proto.values().map(|s| s.len()).sum();
+    if total == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let mut http_set = BTreeSet::new();
+    let mut other_set = BTreeSet::new();
+    let mut shares = Vec::new();
+    for (proto, srcs) in &by_proto {
+        if *proto == ProtocolId::Http {
+            http_set.extend(srcs.iter().copied());
+        } else {
+            other_set.extend(srcs.iter().copied());
+            shares.push(UnexpectedShare {
+                protocol: *proto,
+                pct: 100.0 * srcs.len() as f64 / total as f64,
+            });
+        }
+    }
+    shares.sort_by(|a, b| b.pct.partial_cmp(&a.pct).unwrap());
+    let label_split = |set: &BTreeSet<Ipv4Addr>| -> (f64, f64) {
+        if set.is_empty() {
+            return (0.0, 0.0);
+        }
+        let benign = set
+            .iter()
+            .filter(|&&s| reputation.label(s) == ActorLabel::Benign)
+            .count();
+        let malicious = set
+            .iter()
+            .filter(|&&s| reputation.label(s) == ActorLabel::Malicious)
+            .count();
+        (
+            100.0 * benign as f64 / set.len() as f64,
+            100.0 * malicious as f64 / set.len() as f64,
+        )
+    };
+    let (hb, hm) = label_split(&http_set);
+    let (ob, om) = label_split(&other_set);
+    let rows = vec![
+        ProtocolBreakdownRow {
+            port,
+            is_http: true,
+            pct_of_scanners: 100.0 * http_set.len() as f64 / total as f64,
+            pct_benign: hb,
+            pct_malicious: hm,
+            scanners: http_set.len(),
+        },
+        ProtocolBreakdownRow {
+            port,
+            is_http: false,
+            pct_of_scanners: 100.0 * other_set.len() as f64 / total as f64,
+            pct_benign: ob,
+            pct_malicious: om,
+            scanners: other_set.len(),
+        },
+    ];
+    (rows, shares)
+}
+
+/// The §3.2 composition statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct CompositionStats {
+    /// % of Telnet/23 events that do not attempt login.
+    pub telnet_non_auth_pct: f64,
+    /// % of SSH/22 events that do not attempt login.
+    pub ssh_non_auth_pct: f64,
+    /// % of HTTP/80 payloads that are not exploits.
+    pub http80_benign_pct: f64,
+    /// % of *distinct* normalized HTTP payloads labeled malicious.
+    pub distinct_http_malicious_pct: f64,
+}
+
+/// Compute the §3.2 statistics over the GreyNoise fleet.
+pub fn composition_stats(dataset: &Dataset, deployment: &Deployment) -> CompositionStats {
+    let greynoise: Vec<Ipv4Addr> = deployment
+        .vantages
+        .iter()
+        .filter(|v| v.collector == cw_honeypot::deployment::CollectorKind::GreyNoise)
+        .map(|v| v.ip)
+        .collect();
+
+    let pct_non_auth = |slice: TrafficSlice| -> f64 {
+        let events = dataset.events_at_group(&greynoise, slice);
+        if events.is_empty() {
+            return 0.0;
+        }
+        let non_auth = events
+            .iter()
+            .filter(|e| !matches!(e.event.observed, Observed::Credentials { .. }))
+            .count();
+        100.0 * non_auth as f64 / events.len() as f64
+    };
+
+    let http80 = dataset.events_at_group(&greynoise, TrafficSlice::HttpPort80);
+    let payloads: Vec<_> = http80
+        .iter()
+        .filter(|e| matches!(e.event.observed, Observed::Payload(_)))
+        .collect();
+    let benign = payloads
+        .iter()
+        .filter(|e| e.verdict == Verdict::Scanner)
+        .count();
+    let http80_benign_pct = if payloads.is_empty() {
+        0.0
+    } else {
+        100.0 * benign as f64 / payloads.len() as f64
+    };
+
+    // Distinct normalized HTTP payloads anywhere, labeled by the ruleset.
+    let rules = cw_detection::RuleSet::builtin();
+    let mut distinct: BTreeMap<String, (Vec<u8>, u16)> = BTreeMap::new();
+    for e in dataset.events() {
+        if e.fingerprint == Some(ProtocolId::Http) {
+            if let Observed::Payload(p) = &e.event.observed {
+                let normalized = cw_protocols::http::normalize(p);
+                let key = crate::axes::payload_key(&normalized);
+                distinct
+                    .entry(key)
+                    .or_insert_with(|| (p.clone(), e.event.dst_port));
+            }
+        }
+    }
+    let malicious_distinct = distinct
+        .values()
+        .filter(|(p, port)| rules.is_malicious(p, *port))
+        .count();
+    let distinct_http_malicious_pct = if distinct.is_empty() {
+        0.0
+    } else {
+        100.0 * malicious_distinct as f64 / distinct.len() as f64
+    };
+
+    CompositionStats {
+        telnet_non_auth_pct: pct_non_auth(TrafficSlice::TelnetPort23),
+        ssh_non_auth_pct: pct_non_auth(TrafficSlice::SshPort22),
+        http80_benign_pct,
+        distinct_http_malicious_pct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, ScenarioConfig};
+    use cw_scanners::population::ScenarioYear;
+
+    fn scenario() -> Scenario {
+        Scenario::run(ScenarioConfig::fast(ScenarioYear::Y2021).with_seed(31))
+    }
+
+    #[test]
+    fn breakdown_finds_unexpected_protocols() {
+        let s = scenario();
+        let (rows, shares) =
+            protocol_breakdown(&s.dataset, &s.deployment, &s.handles.reputation, 80);
+        assert_eq!(rows.len(), 2);
+        let http = rows.iter().find(|r| r.is_http).unwrap();
+        let other = rows.iter().find(|r| !r.is_http).unwrap();
+        assert!(http.pct_of_scanners > other.pct_of_scanners);
+        assert!(other.pct_of_scanners > 1.0, "unexpected share too small");
+        assert!((http.pct_of_scanners + other.pct_of_scanners - 100.0).abs() < 1e-6);
+        // TLS should lead the unexpected protocols (§6).
+        assert_eq!(shares.first().map(|s| s.protocol), Some(ProtocolId::Tls));
+    }
+
+    #[test]
+    fn composition_stats_have_the_paper_shape() {
+        let s = scenario();
+        let c = composition_stats(&s.dataset, &s.deployment);
+        // Non-trivial non-auth fractions on login ports; the majority of
+        // HTTP/80 payloads benign.
+        assert!(c.ssh_non_auth_pct > 5.0 && c.ssh_non_auth_pct < 80.0, "{c:?}");
+        assert!(c.telnet_non_auth_pct > 5.0 && c.telnet_non_auth_pct < 80.0, "{c:?}");
+        assert!(c.http80_benign_pct > 50.0, "{c:?}");
+        assert!(c.distinct_http_malicious_pct > 0.0 && c.distinct_http_malicious_pct < 60.0, "{c:?}");
+    }
+}

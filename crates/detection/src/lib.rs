@@ -1,0 +1,36 @@
+//! # cw-detection
+//!
+//! The intrusion-detection layer of the reproduction.
+//!
+//! The paper classifies traffic as malicious when it "(1) attempts to login
+//! or bypass authentication, or (2) alters the state of the service" (§3.2).
+//! For non-authentication protocols it runs payloads through Suricata with a
+//! manually vetted rule subset. This crate rebuilds that stack:
+//!
+//! - [`rule`] — a Suricata-like rule AST with `content` /
+//!   `nocase` / `offset` / `depth` / `distance` / `within` / `pcre` options
+//!   and classtypes;
+//! - [`parse`] — a parser for the textual rule language;
+//! - [`pcre`] — the restricted regex engine backing `pcre:` options;
+//! - [`ruleset`] — the built-in vetted rules covering the exploit corpus the
+//!   simulated attackers send (the stand-in for the Pastebin rule dump the
+//!   paper references);
+//! - [`classify`] — the §3.2 maliciousness decision procedure;
+//! - [`reputation`] — a GreyNoise-API-like actor label store
+//!   (benign / malicious / unknown) used by Table 11.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod parse;
+pub mod pcre;
+pub mod reputation;
+pub mod rule;
+pub mod ruleset;
+
+pub use classify::{classify_intent, is_malicious_payload, Verdict};
+pub use parse::parse_rule;
+pub use reputation::{ActorLabel, ReputationDb};
+pub use rule::{ClassType, ContentMatch, Rule, RuleProtocol};
+pub use ruleset::RuleSet;

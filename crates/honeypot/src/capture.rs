@@ -1,0 +1,144 @@
+//! Scan-event records and capture stores.
+//!
+//! A [`ScanEvent`] is what a collection method managed to observe for one
+//! connection — which varies by instrument (§3.1): telescopes record only
+//! the first packet, Honeytrap the first payload, Cowrie the attempted
+//! credentials. Classification into scanner/attacker happens later, in the
+//! analysis pipeline, exactly as the paper classifies offline.
+
+use cw_netsim::asn::Asn;
+use cw_netsim::flow::LoginService;
+use cw_netsim::time::SimTime;
+use std::net::Ipv4Addr;
+
+/// What the instrument observed of the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Observed {
+    /// First packet only (no L4 handshake): telescope-style.
+    Syn,
+    /// Handshake completed but the client sent nothing first.
+    Handshake,
+    /// First client payload.
+    Payload(Vec<u8>),
+    /// Interactive login attempt harvested by a Cowrie-style service.
+    Credentials {
+        /// Which service dialect the client spoke.
+        service: LoginService,
+        /// Attempted username.
+        username: String,
+        /// Attempted password.
+        password: String,
+    },
+}
+
+impl Observed {
+    /// The payload bytes, if this observation carries any.
+    pub fn payload(&self) -> Option<&[u8]> {
+        match self {
+            Observed::Payload(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// One observed connection at one vantage IP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanEvent {
+    /// Observation time.
+    pub time: SimTime,
+    /// Source (scanner) address.
+    pub src: Ipv4Addr,
+    /// Source autonomous system.
+    pub src_asn: Asn,
+    /// Destination (vantage) address.
+    pub dst: Ipv4Addr,
+    /// Destination port.
+    pub dst_port: u16,
+    /// What was observed.
+    pub observed: Observed,
+}
+
+/// An append-only store of events for one instrument.
+#[derive(Debug, Clone, Default)]
+pub struct Capture {
+    /// Instrument name (e.g. `"greynoise/aws/US-OR"`).
+    pub vantage: String,
+    /// Observed events in arrival order.
+    pub events: Vec<ScanEvent>,
+}
+
+impl Capture {
+    /// An empty capture for the named instrument.
+    pub fn new(vantage: &str) -> Self {
+        Capture {
+            vantage: vantage.to_string(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Append an event.
+    pub fn record(&mut self, event: ScanEvent) {
+        self.events.push(event);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events destined to one vantage IP (a single honeypot).
+    pub fn events_for_ip(&self, ip: Ipv4Addr) -> impl Iterator<Item = &ScanEvent> {
+        self.events.iter().filter(move |e| e.dst == ip)
+    }
+
+    /// Events on one destination port.
+    pub fn events_on_port(&self, port: u16) -> impl Iterator<Item = &ScanEvent> {
+        self.events.iter().filter(move |e| e.dst_port == port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(dst_last: u8, port: u16) -> ScanEvent {
+        ScanEvent {
+            time: SimTime(1),
+            src: Ipv4Addr::new(1, 2, 3, 4),
+            src_asn: Asn(1),
+            dst: Ipv4Addr::new(10, 0, 0, dst_last),
+            dst_port: port,
+            observed: Observed::Handshake,
+        }
+    }
+
+    #[test]
+    fn record_and_filter() {
+        let mut c = Capture::new("test");
+        c.record(event(1, 22));
+        c.record(event(1, 80));
+        c.record(event(2, 22));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.events_for_ip(Ipv4Addr::new(10, 0, 0, 1)).count(), 2);
+        assert_eq!(c.events_on_port(22).count(), 2);
+    }
+
+    #[test]
+    fn observed_payload_accessor() {
+        assert_eq!(Observed::Syn.payload(), None);
+        assert_eq!(Observed::Handshake.payload(), None);
+        let p = Observed::Payload(b"abc".to_vec());
+        assert_eq!(p.payload(), Some(b"abc".as_slice()));
+        let c = Observed::Credentials {
+            service: LoginService::Ssh,
+            username: "u".into(),
+            password: "p".into(),
+        };
+        assert_eq!(c.payload(), None);
+    }
+}

@@ -1,0 +1,539 @@
+//! The Table 1 vantage-point fleet on a concrete simulated address plan.
+//!
+//! Networks and regions follow Table 1: GreyNoise sensors across Hurricane
+//! Electric (a /24 in Ohio), AWS (16 regions), Azure (3), Google (21) and
+//! Linode (7); Honeytrap /26 fleets at Stanford and Merit plus matched
+//! cloud deployments; and the Orion telescope (1,856 /24s). Each GreyNoise
+//! region hosts 4 honeypot IPs running Cowrie on 22/2222/23/2323, with the
+//! payload ports (HTTP & friends) exposed on 2 of them — the paper's
+//! "4 or 2 (HTTP)" convention.
+//!
+//! Address plan (simulated space, disjoint by construction):
+//!
+//! | block                  | space                         |
+//! |------------------------|-------------------------------|
+//! | telescope              | 10.0.0.0/16 × 7 + 10.7.0.0/18 |
+//! | greynoise/he/US-OH     | 20.9.0.0/24                   |
+//! | greynoise/aws/*        | 20.10.N.0/28                  |
+//! | greynoise/google/*     | 20.11.N.0/28                  |
+//! | greynoise/azure/*      | 20.12.N.0/28                  |
+//! | greynoise/linode/*     | 20.13.N.0/28                  |
+//! | honeytrap/stanford     | 171.64.9.0/26                 |
+//! | honeytrap/merit        | 198.108.30.0/26               |
+//! | honeytrap/aws-west     | 20.20.1.0/26                  |
+//! | honeytrap/google-west  | 20.21.1.0/26                  |
+//! | honeytrap/google-east  | 20.21.2.0/31                  |
+//! | leak/stanford          | 171.64.10.0/26                |
+
+use crate::framework::{HoneypotListener, Persona, PortPolicy};
+use crate::telescope::Telescope;
+use cw_netsim::engine::Engine;
+use cw_netsim::flow::LoginService;
+use cw_netsim::geo::{Continent, Region};
+use cw_netsim::ip::Cidr;
+use cw_netsim::topology::{AddressBlock, Topology};
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// Network operators hosting vantage points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Provider {
+    /// Amazon Web Services.
+    Aws,
+    /// Google Cloud.
+    Google,
+    /// Microsoft Azure.
+    Azure,
+    /// Linode.
+    Linode,
+    /// Hurricane Electric.
+    HurricaneElectric,
+    /// Stanford University (education).
+    Stanford,
+    /// Merit Network (education).
+    Merit,
+    /// The Orion telescope operator.
+    Orion,
+}
+
+impl Provider {
+    /// Lower-case short name used in block and vantage ids.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            Provider::Aws => "aws",
+            Provider::Google => "google",
+            Provider::Azure => "azure",
+            Provider::Linode => "linode",
+            Provider::HurricaneElectric => "he",
+            Provider::Stanford => "stanford",
+            Provider::Merit => "merit",
+            Provider::Orion => "orion",
+        }
+    }
+
+    /// The network type of this provider.
+    pub fn kind(&self) -> NetworkKind {
+        match self {
+            Provider::Aws
+            | Provider::Google
+            | Provider::Azure
+            | Provider::Linode
+            | Provider::HurricaneElectric => NetworkKind::Cloud,
+            Provider::Stanford | Provider::Merit => NetworkKind::Education,
+            Provider::Orion => NetworkKind::Telescope,
+        }
+    }
+}
+
+/// Network type — the §5.2 comparison axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NetworkKind {
+    /// Public cloud (hosts real services).
+    Cloud,
+    /// Education network (hosts real services).
+    Education,
+    /// Telescope (publicly known to host nothing).
+    Telescope,
+}
+
+/// Collection method (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CollectorKind {
+    /// GreyNoise sensor: Cowrie on SSH/Telnet ports + first payload.
+    GreyNoise,
+    /// Honeytrap: handshake + first payload on every port.
+    Honeytrap,
+    /// Passive telescope.
+    Telescope,
+}
+
+/// One vantage point = one observed IP (or the whole telescope).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VantagePoint {
+    /// Unique id, e.g. `"greynoise/aws/AP-SG/1"`.
+    pub id: String,
+    /// Hosting operator.
+    pub provider: Provider,
+    /// Network type.
+    pub kind: NetworkKind,
+    /// Collection method.
+    pub collector: CollectorKind,
+    /// Geographic region.
+    pub region: Region,
+    /// The observed address (telescope uses its block base).
+    pub ip: Ipv4Addr,
+    /// Does this vantage expose the payload ports (HTTP etc.)? GreyNoise
+    /// regions expose them on 2 of 4 IPs.
+    pub payload_ports: bool,
+}
+
+/// Ports every GreyNoise sensor exposes beyond the Cowrie four.
+pub const GREYNOISE_PAYLOAD_PORTS: [u16; 7] = [80, 8080, 443, 21, 25, 445, 7547];
+
+/// Telescope ports with per-IP unique-scanner counters (Figure 1, plus
+/// 7574/Oracle for the §4.2 "61× less likely" structure statistic).
+pub const TELESCOPE_TRACKED_PORTS: [u16; 5] = [22, 80, 445, 7574, 17128];
+
+/// The assembled fleet.
+pub struct Deployment {
+    /// The simulated address plan.
+    pub topology: Topology,
+    /// All honeypot listeners (GreyNoise + Honeytrap), registration order.
+    pub honeypots: Vec<Rc<RefCell<HoneypotListener>>>,
+    /// The telescope.
+    pub telescope: Rc<RefCell<Telescope>>,
+    /// Per-IP vantage metadata.
+    pub vantages: Vec<VantagePoint>,
+}
+
+/// GreyNoise provider-region lists (Table 1).
+pub fn greynoise_regions(provider: Provider) -> Vec<Region> {
+    match provider {
+        Provider::Aws => vec![
+            Region::us("OR"),
+            Region::us("CA"),
+            Region::us("GA"),
+            Region::new("SA-BR", "BR", Continent::SouthAmerica),
+            Region::new("ME-BH", "BH", Continent::MiddleEast),
+            Region::eu("FR"),
+            Region::eu("IE"),
+            Region::eu("DE"),
+            Region::new("CA-TOR", "CA", Continent::NorthAmerica),
+            Region::ap("AU"),
+            Region::ap("SG"),
+            Region::ap("IN"),
+            Region::ap("KR"),
+            Region::ap("JP"),
+            Region::ap("HK"),
+            Region::new("AF-ZA", "ZA", Continent::Africa),
+        ],
+        Provider::Google => vec![
+            Region::us("NV"),
+            Region::us("UT"),
+            Region::us("CA"),
+            Region::us("OR"),
+            Region::us("VA"),
+            Region::us("SC"),
+            Region::us("IA"),
+            Region::new("CA-QC", "CA", Continent::NorthAmerica),
+            Region::eu("CH"),
+            Region::eu("NL"),
+            Region::eu("DE"),
+            Region::eu("GB"),
+            Region::eu("BE"),
+            Region::eu("FI"),
+            Region::ap("AU"),
+            Region::ap("ID"),
+            Region::ap("SG"),
+            Region::ap("KR"),
+            Region::ap("JP"),
+            Region::ap("HK"),
+            Region::ap("TW"),
+        ],
+        Provider::Azure => vec![Region::us("TX"), Region::ap("SG"), Region::ap("IN")],
+        Provider::Linode => vec![
+            Region::us("CA"),
+            Region::us("NY"),
+            Region::eu("GB"),
+            Region::eu("DE"),
+            Region::ap("IN"),
+            Region::ap("AU"),
+            Region::ap("SG"),
+        ],
+        Provider::HurricaneElectric => vec![Region::us("OH")],
+        _ => vec![],
+    }
+}
+
+fn greynoise_listener(
+    name: &str,
+    ips: Vec<Ipv4Addr>,
+    payload_ips: Vec<Ipv4Addr>,
+) -> HoneypotListener {
+    let mut hp = HoneypotListener::new(name, ips, PortPolicy::Closed)
+        .with_policy(22, PortPolicy::Interactive(LoginService::Ssh))
+        .with_policy(2222, PortPolicy::Interactive(LoginService::Ssh))
+        .with_policy(23, PortPolicy::Interactive(LoginService::Telnet))
+        .with_policy(2323, PortPolicy::Interactive(LoginService::Telnet));
+    for port in GREYNOISE_PAYLOAD_PORTS {
+        hp = hp.with_policy(port, PortPolicy::FirstPayload);
+        // Vulnerable-looking assigned services (what indexers see).
+        let persona = match port {
+            80 | 8080 => Persona::http(),
+            443 => Persona {
+                protocol: "TLS".into(),
+                banner: b"\x16\x03\x03".to_vec(),
+            },
+            21 => Persona {
+                protocol: "FTP".into(),
+                banner: b"220 (vsFTPd 2.3.4)\r\n".to_vec(),
+            },
+            25 => Persona {
+                protocol: "SMTP".into(),
+                banner: b"220 mail ESMTP Postfix\r\n".to_vec(),
+            },
+            445 => Persona {
+                protocol: "SMB".into(),
+                banner: b"\xffSMBr\x00".to_vec(),
+            },
+            _ => Persona {
+                protocol: "CWMP".into(),
+                banner: b"HTTP/1.1 401 Unauthorized\r\nServer: RomPager/4.07\r\n\r\n".to_vec(),
+            },
+        };
+        hp = hp.with_persona(port, persona);
+        hp = hp.with_port_restriction(port, payload_ips.clone());
+    }
+    hp
+}
+
+fn honeytrap_listener(name: &str, ips: Vec<Ipv4Addr>) -> HoneypotListener {
+    HoneypotListener::new(name, ips, PortPolicy::FirstPayload)
+}
+
+impl Deployment {
+    /// Build the full Table 1 fleet.
+    pub fn standard() -> Deployment {
+        let mut topology = Topology::new();
+        let mut honeypots: Vec<Rc<RefCell<HoneypotListener>>> = Vec::new();
+        let mut vantages: Vec<VantagePoint> = Vec::new();
+
+        // --- Telescope: 7 × /16 + one /18 = 1,856 /24s (475,136 IPs). ---
+        let mut tel_cidrs: Vec<Cidr> = (0u8..7)
+            .map(|i| Cidr::new(Ipv4Addr::new(10, i, 0, 0), 16))
+            .collect();
+        tel_cidrs.push(Cidr::new(Ipv4Addr::new(10, 7, 0, 0), 18));
+        let tel_block = AddressBlock::new("telescope", tel_cidrs);
+        topology.add(tel_block.clone());
+        let telescope = Rc::new(RefCell::new(Telescope::new(
+            "telescope",
+            tel_block.clone(),
+            &TELESCOPE_TRACKED_PORTS,
+        )));
+        vantages.push(VantagePoint {
+            id: "telescope".into(),
+            provider: Provider::Orion,
+            kind: NetworkKind::Telescope,
+            collector: CollectorKind::Telescope,
+            region: Region::us("East"),
+            ip: tel_block.nth(0),
+            payload_ports: false,
+        });
+
+        // --- GreyNoise: Hurricane Electric /24. ---
+        {
+            let cidr = Cidr::new(Ipv4Addr::new(20, 9, 0, 0), 24);
+            let block = AddressBlock::new("greynoise/he/US-OH", vec![cidr]);
+            topology.add(block.clone());
+            let ips: Vec<Ipv4Addr> = block.iter().collect();
+            let region = Region::us("OH");
+            // All 256 IPs run the full sensor.
+            let hp = greynoise_listener("greynoise/he/US-OH", ips.clone(), ips.clone());
+            honeypots.push(Rc::new(RefCell::new(hp)));
+            for (i, ip) in ips.iter().enumerate() {
+                vantages.push(VantagePoint {
+                    id: format!("greynoise/he/US-OH/{i}"),
+                    provider: Provider::HurricaneElectric,
+                    kind: NetworkKind::Cloud,
+                    collector: CollectorKind::GreyNoise,
+                    region: region.clone(),
+                    ip: *ip,
+                    payload_ports: true,
+                });
+            }
+        }
+
+        // --- GreyNoise: the four multi-region clouds. ---
+        let cloud_bases: [(Provider, u8); 4] = [
+            (Provider::Aws, 10),
+            (Provider::Google, 11),
+            (Provider::Azure, 12),
+            (Provider::Linode, 13),
+        ];
+        for (provider, second_octet) in cloud_bases {
+            for (ri, region) in greynoise_regions(provider).into_iter().enumerate() {
+                let cidr = Cidr::new(Ipv4Addr::new(20, second_octet, ri as u8, 0), 28);
+                let name = format!("greynoise/{}/{}", provider.slug(), region.code);
+                let block = AddressBlock::new(&name, vec![cidr]);
+                topology.add(block.clone());
+                // 4 honeypot IPs; payload ports on the first 2.
+                let ips: Vec<Ipv4Addr> = (0..4).map(|i| block.nth(i)).collect();
+                let payload_ips = ips[..2].to_vec();
+                let hp = greynoise_listener(&name, ips.clone(), payload_ips);
+                honeypots.push(Rc::new(RefCell::new(hp)));
+                for (i, ip) in ips.iter().enumerate() {
+                    vantages.push(VantagePoint {
+                        id: format!("{name}/{i}"),
+                        provider,
+                        kind: NetworkKind::Cloud,
+                        collector: CollectorKind::GreyNoise,
+                        region: region.clone(),
+                        ip: *ip,
+                        payload_ports: i < 2,
+                    });
+                }
+            }
+        }
+
+        // --- Honeytrap fleets. ---
+        let honeytrap_specs: [(&str, Provider, Region, Cidr); 5] = [
+            (
+                "honeytrap/stanford",
+                Provider::Stanford,
+                Region::us("West"),
+                Cidr::new(Ipv4Addr::new(171, 64, 9, 0), 26),
+            ),
+            (
+                "honeytrap/merit",
+                Provider::Merit,
+                Region::us("East"),
+                Cidr::new(Ipv4Addr::new(198, 108, 30, 0), 26),
+            ),
+            (
+                "honeytrap/aws-west",
+                Provider::Aws,
+                Region::us("West"),
+                Cidr::new(Ipv4Addr::new(20, 20, 1, 0), 26),
+            ),
+            (
+                "honeytrap/google-west",
+                Provider::Google,
+                Region::us("West"),
+                Cidr::new(Ipv4Addr::new(20, 21, 1, 0), 26),
+            ),
+            (
+                "honeytrap/google-east",
+                Provider::Google,
+                Region::us("East"),
+                Cidr::new(Ipv4Addr::new(20, 21, 2, 0), 31),
+            ),
+        ];
+        for (name, provider, region, cidr) in honeytrap_specs {
+            let block = AddressBlock::new(name, vec![cidr]);
+            topology.add(block.clone());
+            let ips: Vec<Ipv4Addr> = block.iter().collect();
+            let hp = honeytrap_listener(name, ips.clone());
+            honeypots.push(Rc::new(RefCell::new(hp)));
+            for (i, ip) in ips.iter().enumerate() {
+                vantages.push(VantagePoint {
+                    id: format!("{name}/{i}"),
+                    provider,
+                    kind: provider.kind(),
+                    collector: CollectorKind::Honeytrap,
+                    region: region.clone(),
+                    ip: *ip,
+                    payload_ports: true,
+                });
+            }
+        }
+
+        // --- Leak experiment block (populated by the leak harness). ---
+        topology.add(AddressBlock::new(
+            "leak/stanford",
+            vec![Cidr::new(Ipv4Addr::new(171, 64, 10, 0), 26)],
+        ));
+
+        Deployment {
+            topology,
+            honeypots,
+            telescope,
+            vantages,
+        }
+    }
+
+    /// Register every listener with an engine.
+    pub fn register(&self, engine: &mut Engine) {
+        for hp in &self.honeypots {
+            engine.add_listener(hp.clone());
+        }
+        engine.add_listener(self.telescope.clone());
+    }
+
+    /// Honeypot listener by name.
+    pub fn honeypot(&self, name: &str) -> Option<Rc<RefCell<HoneypotListener>>> {
+        use cw_netsim::engine::Listener as _;
+        self.honeypots
+            .iter()
+            .find(|h| h.borrow().name() == name)
+            .cloned()
+    }
+
+    /// All vantages for a provider.
+    pub fn vantages_of(&self, provider: Provider) -> Vec<&VantagePoint> {
+        self.vantages
+            .iter()
+            .filter(|v| v.provider == provider)
+            .collect()
+    }
+
+    /// All GreyNoise cloud vantage IPs (the paper's "440 cloud vantage
+    /// points" scale).
+    pub fn greynoise_cloud_ips(&self) -> Vec<Ipv4Addr> {
+        self.vantages
+            .iter()
+            .filter(|v| v.collector == CollectorKind::GreyNoise)
+            .map(|v| v.ip)
+            .collect()
+    }
+
+    /// Distinct (provider, region) pairs with GreyNoise sensors.
+    pub fn greynoise_provider_regions(&self) -> Vec<(Provider, Region)> {
+        let mut out: Vec<(Provider, Region)> = Vec::new();
+        for v in &self.vantages {
+            if v.collector == CollectorKind::GreyNoise {
+                let key = (v.provider, v.region.clone());
+                if !out.contains(&key) {
+                    out.push(key);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telescope_spans_1856_slash24s() {
+        let d = Deployment::standard();
+        assert_eq!(d.telescope.borrow().block().size(), 1_856 * 256);
+    }
+
+    #[test]
+    fn greynoise_fleet_matches_table1_shape() {
+        let d = Deployment::standard();
+        assert_eq!(greynoise_regions(Provider::Aws).len(), 16);
+        assert_eq!(greynoise_regions(Provider::Google).len(), 21);
+        assert_eq!(greynoise_regions(Provider::Azure).len(), 3);
+        assert_eq!(greynoise_regions(Provider::Linode).len(), 7);
+        // 47 regions × 4 IPs + 256 HE = 444 GreyNoise vantages.
+        assert_eq!(d.greynoise_cloud_ips().len(), 47 * 4 + 256);
+        assert_eq!(d.greynoise_provider_regions().len(), 48);
+    }
+
+    #[test]
+    fn honeytrap_fleets_have_table1_sizes() {
+        let d = Deployment::standard();
+        let stanford = d.vantages_of(Provider::Stanford);
+        assert_eq!(stanford.len(), 64);
+        let merit = d.vantages_of(Provider::Merit);
+        assert_eq!(merit.len(), 64);
+        // Google: 21 GreyNoise regions × 4 + 64 west + 2 east honeytraps.
+        let google = d.vantages_of(Provider::Google);
+        assert_eq!(google.len(), 21 * 4 + 64 + 2);
+    }
+
+    #[test]
+    fn payload_ports_on_2_of_4_per_region() {
+        let d = Deployment::standard();
+        let sg: Vec<_> = d
+            .vantages
+            .iter()
+            .filter(|v| v.id.starts_with("greynoise/aws/AP-SG/"))
+            .collect();
+        assert_eq!(sg.len(), 4);
+        assert_eq!(sg.iter().filter(|v| v.payload_ports).count(), 2);
+    }
+
+    #[test]
+    fn topology_routes_every_vantage_ip() {
+        let d = Deployment::standard();
+        for v in &d.vantages {
+            assert!(
+                d.topology.block_of(v.ip).is_some(),
+                "vantage {} ip {} not in topology",
+                v.id,
+                v.ip
+            );
+        }
+    }
+
+    #[test]
+    fn registration_covers_all_networks() {
+        let d = Deployment::standard();
+        let mut engine = Engine::new();
+        d.register(&mut engine);
+        // 1 HE + 47 cloud regions + 5 honeytrap listeners are honeypots.
+        assert_eq!(d.honeypots.len(), 1 + 47 + 5);
+    }
+
+    #[test]
+    fn same_city_multi_cloud_pairs_exist_for_table6() {
+        let d = Deployment::standard();
+        let regions = d.greynoise_provider_regions();
+        let in_city = |code: &str| -> Vec<Provider> {
+            regions
+                .iter()
+                .filter(|(_, r)| r.code == code)
+                .map(|(p, _)| *p)
+                .collect()
+        };
+        assert!(in_city("US-CA").len() >= 3, "CA: {:?}", in_city("US-CA"));
+        assert!(in_city("US-OR").len() >= 2);
+        assert!(in_city("EU-DE").len() >= 3);
+        assert!(in_city("AP-SG").len() >= 4);
+    }
+}

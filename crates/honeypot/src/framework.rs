@@ -1,0 +1,409 @@
+//! The generic honeypot listener: per-port policies, service personas, and
+//! per-source blocklists.
+//!
+//! One [`HoneypotListener`] instance covers a set of vantage IPs (e.g. the
+//! 4 GreyNoise honeypots of one provider region, or a Honeytrap /26) and
+//! implements the engine's [`Listener`] trait. Three port policies cover
+//! every instrument in the paper:
+//!
+//! - [`PortPolicy::Interactive`] — Cowrie: speak the login protocol, run
+//!   the session state machine, record harvested credentials;
+//! - [`PortPolicy::FirstPayload`] — Honeytrap / GreyNoise non-interactive
+//!   ports: complete the handshake, record the first client payload;
+//! - [`PortPolicy::Closed`] — connection refused, nothing recorded.
+//!
+//! A [`Persona`] gives a port a service banner: that is what Censys/Shodan
+//! index, and what makes a honeypot "vulnerable-looking".
+
+use crate::capture::{Capture, Observed, ScanEvent};
+use crate::cowrie;
+use cw_netsim::engine::{FlowOutcome, Listener};
+use cw_netsim::flow::{ConnectionIntent, Flow};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// Per-port behavior of a honeypot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortPolicy {
+    /// Cowrie-style interactive login service.
+    Interactive(cw_netsim::flow::LoginService),
+    /// Complete the handshake and record the first client payload.
+    FirstPayload,
+    /// Port closed: no handshake, nothing recorded.
+    Closed,
+}
+
+/// A service banner presented on a port (what scanners and search engines
+/// see when the service responds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Persona {
+    /// Protocol label for the reply (e.g. `"HTTP"`).
+    pub protocol: String,
+    /// Banner bytes.
+    pub banner: Vec<u8>,
+}
+
+impl Persona {
+    /// A vulnerable-looking HTTP service page.
+    pub fn http() -> Self {
+        Persona {
+            protocol: "HTTP".into(),
+            banner: b"HTTP/1.1 200 OK\r\nServer: Boa/0.94.13\r\nContent-Type: text/html\r\n\r\n<html>It works</html>"
+                .to_vec(),
+        }
+    }
+
+    /// An SSH server banner.
+    pub fn ssh() -> Self {
+        Persona {
+            protocol: "SSH".into(),
+            banner: b"SSH-2.0-OpenSSH_7.4p1 Debian-10\r\n".to_vec(),
+        }
+    }
+
+    /// A Telnet login prompt.
+    pub fn telnet() -> Self {
+        Persona {
+            protocol: "TELNET".into(),
+            banner: b"\xff\xfb\x01\xff\xfb\x03\r\nlogin: ".to_vec(),
+        }
+    }
+}
+
+/// A honeypot instance covering a set of IPs.
+pub struct HoneypotListener {
+    name: String,
+    ips: BTreeSet<Ipv4Addr>,
+    policies: BTreeMap<u16, PortPolicy>,
+    default_policy: PortPolicy,
+    personas: BTreeMap<u16, Persona>,
+    /// Ports only open on a subset of the covered IPs (closed elsewhere).
+    /// Models GreyNoise's "4 or 2 (HTTP)" deployments where a region has 4
+    /// SSH/Telnet honeypots but only 2 expose the payload ports.
+    port_restrictions: BTreeMap<u16, BTreeSet<Ipv4Addr>>,
+    /// Per-source firewall: a listed source may only reach the listed ports
+    /// (empty set = fully blocked). Unlisted sources reach everything.
+    source_allowed_ports: BTreeMap<Ipv4Addr, BTreeSet<u16>>,
+    capture: Rc<RefCell<Capture>>,
+}
+
+impl HoneypotListener {
+    /// Create a honeypot covering `ips`, with `default_policy` for ports not
+    /// explicitly configured.
+    pub fn new(name: &str, ips: impl IntoIterator<Item = Ipv4Addr>, default_policy: PortPolicy) -> Self {
+        HoneypotListener {
+            name: name.to_string(),
+            ips: ips.into_iter().collect(),
+            policies: BTreeMap::new(),
+            default_policy,
+            personas: BTreeMap::new(),
+            port_restrictions: BTreeMap::new(),
+            source_allowed_ports: BTreeMap::new(),
+            capture: Rc::new(RefCell::new(Capture::new(name))),
+        }
+    }
+
+    /// Set the policy for one port (builder style).
+    pub fn with_policy(mut self, port: u16, policy: PortPolicy) -> Self {
+        self.policies.insert(port, policy);
+        self
+    }
+
+    /// Set a persona (banner) for one port (builder style).
+    pub fn with_persona(mut self, port: u16, persona: Persona) -> Self {
+        self.personas.insert(port, persona);
+        self
+    }
+
+    /// Restrict a port to be open on only these covered IPs; it behaves as
+    /// [`PortPolicy::Closed`] on the others (builder style).
+    pub fn with_port_restriction(
+        mut self,
+        port: u16,
+        ips: impl IntoIterator<Item = Ipv4Addr>,
+    ) -> Self {
+        self.port_restrictions
+            .insert(port, ips.into_iter().collect());
+        self
+    }
+
+    /// Block a source IP from reaching the services (leak-experiment knob:
+    /// "we block Censys and Shodan from accessing the Honeytrap services").
+    pub fn block_source(&mut self, src: Ipv4Addr) {
+        self.source_allowed_ports.insert(src, BTreeSet::new());
+    }
+
+    /// Block a source IP from every port *except* the listed ones — the
+    /// leak experiment's "allow either Censys or Shodan to find only one of
+    /// the three emulated services".
+    pub fn block_source_except(&mut self, src: Ipv4Addr, allowed_ports: &[u16]) {
+        self.source_allowed_ports
+            .insert(src, allowed_ports.iter().copied().collect());
+    }
+
+    /// Handle to the capture store (alive across the engine run).
+    pub fn capture(&self) -> Rc<RefCell<Capture>> {
+        Rc::clone(&self.capture)
+    }
+
+    /// The vantage IPs this honeypot covers.
+    pub fn ips(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        self.ips.iter().copied()
+    }
+
+    fn policy_for(&self, port: u16) -> PortPolicy {
+        *self.policies.get(&port).unwrap_or(&self.default_policy)
+    }
+
+    fn reply_for(&self, port: u16) -> Option<&Persona> {
+        self.personas.get(&port)
+    }
+}
+
+impl Listener for HoneypotListener {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn covers(&self, ip: Ipv4Addr) -> bool {
+        self.ips.contains(&ip)
+    }
+
+    fn on_flow(&mut self, flow: &Flow) -> FlowOutcome {
+        if let Some(allowed) = self.source_allowed_ports.get(&flow.src) {
+            if !allowed.contains(&flow.dst_port) {
+                // Firewalled: no handshake, nothing observed, nothing indexed.
+                return FlowOutcome::dark();
+            }
+        }
+        if let Some(allowed) = self.port_restrictions.get(&flow.dst_port) {
+            if !allowed.contains(&flow.dst) {
+                return FlowOutcome::dark();
+            }
+        }
+        let policy = self.policy_for(flow.dst_port);
+        let observed = match policy {
+            PortPolicy::Closed => return FlowOutcome::dark(),
+            PortPolicy::Interactive(service) => match &flow.intent {
+                ConnectionIntent::Login {
+                    service: client_service,
+                    username,
+                    password,
+                } if *client_service == service => {
+                    // Run the real Cowrie dialogue to harvest credentials.
+                    match cowrie::harvest(service, username, password) {
+                        Some(c) => Observed::Credentials {
+                            service,
+                            username: c.username,
+                            password: c.password,
+                        },
+                        None => Observed::Handshake,
+                    }
+                }
+                ConnectionIntent::Login { .. } => Observed::Handshake,
+                ConnectionIntent::Payload(p) => Observed::Payload(p.clone()),
+                ConnectionIntent::ProbeOnly => Observed::Handshake,
+            },
+            PortPolicy::FirstPayload => match flow.intent.first_payload_bytes() {
+                Some(p) => Observed::Payload(p),
+                None => Observed::Handshake,
+            },
+        };
+        self.capture.borrow_mut().record(ScanEvent {
+            time: flow.time,
+            src: flow.src,
+            src_asn: flow.src_asn,
+            dst: flow.dst,
+            dst_port: flow.dst_port,
+            observed,
+        });
+        match (policy, self.reply_for(flow.dst_port)) {
+            (_, Some(p)) => FlowOutcome::replied(&p.protocol, &p.banner),
+            (PortPolicy::Interactive(service), None) => {
+                // Interactive services always greet.
+                let session = cowrie::Session::new(service);
+                FlowOutcome::replied(service.label(), &session.server_greeting())
+            }
+            _ => FlowOutcome::accepted(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cw_netsim::asn::Asn;
+    use cw_netsim::flow::{FlowSpec, LoginService};
+    use cw_netsim::time::SimTime;
+
+    fn flow(src: Ipv4Addr, dst: Ipv4Addr, port: u16, intent: ConnectionIntent) -> Flow {
+        Flow::from_spec(
+            FlowSpec {
+                src,
+                src_asn: Asn(1),
+                dst,
+                dst_port: port,
+                intent,
+            },
+            SimTime(5),
+            0,
+        )
+    }
+
+    fn hp() -> HoneypotListener {
+        HoneypotListener::new(
+            "test",
+            [Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2)],
+            PortPolicy::FirstPayload,
+        )
+        .with_policy(22, PortPolicy::Interactive(LoginService::Ssh))
+        .with_policy(23, PortPolicy::Interactive(LoginService::Telnet))
+        .with_policy(9999, PortPolicy::Closed)
+        .with_persona(80, Persona::http())
+    }
+
+    #[test]
+    fn coverage() {
+        let h = hp();
+        assert!(h.covers(Ipv4Addr::new(10, 0, 0, 1)));
+        assert!(!h.covers(Ipv4Addr::new(10, 0, 0, 3)));
+    }
+
+    #[test]
+    fn interactive_port_harvests_credentials() {
+        let mut h = hp();
+        let cap = h.capture();
+        let out = h.on_flow(&flow(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            22,
+            ConnectionIntent::Login {
+                service: LoginService::Ssh,
+                username: "root".into(),
+                password: "admin".into(),
+            },
+        ));
+        assert!(out.handshake_completed);
+        assert!(out.reply.unwrap().banner.starts_with(b"SSH-2.0-"));
+        let cap = cap.borrow();
+        assert_eq!(cap.len(), 1);
+        match &cap.events[0].observed {
+            Observed::Credentials {
+                username, password, ..
+            } => {
+                assert_eq!(username, "root");
+                assert_eq!(password, "admin");
+            }
+            other => panic!("expected credentials, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_payload_port_records_payload() {
+        let mut h = hp();
+        let cap = h.capture();
+        h.on_flow(&flow(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            8080,
+            ConnectionIntent::Payload(b"GET / HTTP/1.1\r\n\r\n".to_vec()),
+        ));
+        let cap = cap.borrow();
+        assert_eq!(
+            cap.events[0].observed.payload(),
+            Some(b"GET / HTTP/1.1\r\n\r\n".as_slice())
+        );
+    }
+
+    #[test]
+    fn persona_port_replies_with_banner() {
+        let mut h = hp();
+        let out = h.on_flow(&flow(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            80,
+            ConnectionIntent::Payload(b"GET / HTTP/1.1\r\n\r\n".to_vec()),
+        ));
+        let reply = out.reply.unwrap();
+        assert_eq!(reply.protocol.as_deref(), Some("HTTP"));
+        assert!(reply.banner.starts_with(b"HTTP/1.1 200 OK"));
+    }
+
+    #[test]
+    fn closed_port_is_dark_and_unrecorded() {
+        let mut h = hp();
+        let cap = h.capture();
+        let out = h.on_flow(&flow(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            9999,
+            ConnectionIntent::ProbeOnly,
+        ));
+        assert!(!out.handshake_completed);
+        assert!(cap.borrow().is_empty());
+    }
+
+    #[test]
+    fn blocked_source_sees_nothing_and_is_not_recorded() {
+        let mut h = hp();
+        let cap = h.capture();
+        let censys = Ipv4Addr::new(192, 0, 2, 10);
+        h.block_source(censys);
+        let out = h.on_flow(&flow(
+            censys,
+            Ipv4Addr::new(10, 0, 0, 1),
+            80,
+            ConnectionIntent::Payload(b"GET / HTTP/1.1\r\n\r\n".to_vec()),
+        ));
+        assert!(!out.handshake_completed);
+        assert!(out.reply.is_none());
+        assert!(cap.borrow().is_empty());
+    }
+
+    #[test]
+    fn telnet_login_on_ssh_port_records_handshake_only() {
+        let mut h = hp();
+        let cap = h.capture();
+        h.on_flow(&flow(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            22,
+            ConnectionIntent::Login {
+                service: LoginService::Telnet,
+                username: "a".into(),
+                password: "b".into(),
+            },
+        ));
+        assert_eq!(cap.borrow().events[0].observed, Observed::Handshake);
+    }
+
+    #[test]
+    fn ssh_login_against_honeytrap_port_leaks_only_client_banner() {
+        // A first-payload collector cannot harvest credentials — it records
+        // the SSH client banner (§3.1: Honeytrap configures payload capture
+        // only; credential capture needs Cowrie).
+        let mut h = HoneypotListener::new(
+            "trap",
+            [Ipv4Addr::new(10, 0, 0, 1)],
+            PortPolicy::FirstPayload,
+        );
+        let cap = h.capture();
+        h.on_flow(&flow(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            22,
+            ConnectionIntent::Login {
+                service: LoginService::Ssh,
+                username: "root".into(),
+                password: "x".into(),
+            },
+        ));
+        let cap = cap.borrow();
+        match &cap.events[0].observed {
+            Observed::Payload(p) => assert!(p.starts_with(b"SSH-")),
+            other => panic!("expected payload, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! The Orion-style passive network telescope.
+//!
+//! "Network telescopes/darknets typically do not host any services, receive
+//! traffic on all ports and IP addresses, and only record the first packet
+//! of a connection (i.e., they do not complete the TCP layer 4 handshake)"
+//! (§3.1). Consequences faithfully modeled here:
+//!
+//! - no handshake ⇒ client-first payloads are never observed, so the
+//!   telescope cannot classify intent (§3.2) or fingerprint protocols (§6);
+//! - it infers the protocol from the destination port alone;
+//! - it *can* count unique scanners per IP per port at scale, which is what
+//!   powers the Figure 1 address-structure analysis.
+//!
+//! Memory design: the telescope covers ~475K IPs, so it keeps per-IP
+//! *counters* for a configured set of tracked ports plus global
+//! (source, port) sets for the overlap analyses — not full event records.
+
+use cw_netsim::engine::{FlowOutcome, Listener};
+use cw_netsim::flow::Flow;
+use cw_netsim::ip::IpExt;
+use cw_netsim::topology::AddressBlock;
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+/// A passive telescope over an address block.
+pub struct Telescope {
+    name: String,
+    block: AddressBlock,
+    /// Per tracked port: a per-IP count of observed source contacts.
+    per_ip_counts: BTreeMap<u16, Vec<u32>>,
+    /// Per tracked port: distinct (src, dst) pairs, to make the per-IP
+    /// counts *unique-scanner* counts.
+    seen_src_dst: BTreeMap<u16, BTreeSet<(u32, u32)>>,
+    /// Distinct (src, port) pairs over the whole telescope (Tables 8–9).
+    seen_src_port: BTreeSet<(u32, u16)>,
+    /// Distinct sources and source ASes (Table 1).
+    unique_srcs: BTreeSet<u32>,
+    unique_asns: BTreeSet<u32>,
+    /// Per-port AS traffic counts (who scans the telescope — Table 10).
+    asn_counts: BTreeMap<u16, BTreeMap<u32, u64>>,
+    /// AS traffic counts over all ports.
+    asn_counts_all: BTreeMap<u32, u64>,
+    /// Total first packets observed.
+    total_packets: u64,
+}
+
+impl Telescope {
+    /// Create a telescope over `block`, tracking per-IP unique-scanner
+    /// counts for `tracked_ports`.
+    pub fn new(name: &str, block: AddressBlock, tracked_ports: &[u16]) -> Self {
+        let size = block.size() as usize;
+        let per_ip_counts = tracked_ports
+            .iter()
+            .map(|&p| (p, vec![0u32; size]))
+            .collect();
+        let seen_src_dst = tracked_ports.iter().map(|&p| (p, BTreeSet::new())).collect();
+        Telescope {
+            name: name.to_string(),
+            block,
+            per_ip_counts,
+            seen_src_dst,
+            seen_src_port: BTreeSet::new(),
+            unique_srcs: BTreeSet::new(),
+            unique_asns: BTreeSet::new(),
+            asn_counts: BTreeMap::new(),
+            asn_counts_all: BTreeMap::new(),
+            total_packets: 0,
+        }
+    }
+
+    /// The covered block.
+    pub fn block(&self) -> &AddressBlock {
+        &self.block
+    }
+
+    /// Unique-scanner count per telescope IP (block offset order) for a
+    /// tracked port — the Figure 1 series.
+    pub fn unique_scanners_per_ip(&self, port: u16) -> Option<&[u32]> {
+        self.per_ip_counts.get(&port).map(|v| v.as_slice())
+    }
+
+    /// All source IPs that touched the given port anywhere in the telescope
+    /// (the Tables 8–9 overlap sets).
+    pub fn sources_on_port(&self, port: u16) -> BTreeSet<Ipv4Addr> {
+        self.seen_src_port
+            .iter()
+            .filter(|&&(_, p)| p == port)
+            .map(|&(s, _)| Ipv4Addr::from(s))
+            .collect()
+    }
+
+    /// Did this source ever touch this port in the telescope?
+    pub fn saw_source_on_port(&self, src: Ipv4Addr, port: u16) -> bool {
+        self.seen_src_port.contains(&(src.to_u32(), port))
+    }
+
+    /// Number of distinct source IPs observed (Table 1).
+    pub fn unique_source_count(&self) -> usize {
+        self.unique_srcs.len()
+    }
+
+    /// Number of distinct source ASes observed (Table 1).
+    pub fn unique_asn_count(&self) -> usize {
+        self.unique_asns.len()
+    }
+
+    /// Total first packets observed.
+    pub fn total_packets(&self) -> u64 {
+        self.total_packets
+    }
+
+    /// Traffic count per source AS on one port (Table 10's "who scans the
+    /// telescope"). Keys are ASN numbers rendered as strings for direct use
+    /// with the top-k union methodology.
+    pub fn asn_freqs_on_port(&self, port: u16) -> std::collections::BTreeMap<String, u64> {
+        self.asn_counts
+            .get(&port)
+            .map(|m| {
+                m.iter()
+                    .map(|(asn, c)| (format!("AS{asn}"), *c))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Traffic count per source AS over all ports.
+    pub fn asn_freqs_all(&self) -> std::collections::BTreeMap<String, u64> {
+        self.asn_counts_all
+            .iter()
+            .map(|(asn, c)| (format!("AS{asn}"), *c))
+            .collect()
+    }
+}
+
+impl Listener for Telescope {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn covers(&self, ip: Ipv4Addr) -> bool {
+        self.block.contains(ip)
+    }
+
+    fn on_flow(&mut self, flow: &Flow) -> FlowOutcome {
+        self.total_packets += 1;
+        let src = flow.src.to_u32();
+        self.unique_srcs.insert(src);
+        self.unique_asns.insert(flow.src_asn.0);
+        self.seen_src_port.insert((src, flow.dst_port));
+        *self
+            .asn_counts
+            .entry(flow.dst_port)
+            .or_default()
+            .entry(flow.src_asn.0)
+            .or_insert(0) += 1;
+        *self.asn_counts_all.entry(flow.src_asn.0).or_insert(0) += 1;
+        if let Some(counts) = self.per_ip_counts.get_mut(&flow.dst_port) {
+            let offset = self
+                .block
+                .offset_of(flow.dst)
+                .expect("covers() guaranteed containment") as usize;
+            let dst = flow.dst.to_u32();
+            // Count each (src, dst) once so the series is unique scanners.
+            if self
+                .seen_src_dst
+                .get_mut(&flow.dst_port)
+                .expect("tracked port")
+                .insert((src, dst))
+            {
+                counts[offset] += 1;
+            }
+        }
+        // The defining telescope property: never complete the handshake.
+        FlowOutcome::dark()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cw_netsim::asn::Asn;
+    use cw_netsim::flow::{ConnectionIntent, FlowSpec};
+    use cw_netsim::ip::Cidr;
+    use cw_netsim::time::SimTime;
+
+    fn scope() -> Telescope {
+        let block = AddressBlock::new(
+            "tel",
+            vec![Cidr::new(Ipv4Addr::new(10, 0, 0, 0), 24)],
+        );
+        Telescope::new("tel", block, &[22, 445])
+    }
+
+    fn flow(src: Ipv4Addr, dst: Ipv4Addr, port: u16) -> Flow {
+        Flow::from_spec(
+            FlowSpec {
+                src,
+                src_asn: Asn(7),
+                dst,
+                dst_port: port,
+                intent: ConnectionIntent::Payload(b"SSH-2.0-x\r\n".to_vec()),
+            },
+            SimTime(1),
+            0,
+        )
+    }
+
+    #[test]
+    fn never_completes_handshake() {
+        let mut t = scope();
+        let out = t.on_flow(&flow(
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(10, 0, 0, 9),
+            22,
+        ));
+        assert!(!out.handshake_completed);
+        assert!(out.reply.is_none());
+    }
+
+    #[test]
+    fn per_ip_unique_counting() {
+        let mut t = scope();
+        let dst = Ipv4Addr::new(10, 0, 0, 9);
+        // Same scanner twice → counted once. Second scanner → 2.
+        t.on_flow(&flow(Ipv4Addr::new(1, 1, 1, 1), dst, 22));
+        t.on_flow(&flow(Ipv4Addr::new(1, 1, 1, 1), dst, 22));
+        t.on_flow(&flow(Ipv4Addr::new(2, 2, 2, 2), dst, 22));
+        let counts = t.unique_scanners_per_ip(22).unwrap();
+        assert_eq!(counts[9], 2);
+        assert_eq!(counts[8], 0);
+        assert_eq!(t.total_packets(), 3);
+        assert_eq!(t.unique_source_count(), 2);
+        assert_eq!(t.unique_asn_count(), 1);
+    }
+
+    #[test]
+    fn untracked_ports_still_feed_overlap_sets() {
+        let mut t = scope();
+        t.on_flow(&flow(
+            Ipv4Addr::new(3, 3, 3, 3),
+            Ipv4Addr::new(10, 0, 0, 1),
+            80,
+        ));
+        assert!(t.unique_scanners_per_ip(80).is_none());
+        assert!(t.saw_source_on_port(Ipv4Addr::new(3, 3, 3, 3), 80));
+        assert!(!t.saw_source_on_port(Ipv4Addr::new(3, 3, 3, 3), 22));
+        assert_eq!(t.sources_on_port(80).len(), 1);
+    }
+
+    #[test]
+    fn coverage_respects_block() {
+        let t = scope();
+        assert!(t.covers(Ipv4Addr::new(10, 0, 0, 255)));
+        assert!(!t.covers(Ipv4Addr::new(10, 0, 1, 0)));
+    }
+}

@@ -1,0 +1,403 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine owns a priority queue of agent wake-ups. When an agent wakes
+//! it may send any number of [`FlowSpec`]s through the [`Network`] handle;
+//! each flow is routed to the first registered [`Listener`] covering its
+//! destination and the listener's [`FlowOutcome`] is returned to the agent
+//! synchronously (scan → response, e.g. a search-engine indexer learning a
+//! banner). The agent then returns its next wake time, or `None` to retire.
+//!
+//! Listeners are registered as `Rc<RefCell<…>>` so that the caller retains a
+//! handle to read captured data after the run — single-threaded determinism
+//! is a feature here, not a limitation (see DESIGN.md §7).
+
+use crate::flow::{Flow, FlowSpec};
+use crate::time::SimTime;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// Engine-assigned agent identifier.
+pub type AgentId = u32;
+
+/// What a scanned service answered, as seen by the scanner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceReply {
+    /// Protocol label the responder spoke (e.g. `"HTTP"`), if any.
+    pub protocol: Option<String>,
+    /// Response bytes (banner, status line, …); may be empty.
+    pub banner: Vec<u8>,
+}
+
+/// The result of delivering one flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowOutcome {
+    /// Did the destination complete the TCP handshake? (Telescopes and dark
+    /// space never do.)
+    pub handshake_completed: bool,
+    /// Application-level reply, if the destination spoke back.
+    pub reply: Option<ServiceReply>,
+}
+
+impl FlowOutcome {
+    /// The outcome of sending to unresponsive space.
+    pub fn dark() -> Self {
+        FlowOutcome {
+            handshake_completed: false,
+            reply: None,
+        }
+    }
+
+    /// Handshake completed, no application reply.
+    pub fn accepted() -> Self {
+        FlowOutcome {
+            handshake_completed: true,
+            reply: None,
+        }
+    }
+
+    /// Handshake completed with an application reply.
+    pub fn replied(protocol: &str, banner: &[u8]) -> Self {
+        FlowOutcome {
+            handshake_completed: true,
+            reply: Some(ServiceReply {
+                protocol: Some(protocol.to_string()),
+                banner: banner.to_vec(),
+            }),
+        }
+    }
+}
+
+/// A traffic source driven by the engine.
+pub trait Agent {
+    /// Diagnostic name.
+    fn name(&self) -> &str {
+        "agent"
+    }
+
+    /// Called at each scheduled wake. Send flows via `net`; return the next
+    /// wake time (must be `> now` to guarantee progress) or `None` to
+    /// retire the agent.
+    fn on_wake(&mut self, now: SimTime, net: &mut dyn Network) -> Option<SimTime>;
+}
+
+/// A traffic sink (honeypot, telescope) observing a region of address space.
+pub trait Listener {
+    /// Diagnostic name.
+    fn name(&self) -> &str;
+
+    /// Does this listener observe traffic to `ip`? (All ports of a covered
+    /// IP are observed; per-port behavior is the listener's business.)
+    fn covers(&self, ip: Ipv4Addr) -> bool;
+
+    /// Observe a delivered flow and answer as the covered host would.
+    fn on_flow(&mut self, flow: &Flow) -> FlowOutcome;
+}
+
+/// The network handle agents send through while awake.
+pub trait Network {
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+    /// Deliver a flow and obtain its outcome.
+    fn send(&mut self, spec: FlowSpec) -> FlowOutcome;
+}
+
+/// Aggregate run statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Total agent wake-ups processed.
+    pub wakes: u64,
+    /// Flows delivered to a listener.
+    pub flows_delivered: u64,
+    /// Flows sent to space no listener covers.
+    pub flows_unrouted: u64,
+    /// Time of the last processed wake.
+    pub last_time: SimTime,
+}
+
+struct NetworkCtx<'a> {
+    now: SimTime,
+    agent: AgentId,
+    listeners: &'a [Rc<RefCell<dyn Listener>>],
+    stats: &'a mut RunStats,
+}
+
+impl Network for NetworkCtx<'_> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn send(&mut self, spec: FlowSpec) -> FlowOutcome {
+        let flow = Flow::from_spec(spec, self.now, self.agent);
+        for l in self.listeners {
+            // A listener must not send flows, so borrowing here cannot
+            // re-enter; `covers` is checked on the same borrow.
+            let mut l = l.borrow_mut();
+            if l.covers(flow.dst) {
+                self.stats.flows_delivered += 1;
+                return l.on_flow(&flow);
+            }
+        }
+        self.stats.flows_unrouted += 1;
+        FlowOutcome::dark()
+    }
+}
+
+/// The discrete-event engine.
+pub struct Engine {
+    agents: Vec<Option<Box<dyn Agent>>>,
+    listeners: Vec<Rc<RefCell<dyn Listener>>>,
+    queue: BinaryHeap<Reverse<(SimTime, AgentId)>>,
+    stats: RunStats,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// An empty engine.
+    pub fn new() -> Self {
+        Engine {
+            agents: Vec::new(),
+            listeners: Vec::new(),
+            queue: BinaryHeap::new(),
+            stats: RunStats::default(),
+        }
+    }
+
+    /// Register an agent with its first wake time; returns its id.
+    pub fn add_agent(&mut self, agent: Box<dyn Agent>, first_wake: SimTime) -> AgentId {
+        let id = self.agents.len() as AgentId;
+        self.agents.push(Some(agent));
+        self.queue.push(Reverse((first_wake, id)));
+        id
+    }
+
+    /// Register a listener. Listeners are consulted in registration order;
+    /// the address plan keeps their coverage disjoint.
+    pub fn add_listener(&mut self, listener: Rc<RefCell<dyn Listener>>) {
+        self.listeners.push(listener);
+    }
+
+    /// Number of registered agents (retired agents included).
+    pub fn agent_count(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Run until the queue drains or simulated time reaches `until`
+    /// (exclusive). Returns aggregate statistics.
+    pub fn run(&mut self, until: SimTime) -> RunStats {
+        while let Some(&Reverse((t, id))) = self.queue.peek() {
+            if t >= until {
+                break;
+            }
+            self.queue.pop();
+            let mut agent = self.agents[id as usize]
+                .take()
+                .expect("each agent has at most one outstanding wake");
+            self.stats.wakes += 1;
+            self.stats.last_time = t;
+            let next = {
+                let mut ctx = NetworkCtx {
+                    now: t,
+                    agent: id,
+                    listeners: &self.listeners,
+                    stats: &mut self.stats,
+                };
+                agent.on_wake(t, &mut ctx)
+            };
+            match next {
+                Some(next_t) => {
+                    assert!(
+                        next_t > t,
+                        "agent '{}' scheduled non-advancing wake {next_t:?} at {t:?}",
+                        agent.name()
+                    );
+                    self.agents[id as usize] = Some(agent);
+                    self.queue.push(Reverse((next_t, id)));
+                }
+                None => {
+                    // Retire: drop the agent.
+                }
+            }
+        }
+        self.stats
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asn::Asn;
+    use crate::flow::ConnectionIntent;
+    use crate::time::SimDuration;
+
+    /// Agent that sends one probe per wake, `n` times, one second apart.
+    struct Pinger {
+        remaining: u32,
+        dst: Ipv4Addr,
+        outcomes: Vec<bool>,
+    }
+
+    impl Agent for Pinger {
+        fn name(&self) -> &str {
+            "pinger"
+        }
+        fn on_wake(&mut self, now: SimTime, net: &mut dyn Network) -> Option<SimTime> {
+            assert_eq!(net.now(), now);
+            let out = net.send(FlowSpec {
+                src: Ipv4Addr::new(1, 1, 1, 1),
+                src_asn: Asn(65000),
+                dst: self.dst,
+                dst_port: 80,
+                intent: ConnectionIntent::ProbeOnly,
+            });
+            self.outcomes.push(out.handshake_completed);
+            self.remaining -= 1;
+            if self.remaining == 0 {
+                None
+            } else {
+                Some(now + SimDuration::SECOND)
+            }
+        }
+    }
+
+    /// Listener that accepts everything in 10.0.0.0/24 and logs times.
+    struct Sink {
+        seen: Vec<(SimTime, Ipv4Addr, u16)>,
+    }
+
+    impl Listener for Sink {
+        fn name(&self) -> &str {
+            "sink"
+        }
+        fn covers(&self, ip: Ipv4Addr) -> bool {
+            ip.octets()[0] == 10
+        }
+        fn on_flow(&mut self, flow: &Flow) -> FlowOutcome {
+            self.seen.push((flow.time, flow.dst, flow.dst_port));
+            FlowOutcome::accepted()
+        }
+    }
+
+    #[test]
+    fn flows_route_to_covering_listener() {
+        let mut e = Engine::new();
+        let sink = Rc::new(RefCell::new(Sink { seen: vec![] }));
+        e.add_listener(sink.clone());
+        e.add_agent(
+            Box::new(Pinger {
+                remaining: 3,
+                dst: Ipv4Addr::new(10, 0, 0, 5),
+                outcomes: vec![],
+            }),
+            SimTime(0),
+        );
+        let stats = e.run(SimTime(1_000));
+        assert_eq!(stats.wakes, 3);
+        assert_eq!(stats.flows_delivered, 3);
+        assert_eq!(stats.flows_unrouted, 0);
+        let seen = &sink.borrow().seen;
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[0].0, SimTime(0));
+        assert_eq!(seen[2].0, SimTime(2));
+    }
+
+    #[test]
+    fn unrouted_flows_fall_into_dark_space() {
+        let mut e = Engine::new();
+        e.add_agent(
+            Box::new(Pinger {
+                remaining: 2,
+                dst: Ipv4Addr::new(99, 0, 0, 1),
+                outcomes: vec![],
+            }),
+            SimTime(0),
+        );
+        let stats = e.run(SimTime(1_000));
+        assert_eq!(stats.flows_unrouted, 2);
+        assert_eq!(stats.flows_delivered, 0);
+    }
+
+    #[test]
+    fn run_stops_at_horizon() {
+        let mut e = Engine::new();
+        e.add_agent(
+            Box::new(Pinger {
+                remaining: 1_000_000,
+                dst: Ipv4Addr::new(99, 0, 0, 1),
+                outcomes: vec![],
+            }),
+            SimTime(0),
+        );
+        let stats = e.run(SimTime(10));
+        assert_eq!(stats.wakes, 10);
+        assert_eq!(stats.last_time, SimTime(9));
+        // Resuming continues deterministically.
+        let stats = e.run(SimTime(20));
+        assert_eq!(stats.wakes, 20);
+    }
+
+    #[test]
+    fn agents_interleave_deterministically() {
+        // Two identical runs must produce identical listener logs.
+        fn run_once() -> Vec<(SimTime, Ipv4Addr, u16)> {
+            let mut e = Engine::new();
+            let sink = Rc::new(RefCell::new(Sink { seen: vec![] }));
+            e.add_listener(sink.clone());
+            for i in 0..5u8 {
+                e.add_agent(
+                    Box::new(Pinger {
+                        remaining: 4,
+                        dst: Ipv4Addr::new(10, 0, 0, i),
+                        outcomes: vec![],
+                    }),
+                    SimTime(i as u64 % 2),
+                );
+            }
+            e.run(SimTime(100));
+            let log = sink.borrow().seen.clone();
+            log
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_advancing_agent_is_a_bug() {
+        struct Stuck;
+        impl Agent for Stuck {
+            fn on_wake(&mut self, now: SimTime, _net: &mut dyn Network) -> Option<SimTime> {
+                Some(now) // not allowed: must advance
+            }
+        }
+        let mut e = Engine::new();
+        e.add_agent(Box::new(Stuck), SimTime(0));
+        e.run(SimTime(10));
+    }
+
+    #[test]
+    fn retired_agents_stop_waking() {
+        let mut e = Engine::new();
+        e.add_agent(
+            Box::new(Pinger {
+                remaining: 2,
+                dst: Ipv4Addr::new(99, 0, 0, 1),
+                outcomes: vec![],
+            }),
+            SimTime(0),
+        );
+        let stats = e.run(SimTime(1_000_000));
+        assert_eq!(stats.wakes, 2);
+    }
+}

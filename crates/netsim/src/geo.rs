@@ -1,0 +1,173 @@
+//! Geography: continents, countries, and provider regions.
+//!
+//! §5.1 groups regions "in the same manner that AWS and Google group
+//! datacenters (i.e., North America, Europe, Asia Pacific)"; the Table 1
+//! fleet spans 23 countries. Regions are identified by compact codes like
+//! `US-OR` or `AP-SG` mirroring the paper's tables.
+
+use std::fmt;
+
+/// Continental grouping used throughout §5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Continent {
+    /// North America (US states + Canada).
+    NorthAmerica,
+    /// Europe.
+    Europe,
+    /// Asia Pacific — the region where attacker biases concentrate.
+    AsiaPacific,
+    /// South America (AWS São Paulo).
+    SouthAmerica,
+    /// Middle East (AWS Bahrain).
+    MiddleEast,
+    /// Africa (AWS Cape Town).
+    Africa,
+}
+
+impl fmt::Display for Continent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Continent::NorthAmerica => "NA",
+            Continent::Europe => "EU",
+            Continent::AsiaPacific => "AP",
+            Continent::SouthAmerica => "SA",
+            Continent::MiddleEast => "ME",
+            Continent::Africa => "AF",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A provider geographic region (datacenter location).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Region {
+    /// Compact code, e.g. `US-OR`, `AP-SG`, `EU-DE`.
+    pub code: String,
+    /// ISO country code.
+    pub country: String,
+    /// Continental grouping.
+    pub continent: Continent,
+}
+
+impl Region {
+    /// Construct a region.
+    pub fn new(code: &str, country: &str, continent: Continent) -> Self {
+        Region {
+            code: code.to_string(),
+            country: country.to_string(),
+            continent,
+        }
+    }
+
+    /// Convenience constructor for US state regions.
+    pub fn us(state: &str) -> Self {
+        Region::new(&format!("US-{state}"), "US", Continent::NorthAmerica)
+    }
+
+    /// Convenience constructor for Asia-Pacific regions.
+    pub fn ap(country: &str) -> Self {
+        Region::new(&format!("AP-{country}"), country, Continent::AsiaPacific)
+    }
+
+    /// Convenience constructor for European regions.
+    pub fn eu(country: &str) -> Self {
+        Region::new(&format!("EU-{country}"), country, Continent::Europe)
+    }
+
+    /// Is this region in the same city/state-level location as `other`?
+    /// (Used for Table 6's city-matched cloud–cloud comparisons.)
+    pub fn same_location(&self, other: &Region) -> bool {
+        self.code == other.code
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.code)
+    }
+}
+
+/// Classification of a pair of regions, used by Table 5's grouping into
+/// US / EU / APAC / intercontinental comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionPairKind {
+    /// Both regions are in the United States.
+    WithinUs,
+    /// Both regions are in Europe.
+    WithinEu,
+    /// Both regions are in Asia Pacific.
+    WithinApac,
+    /// The regions are on different continents.
+    Intercontinental,
+    /// Same continent but not US/EU/APAC (e.g. two South American regions);
+    /// the paper has no such pairs, but the type is total.
+    OtherSameContinent,
+}
+
+/// Classify a pair of regions per Table 5's grouping.
+pub fn classify_pair(a: &Region, b: &Region) -> RegionPairKind {
+    if a.continent != b.continent {
+        return RegionPairKind::Intercontinental;
+    }
+    match a.continent {
+        Continent::NorthAmerica if a.country == "US" && b.country == "US" => {
+            RegionPairKind::WithinUs
+        }
+        // The paper counts Canada–US pairs as intercontinental-style
+        // "different region" comparisons only when continents differ; Canada
+        // pairs inside North America that are not both-US fall out of the
+        // US bucket.
+        Continent::NorthAmerica => RegionPairKind::OtherSameContinent,
+        Continent::Europe => RegionPairKind::WithinEu,
+        Continent::AsiaPacific => RegionPairKind::WithinApac,
+        _ => RegionPairKind::OtherSameContinent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let r = Region::us("OR");
+        assert_eq!(r.code, "US-OR");
+        assert_eq!(r.continent, Continent::NorthAmerica);
+        let r = Region::ap("SG");
+        assert_eq!(r.code, "AP-SG");
+        assert_eq!(r.continent, Continent::AsiaPacific);
+        let r = Region::eu("DE");
+        assert_eq!(r.code, "EU-DE");
+        assert_eq!(r.continent, Continent::Europe);
+    }
+
+    #[test]
+    fn pair_classification() {
+        let us1 = Region::us("OR");
+        let us2 = Region::us("CA");
+        let eu1 = Region::eu("DE");
+        let eu2 = Region::eu("FR");
+        let ap1 = Region::ap("SG");
+        let ap2 = Region::ap("JP");
+        let ca = Region::new("CA-QC", "CA", Continent::NorthAmerica);
+
+        assert_eq!(classify_pair(&us1, &us2), RegionPairKind::WithinUs);
+        assert_eq!(classify_pair(&eu1, &eu2), RegionPairKind::WithinEu);
+        assert_eq!(classify_pair(&ap1, &ap2), RegionPairKind::WithinApac);
+        assert_eq!(classify_pair(&us1, &eu1), RegionPairKind::Intercontinental);
+        assert_eq!(classify_pair(&us1, &ap1), RegionPairKind::Intercontinental);
+        assert_eq!(classify_pair(&us1, &ca), RegionPairKind::OtherSameContinent);
+    }
+
+    #[test]
+    fn same_location() {
+        assert!(Region::us("CA").same_location(&Region::us("CA")));
+        assert!(!Region::us("CA").same_location(&Region::us("OR")));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Region::ap("HK").to_string(), "AP-HK");
+        assert_eq!(Continent::AsiaPacific.to_string(), "AP");
+    }
+}

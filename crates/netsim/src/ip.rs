@@ -1,0 +1,241 @@
+//! IPv4 arithmetic, CIDR blocks, and address-structure predicates.
+//!
+//! §4.2 of the paper shows scanners discriminating on the *shape* of an IP
+//! address: avoiding addresses that look like broadcast addresses (a 255 in
+//! any octet, or specifically a trailing .255), and botnets preferring the
+//! first address of a /16. The predicates live here so both the scanner
+//! agents and the Figure 1 analysis use identical definitions.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Extension helpers on [`Ipv4Addr`].
+pub trait IpExt {
+    /// The address as a big-endian `u32`.
+    fn to_u32(&self) -> u32;
+    /// True if the final octet is 255 (classic /24 broadcast shape).
+    fn ends_in_255(&self) -> bool;
+    /// True if *any* octet is 255 (the sloppy broadcast filter the paper
+    /// hypothesizes: "incorrect filtering of broadcast addresses, in which
+    /// the position of the '255' octet is not checked").
+    fn has_255_octet(&self) -> bool;
+    /// True if this is the first address of its /16 (`x.y.0.0`) — the
+    /// address Mirai-like scanners are an order of magnitude more likely to
+    /// pick as their first target in a /16.
+    fn is_first_of_slash16(&self) -> bool;
+    /// The containing /24 network address.
+    fn slash24(&self) -> Ipv4Addr;
+    /// The containing /16 network address.
+    fn slash16(&self) -> Ipv4Addr;
+}
+
+/// Build an [`Ipv4Addr`] from a big-endian `u32`.
+pub fn ip_from_u32(v: u32) -> Ipv4Addr {
+    Ipv4Addr::from(v)
+}
+
+impl IpExt for Ipv4Addr {
+    fn to_u32(&self) -> u32 {
+        u32::from(*self)
+    }
+
+    fn ends_in_255(&self) -> bool {
+        self.octets()[3] == 255
+    }
+
+    fn has_255_octet(&self) -> bool {
+        self.octets().contains(&255)
+    }
+
+    fn is_first_of_slash16(&self) -> bool {
+        let o = self.octets();
+        o[2] == 0 && o[3] == 0
+    }
+
+    fn slash24(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.to_u32() & 0xFFFF_FF00)
+    }
+
+    fn slash16(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.to_u32() & 0xFFFF_0000)
+    }
+}
+
+/// An IPv4 CIDR block.
+///
+/// # Example
+///
+/// ```
+/// use cw_netsim::ip::{Cidr, IpExt};
+/// use std::net::Ipv4Addr;
+///
+/// let block = Cidr::new(Ipv4Addr::new(10, 0, 0, 0), 24);
+/// assert_eq!(block.size(), 256);
+/// assert!(block.last().ends_in_255());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cidr {
+    base: u32,
+    prefix: u8,
+}
+
+impl Cidr {
+    /// Create a block; the base address is masked to the prefix boundary.
+    ///
+    /// # Panics
+    /// Panics if `prefix > 32`.
+    pub fn new(base: Ipv4Addr, prefix: u8) -> Self {
+        assert!(prefix <= 32, "invalid prefix /{prefix}");
+        let mask = Self::mask(prefix);
+        Cidr {
+            base: base.to_u32() & mask,
+            prefix,
+        }
+    }
+
+    fn mask(prefix: u8) -> u32 {
+        if prefix == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix)
+        }
+    }
+
+    /// The (masked) network base address.
+    pub fn base(&self) -> Ipv4Addr {
+        ip_from_u32(self.base)
+    }
+
+    /// The prefix length.
+    pub fn prefix(&self) -> u8 {
+        self.prefix
+    }
+
+    /// Number of addresses in the block.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.prefix)
+    }
+
+    /// Does the block contain `ip`?
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        ip.to_u32() & Self::mask(self.prefix) == self.base
+    }
+
+    /// The `i`-th address of the block.
+    ///
+    /// # Panics
+    /// Panics if `i >= size()`.
+    pub fn nth(&self, i: u64) -> Ipv4Addr {
+        assert!(i < self.size(), "index {i} out of /{} block", self.prefix);
+        ip_from_u32(self.base + i as u32)
+    }
+
+    /// Offset of `ip` within the block, if contained.
+    pub fn offset_of(&self, ip: Ipv4Addr) -> Option<u64> {
+        if self.contains(ip) {
+            Some((ip.to_u32() - self.base) as u64)
+        } else {
+            None
+        }
+    }
+
+    /// Iterate over every address in the block.
+    pub fn iter(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        (0..self.size()).map(move |i| self.nth(i))
+    }
+
+    /// The last address of the block (network broadcast for /24 and wider).
+    pub fn last(&self) -> Ipv4Addr {
+        self.nth(self.size() - 1)
+    }
+}
+
+impl fmt::Display for Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.base(), self.prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn octet_predicates() {
+        let ip = Ipv4Addr::new(10, 0, 3, 255);
+        assert!(ip.ends_in_255());
+        assert!(ip.has_255_octet());
+        let ip = Ipv4Addr::new(10, 255, 3, 4);
+        assert!(!ip.ends_in_255());
+        assert!(ip.has_255_octet());
+        let ip = Ipv4Addr::new(10, 1, 2, 3);
+        assert!(!ip.has_255_octet());
+    }
+
+    #[test]
+    fn first_of_slash16() {
+        assert!(Ipv4Addr::new(10, 5, 0, 0).is_first_of_slash16());
+        assert!(!Ipv4Addr::new(10, 5, 0, 1).is_first_of_slash16());
+        assert!(!Ipv4Addr::new(10, 5, 1, 0).is_first_of_slash16());
+    }
+
+    #[test]
+    fn subnet_projections() {
+        let ip = Ipv4Addr::new(192, 168, 37, 201);
+        assert_eq!(ip.slash24(), Ipv4Addr::new(192, 168, 37, 0));
+        assert_eq!(ip.slash16(), Ipv4Addr::new(192, 168, 0, 0));
+    }
+
+    #[test]
+    fn cidr_basics() {
+        let c = Cidr::new(Ipv4Addr::new(10, 0, 0, 77), 24);
+        assert_eq!(c.base(), Ipv4Addr::new(10, 0, 0, 0));
+        assert_eq!(c.size(), 256);
+        assert!(c.contains(Ipv4Addr::new(10, 0, 0, 255)));
+        assert!(!c.contains(Ipv4Addr::new(10, 0, 1, 0)));
+        assert_eq!(c.nth(5), Ipv4Addr::new(10, 0, 0, 5));
+        assert_eq!(c.last(), Ipv4Addr::new(10, 0, 0, 255));
+        assert_eq!(c.offset_of(Ipv4Addr::new(10, 0, 0, 9)), Some(9));
+        assert_eq!(c.offset_of(Ipv4Addr::new(10, 0, 1, 9)), None);
+        assert_eq!(c.to_string(), "10.0.0.0/24");
+    }
+
+    #[test]
+    fn cidr_slash26() {
+        // The education honeypot networks are /26s (64 addresses).
+        let c = Cidr::new(Ipv4Addr::new(171, 64, 9, 64), 26);
+        assert_eq!(c.size(), 64);
+        assert_eq!(c.base(), Ipv4Addr::new(171, 64, 9, 64));
+        assert!(c.contains(Ipv4Addr::new(171, 64, 9, 127)));
+        assert!(!c.contains(Ipv4Addr::new(171, 64, 9, 128)));
+    }
+
+    #[test]
+    fn cidr_iter_covers_block() {
+        let c = Cidr::new(Ipv4Addr::new(10, 1, 2, 0), 30);
+        let ips: Vec<Ipv4Addr> = c.iter().collect();
+        assert_eq!(
+            ips,
+            vec![
+                Ipv4Addr::new(10, 1, 2, 0),
+                Ipv4Addr::new(10, 1, 2, 1),
+                Ipv4Addr::new(10, 1, 2, 2),
+                Ipv4Addr::new(10, 1, 2, 3),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn nth_out_of_range_panics() {
+        Cidr::new(Ipv4Addr::new(10, 0, 0, 0), 30).nth(4);
+    }
+
+    #[test]
+    fn prefix_zero_contains_everything() {
+        let c = Cidr::new(Ipv4Addr::new(0, 0, 0, 0), 0);
+        assert!(c.contains(Ipv4Addr::new(255, 255, 255, 255)));
+        assert_eq!(c.size(), 1 << 32);
+    }
+}

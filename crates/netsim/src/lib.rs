@@ -1,0 +1,49 @@
+//! # cw-netsim
+//!
+//! The simulated Internet underneath the Cloud Watching reproduction.
+//!
+//! The paper measured live scanning traffic arriving at honeypots and a
+//! network telescope. That world is not reproducible on a laptop, so this
+//! crate provides a deterministic, discrete-event substitute:
+//!
+//! - [`time`] — integer simulated time (no wall clock anywhere);
+//! - [`rng`] — SplitMix64 / Xoshiro256★★ PRNGs implemented from scratch and
+//!   validated against published reference vectors, so every table is
+//!   bit-reproducible across machines and toolchains;
+//! - [`ip`] — IPv4 arithmetic, CIDR blocks, and the address-structure
+//!   predicates scanners discriminate on (broadcast-looking octets,
+//!   first-of-/16 addresses);
+//! - [`asn`] — an autonomous-system registry seeded with the real ASes the
+//!   paper names (Chinanet, Cogent, PonyNet, Axtel, …);
+//! - [`geo`] — continents, countries, and the provider regions of Table 1;
+//! - [`flow`] — the unit of observed traffic (a connection attempt with an
+//!   intent: probe, first payload, or an interactive login);
+//! - [`topology`] — the simulated address plan (telescope /24s, cloud
+//!   blocks, education /26s);
+//! - [`engine`] — the discrete-event loop that wakes scanner agents and
+//!   routes their flows to registered listeners (honeypots, telescope).
+//!
+//! Everything above this crate — protocols, honeypots, scanners, analysis —
+//! treats these primitives as "the Internet".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asn;
+pub mod engine;
+pub mod flow;
+pub mod geo;
+pub mod ip;
+pub mod pcap;
+pub mod rng;
+pub mod time;
+pub mod topology;
+
+pub use asn::{AsCategory, AsInfo, AsRegistry, Asn};
+pub use engine::{Agent, AgentId, Engine, FlowOutcome, Listener, Network, RunStats, ServiceReply};
+pub use flow::{ConnectionIntent, Flow, FlowSpec, LoginService};
+pub use geo::{Continent, Region};
+pub use ip::{Cidr, IpExt};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use topology::{AddressBlock, Topology};

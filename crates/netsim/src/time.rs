@@ -1,0 +1,135 @@
+//! Simulated time: integer seconds since the start of a measurement window.
+//!
+//! The paper's measurement windows are one-week slices (July 1–7 of 2020,
+//! 2021, 2022). We model time as seconds from the start of such a window;
+//! no wall clock is consulted anywhere in the workspace, which keeps every
+//! experiment bit-reproducible.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (seconds since window start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The window start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Seconds since window start.
+    pub fn secs(self) -> u64 {
+        self.0
+    }
+
+    /// Zero-based hour index within the window (Table 3 is per-hour).
+    pub fn hour(self) -> u64 {
+        self.0 / 3600
+    }
+
+    /// Zero-based day index within the window.
+    pub fn day(self) -> u64 {
+        self.0 / 86_400
+    }
+
+    /// Saturating difference between two times.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// One simulated second.
+    pub const SECOND: SimDuration = SimDuration(1);
+    /// One simulated minute.
+    pub const MINUTE: SimDuration = SimDuration(60);
+    /// One simulated hour.
+    pub const HOUR: SimDuration = SimDuration(3600);
+    /// One simulated day.
+    pub const DAY: SimDuration = SimDuration(86_400);
+    /// The paper's one-week collection window.
+    pub const WEEK: SimDuration = SimDuration(7 * 86_400);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimDuration(s)
+    }
+
+    /// The span in seconds.
+    pub fn secs(self) -> u64 {
+        self.0
+    }
+
+    /// The span in whole hours (rounded down).
+    pub fn hours(self) -> u64 {
+        self.0 / 3600
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.day();
+        let h = (self.0 % 86_400) / 3600;
+        let m = (self.0 % 3600) / 60;
+        let s = self.0 % 60;
+        write!(f, "d{d} {h:02}:{m:02}:{s:02}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hour_and_day_indices() {
+        assert_eq!(SimTime(0).hour(), 0);
+        assert_eq!(SimTime(3599).hour(), 0);
+        assert_eq!(SimTime(3600).hour(), 1);
+        assert_eq!(SimTime(86_400).day(), 1);
+        assert_eq!((SimTime::ZERO + SimDuration::WEEK).hour(), 168);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime(100) + SimDuration::from_secs(50);
+        assert_eq!(t, SimTime(150));
+        assert_eq!(t.since(SimTime(100)), SimDuration(50));
+        // Saturating in both directions.
+        assert_eq!(SimTime(10).since(SimTime(20)), SimDuration(0));
+        assert_eq!(SimTime(10) - SimDuration(20), SimTime(0));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(SimTime(90_061).to_string(), "d1 01:01:01");
+    }
+
+    #[test]
+    fn week_constant() {
+        assert_eq!(SimDuration::WEEK.secs(), 604_800);
+        assert_eq!(SimDuration::WEEK.hours(), 168);
+    }
+}

@@ -1,0 +1,38 @@
+//! Android Debug Bridge: the `CNXN` handshake abused by cryptominer
+//! campaigns against exposed ADB (port 5555).
+
+/// Build an ADB CONNECT message (24-byte header + system identity).
+pub fn build_connect() -> Vec<u8> {
+    let ident = b"host::\x00";
+    let mut p = Vec::with_capacity(24 + ident.len());
+    p.extend_from_slice(b"CNXN"); // command
+    p.extend_from_slice(&0x0100_0000u32.to_le_bytes()); // version
+    p.extend_from_slice(&(256 * 1024u32).to_le_bytes()); // maxdata
+    p.extend_from_slice(&(ident.len() as u32).to_le_bytes());
+    let checksum: u32 = ident.iter().map(|&b| b as u32).sum();
+    p.extend_from_slice(&checksum.to_le_bytes());
+    p.extend_from_slice(&0xFFFF_FFB6u32.to_le_bytes()); // magic = cmd ^ 0xFFFFFFFF
+    p.extend_from_slice(ident);
+    p
+}
+
+/// Does this first payload look like an ADB CONNECT?
+pub fn is_adb(payload: &[u8]) -> bool {
+    payload.len() >= 24 && payload.starts_with(b"CNXN")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        assert!(is_adb(&build_connect()));
+    }
+
+    #[test]
+    fn rejects_others() {
+        assert!(!is_adb(b"CNXN")); // header must be complete
+        assert!(!is_adb(b"GET / HTTP/1.1\r\nlong enough padding here"));
+    }
+}

@@ -1,0 +1,27 @@
+//! Niagara Fox: the building-automation hello exchanged on ports 1911/4911.
+
+/// Build a Fox hello message.
+pub fn build_hello() -> Vec<u8> {
+    b"fox a 0 -1 fox hello\n{\nfox.version=s:1.0\n};;\n".to_vec()
+}
+
+/// Does this first payload look like Niagara Fox?
+pub fn is_fox(payload: &[u8]) -> bool {
+    payload.starts_with(b"fox ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        assert!(is_fox(&build_hello()));
+    }
+
+    #[test]
+    fn rejects_others() {
+        assert!(!is_fox(b"foxtrot"));
+        assert!(!is_fox(b"GET / HTTP/1.1"));
+    }
+}

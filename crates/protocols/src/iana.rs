@@ -1,0 +1,86 @@
+//! The IANA port → protocol assignment table (for the ports this study
+//! touches) and the deployment's "assigned service" convention.
+//!
+//! Telescopes that do not collect payloads "rely on the destination port to
+//! derive the target protocol" (§6) — that inference is exactly this table.
+//! The §6 result is that the inference is wrong for ≥15% of traffic.
+
+use crate::id::ProtocolId;
+
+/// The protocol IANA (or strong convention, for 2222/2323/8080) assigns to
+/// a TCP port, if the study tracks it.
+pub fn assigned_protocol(port: u16) -> Option<ProtocolId> {
+    Some(match port {
+        21 => return None, // FTP: observed but not one of the 13 fingerprints
+        22 | 2222 => ProtocolId::Ssh,
+        23 | 2323 => ProtocolId::Telnet,
+        80 | 8080 | 8000 | 8888 => ProtocolId::Http,
+        123 => ProtocolId::Ntp,
+        443 | 8443 => ProtocolId::Tls,
+        445 | 139 => ProtocolId::Smb,
+        554 => ProtocolId::Rtsp,
+        1433 | 3306 => ProtocolId::Sql,
+        1911 | 4911 => ProtocolId::Fox,
+        3389 => ProtocolId::Rdp,
+        5060 | 5061 => ProtocolId::Sip,
+        5555 => ProtocolId::Adb,
+        6379 => ProtocolId::Redis,
+        _ => return None,
+    })
+}
+
+/// Ports the GreyNoise sensors run interactive (Cowrie) services on.
+pub const COWRIE_PORTS: [u16; 4] = [22, 2222, 23, 2323];
+
+/// The "top ten most consistently targeted ports" used by the overlap
+/// analyses (Tables 8–9) — the paper's list.
+pub const POPULAR_PORTS: [u16; 10] = [23, 2323, 80, 8080, 21, 2222, 25, 7547, 22, 443];
+
+/// Is this port SSH-assigned by the deployment convention (22 or 2222)?
+pub fn is_ssh_assigned(port: u16) -> bool {
+    matches!(port, 22 | 2222)
+}
+
+/// Is this port Telnet-assigned by the deployment convention (23 or 2323)?
+pub fn is_telnet_assigned(port: u16) -> bool {
+    matches!(port, 23 | 2323)
+}
+
+/// Is this port HTTP-assigned (80 / 8080 / 8000 / 8888)?
+pub fn is_http_assigned(port: u16) -> bool {
+    assigned_protocol(port) == Some(ProtocolId::Http)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignments_cover_study_ports() {
+        assert_eq!(assigned_protocol(22), Some(ProtocolId::Ssh));
+        assert_eq!(assigned_protocol(2222), Some(ProtocolId::Ssh));
+        assert_eq!(assigned_protocol(23), Some(ProtocolId::Telnet));
+        assert_eq!(assigned_protocol(80), Some(ProtocolId::Http));
+        assert_eq!(assigned_protocol(8080), Some(ProtocolId::Http));
+        assert_eq!(assigned_protocol(443), Some(ProtocolId::Tls));
+        assert_eq!(assigned_protocol(445), Some(ProtocolId::Smb));
+        assert_eq!(assigned_protocol(3389), Some(ProtocolId::Rdp));
+        assert_eq!(assigned_protocol(12345), None);
+    }
+
+    #[test]
+    fn convention_predicates() {
+        assert!(is_ssh_assigned(22) && is_ssh_assigned(2222));
+        assert!(!is_ssh_assigned(23));
+        assert!(is_telnet_assigned(23) && is_telnet_assigned(2323));
+        assert!(is_http_assigned(80) && is_http_assigned(8080));
+        assert!(!is_http_assigned(443));
+    }
+
+    #[test]
+    fn popular_ports_include_table8_rows() {
+        for p in [23, 2323, 80, 8080, 21, 2222, 25, 7547, 22, 443] {
+            assert!(POPULAR_PORTS.contains(&p));
+        }
+    }
+}

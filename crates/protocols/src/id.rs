@@ -1,0 +1,110 @@
+//! Protocol identities: the 13 LZR fingerprinting targets.
+
+use std::fmt;
+
+/// One of the 13 TCP protocols the §6 pipeline fingerprints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProtocolId {
+    /// Hypertext Transfer Protocol.
+    Http,
+    /// TLS (a ClientHello as first payload).
+    Tls,
+    /// Secure Shell.
+    Ssh,
+    /// Telnet.
+    Telnet,
+    /// Server Message Block.
+    Smb,
+    /// Real Time Streaming Protocol.
+    Rtsp,
+    /// Session Initiation Protocol.
+    Sip,
+    /// Network Time Protocol (TCP-wrapped probe).
+    Ntp,
+    /// Remote Desktop Protocol.
+    Rdp,
+    /// Android Debug Bridge.
+    Adb,
+    /// Niagara Fox (building automation).
+    Fox,
+    /// Redis.
+    Redis,
+    /// SQL (TDS prelogin-style probe).
+    Sql,
+}
+
+impl ProtocolId {
+    /// All 13 protocols in fingerprinting priority order.
+    pub const ALL: [ProtocolId; 13] = [
+        ProtocolId::Tls,
+        ProtocolId::Http,
+        ProtocolId::Rtsp,
+        ProtocolId::Sip,
+        ProtocolId::Ssh,
+        ProtocolId::Smb,
+        ProtocolId::Rdp,
+        ProtocolId::Adb,
+        ProtocolId::Fox,
+        ProtocolId::Redis,
+        ProtocolId::Sql,
+        ProtocolId::Ntp,
+        ProtocolId::Telnet,
+    ];
+
+    /// Canonical upper-case label (matches the paper's tables).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProtocolId::Http => "HTTP",
+            ProtocolId::Tls => "TLS",
+            ProtocolId::Ssh => "SSH",
+            ProtocolId::Telnet => "TELNET",
+            ProtocolId::Smb => "SMB",
+            ProtocolId::Rtsp => "RTSP",
+            ProtocolId::Sip => "SIP",
+            ProtocolId::Ntp => "NTP",
+            ProtocolId::Rdp => "RDP",
+            ProtocolId::Adb => "ADB",
+            ProtocolId::Fox => "FOX",
+            ProtocolId::Redis => "REDIS",
+            ProtocolId::Sql => "SQL",
+        }
+    }
+
+    /// Parse a label produced by [`label`](Self::label).
+    pub fn from_label(s: &str) -> Option<ProtocolId> {
+        Self::ALL.iter().copied().find(|p| p.label() == s)
+    }
+}
+
+impl fmt::Display for ProtocolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_13_distinct() {
+        let mut v = ProtocolId::ALL.to_vec();
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), 13);
+    }
+
+    #[test]
+    fn label_round_trips() {
+        for p in ProtocolId::ALL {
+            assert_eq!(ProtocolId::from_label(p.label()), Some(p));
+        }
+        assert_eq!(ProtocolId::from_label("GOPHER"), None);
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(ProtocolId::Http.to_string(), "HTTP");
+        assert_eq!(ProtocolId::Telnet.to_string(), "TELNET");
+    }
+}

@@ -1,0 +1,41 @@
+//! # cw-protocols
+//!
+//! Wire formats for the 13 TCP scanning protocols the paper's §6 analysis
+//! fingerprints with LZR: HTTP, TLS, SSH, Telnet, SMB, RTSP, SIP, NTP, RDP,
+//! ADB, FOX, Redis, and SQL.
+//!
+//! Every codec works on real bytes: scanner agents *build* first payloads
+//! with these modules, honeypots and the rule engine *parse* them, and
+//! [`fingerprint()`] identifies the protocol of an arbitrary first payload the
+//! way LZR does — which is how the §6 pipeline discovers that ≥15% of
+//! traffic to ports 80/8080 is not HTTP at all.
+//!
+//! [`iana`] provides the port → assigned-protocol table that telescopes and
+//! naive honeypots implicitly assume, and [`http::normalize`] implements the
+//! §3.3 payload normalization (dropping Date / Host / Content-Length) used
+//! before payload comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adb;
+pub mod fingerprint;
+pub mod fox;
+pub mod http;
+pub mod iana;
+pub mod id;
+pub mod ntp;
+pub mod rdp;
+pub mod redis;
+pub mod rtsp;
+pub mod sip;
+pub mod smb;
+pub mod sql;
+pub mod ssh;
+pub mod telnet;
+pub mod tls;
+
+pub use fingerprint::fingerprint;
+pub use http::HttpRequest;
+pub use iana::assigned_protocol;
+pub use id::ProtocolId;

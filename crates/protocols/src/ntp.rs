@@ -1,0 +1,31 @@
+//! NTP client probes (mode 3), as carried over TCP by port-agnostic
+//! scanners probing for time services.
+
+/// Build a 48-byte NTPv4 client request (LI=0, VN=4, Mode=3).
+pub fn build_client_request() -> Vec<u8> {
+    let mut p = vec![0u8; 48];
+    p[0] = 0x23; // 00 100 011 → LI 0, VN 4, mode 3 (client)
+    p
+}
+
+/// Does this first payload look like an NTP client packet?
+pub fn is_ntp(payload: &[u8]) -> bool {
+    payload.len() == 48 && (payload[0] & 0x07) == 3 && (payload[0] >> 6) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        assert!(is_ntp(&build_client_request()));
+    }
+
+    #[test]
+    fn rejects_wrong_size_or_mode() {
+        assert!(!is_ntp(&[0x23; 47]));
+        assert!(!is_ntp(&[0x24; 48])); // mode 4 = server
+        assert!(!is_ntp(b"GET / HTTP/1.1"));
+    }
+}

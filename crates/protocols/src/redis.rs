@@ -1,0 +1,38 @@
+//! Redis RESP: the unauthenticated-Redis probes cryptominer campaigns send.
+
+/// Build a RESP array command, e.g. `["INFO"]` or `["CONFIG","GET","*"]`.
+pub fn build_command(args: &[&str]) -> Vec<u8> {
+    let mut out = format!("*{}\r\n", args.len()).into_bytes();
+    for a in args {
+        out.extend_from_slice(format!("${}\r\n{a}\r\n", a.len()).as_bytes());
+    }
+    out
+}
+
+/// Does this first payload look like a RESP command (or inline `PING`)?
+pub fn is_redis(payload: &[u8]) -> bool {
+    (payload.len() >= 4
+        && payload[0] == b'*'
+        && payload[1].is_ascii_digit()
+        && crate::http::find_subslice(payload, b"\r\n$").is_some())
+        || payload.starts_with(b"PING\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let p = build_command(&["CONFIG", "GET", "*"]);
+        assert_eq!(&p[..4], b"*3\r\n");
+        assert!(is_redis(&p));
+        assert!(is_redis(b"PING\r\n"));
+    }
+
+    #[test]
+    fn rejects_others() {
+        assert!(!is_redis(b"* hello"));
+        assert!(!is_redis(b"GET / HTTP/1.1"));
+    }
+}

@@ -1,0 +1,38 @@
+//! RTSP (RFC 2326): OPTIONS/DESCRIBE probes, the camera-scanner staple.
+
+/// Build an RTSP request.
+pub fn build_request(method: &str, target: &str) -> Vec<u8> {
+    format!("{method} {target} RTSP/1.0\r\nCSeq: 1\r\n\r\n").into_bytes()
+}
+
+/// Does this first payload look like an RTSP request?
+pub fn is_rtsp(payload: &[u8]) -> bool {
+    let line_end = payload
+        .iter()
+        .position(|&b| b == b'\r' || b == b'\n')
+        .unwrap_or(payload.len());
+    match std::str::from_utf8(&payload[..line_end]) {
+        Ok(line) => line.ends_with("RTSP/1.0") && line.split(' ').count() >= 3,
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let p = build_request("OPTIONS", "rtsp://10.0.0.1/");
+        assert!(is_rtsp(&p));
+    }
+
+    #[test]
+    fn not_confused_with_http() {
+        assert!(!is_rtsp(b"GET / HTTP/1.1\r\n\r\n"));
+        assert!(!crate::http::looks_like_http(&build_request(
+            "DESCRIBE",
+            "rtsp://x/"
+        )));
+    }
+}

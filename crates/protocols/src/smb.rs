@@ -1,0 +1,52 @@
+//! SMB: NetBIOS-framed SMB1/SMB2 negotiate requests.
+
+/// Build a minimal SMB1 Negotiate Protocol request with NetBIOS session
+/// framing (what `smbclient`-era scanners and EternalBlue probes send).
+pub fn build_negotiate() -> Vec<u8> {
+    // SMB1 header: \xFFSMB + command 0x72 (Negotiate) + zeroed fields.
+    let mut smb = Vec::new();
+    smb.extend_from_slice(b"\xffSMB");
+    smb.push(0x72);
+    smb.extend_from_slice(&[0u8; 27]); // status, flags, extra, tid, pid, uid, mid
+    smb.push(0x00); // word count
+    let dialect = b"\x02NT LM 0.12\x00";
+    smb.extend_from_slice(&(dialect.len() as u16).to_le_bytes());
+    smb.extend_from_slice(dialect);
+
+    // NetBIOS session header: type 0 + 24-bit length.
+    let mut out = Vec::with_capacity(smb.len() + 4);
+    out.push(0x00);
+    let len = smb.len() as u32;
+    out.extend_from_slice(&[(len >> 16) as u8, (len >> 8) as u8, len as u8]);
+    out.extend_from_slice(&smb);
+    out
+}
+
+/// Does this first payload look like SMB (SMB1 `\xFFSMB` or SMB2 `\xFESMB`
+/// at the NetBIOS payload offset, or unframed)?
+pub fn is_smb(payload: &[u8]) -> bool {
+    let magic = |b: &[u8]| b.starts_with(b"\xffSMB") || b.starts_with(b"\xfeSMB");
+    magic(payload) || (payload.len() > 8 && magic(&payload[4..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negotiate_is_detected() {
+        let p = build_negotiate();
+        assert!(is_smb(&p));
+        // NetBIOS length field matches.
+        let len = ((p[1] as usize) << 16) | ((p[2] as usize) << 8) | p[3] as usize;
+        assert_eq!(len, p.len() - 4);
+    }
+
+    #[test]
+    fn unframed_and_smb2_magic() {
+        assert!(is_smb(b"\xffSMBrest"));
+        assert!(is_smb(b"\xfeSMBrest"));
+        assert!(!is_smb(b"GET / HTTP/1.1"));
+        assert!(!is_smb(b""));
+    }
+}

@@ -1,0 +1,59 @@
+//! SSH identification strings (RFC 4253 §4.2).
+//!
+//! SSH clients send their version banner immediately after the TCP
+//! handshake, so first-payload collectors see `SSH-2.0-…\r\n`.
+
+/// Build a client identification banner for the given software name.
+pub fn build_banner(software: &str) -> Vec<u8> {
+    format!("SSH-2.0-{software}\r\n").into_bytes()
+}
+
+/// Does this first payload look like an SSH identification string?
+pub fn is_ssh_banner(payload: &[u8]) -> bool {
+    payload.starts_with(b"SSH-")
+}
+
+/// Extract the software token from a banner (`SSH-2.0-<software>`).
+pub fn software_of(payload: &[u8]) -> Option<String> {
+    if !is_ssh_banner(payload) {
+        return None;
+    }
+    let line_end = payload
+        .iter()
+        .position(|&b| b == b'\r' || b == b'\n')
+        .unwrap_or(payload.len());
+    let line = std::str::from_utf8(&payload[..line_end]).ok()?;
+    // SSH-protoversion-softwareversion [SP comments]
+    let mut parts = line.splitn(3, '-');
+    parts.next()?; // "SSH"
+    parts.next()?; // protocol version
+    let rest = parts.next()?;
+    Some(rest.split(' ').next().unwrap_or(rest).to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banner_round_trip() {
+        let b = build_banner("OpenSSH_8.9");
+        assert!(is_ssh_banner(&b));
+        assert_eq!(software_of(&b).as_deref(), Some("OpenSSH_8.9"));
+    }
+
+    #[test]
+    fn software_with_comment() {
+        assert_eq!(
+            software_of(b"SSH-2.0-Go comment here\r\n").as_deref(),
+            Some("Go")
+        );
+    }
+
+    #[test]
+    fn rejects_non_ssh() {
+        assert!(!is_ssh_banner(b"GET / HTTP/1.1"));
+        assert_eq!(software_of(b"HTTP"), None);
+        assert_eq!(software_of(b"SSH-"), None);
+    }
+}

@@ -1,0 +1,171 @@
+//! Credential dictionaries: global brute-force lists plus the regionally
+//! tailored variants the paper observes.
+//!
+//! §5.1: "the top attempted Telnet usernames for most geographic regions
+//! are 'root', 'admin', and 'support'. However, honeypots within the AWS
+//! Australia region … are most targeted with 'mother' and 'e8ehome', a
+//! credential often used by the Mirai botnet targeting Huawei devices."
+
+/// A (username, password) pair.
+pub type Credential = (&'static str, &'static str);
+
+/// The global Telnet dictionary (Mirai-style defaults).
+pub const TELNET_GLOBAL: &[Credential] = &[
+    ("root", "xc3511"),
+    ("root", "vizxv"),
+    ("admin", "admin"),
+    ("root", "admin"),
+    ("support", "support"),
+    ("root", "root"),
+    ("admin", "password"),
+    ("root", "888888"),
+    ("root", "default"),
+    ("user", "user"),
+];
+
+/// The global SSH dictionary. Note the shape: usernames vary widely across
+/// entries while the passwords concentrate on a few universal defaults —
+/// the §4.1 measurement shows neighboring honeypots' *usernames* diverging
+/// (55%) while their top passwords rarely do (4%).
+pub const SSH_GLOBAL: &[Credential] = &[
+    ("root", "123456"),
+    ("admin", "123456"),
+    ("root", "password"),
+    ("ubuntu", "123456"),
+    ("test", "password"),
+    ("oracle", "123456"),
+    ("postgres", "password"),
+    ("pi", "123456"),
+    ("git", "password"),
+    ("user", "123456"),
+];
+
+/// Telnet credentials aimed at Huawei CPE gear, dominant in AWS Australia.
+pub const TELNET_AP_AU: &[Credential] = &[
+    ("mother", "fer"),
+    ("e8ehome", "e8ehome"),
+    ("root", "e8ehome"),
+    ("e8telnet", "e8telnet"),
+    ("mother", "mother"),
+];
+
+/// Telnet passwords seen concentrated in AP Singapore deployments.
+pub const TELNET_AP_SG: &[Credential] = &[
+    ("root", "5up"),
+    ("root", "Zte521"),
+    ("admin", "Zte521"),
+    ("root", "zlxx."),
+    ("admin", "OxhlwSG8"),
+];
+
+/// SSH credentials tailored to Korean/Japanese hosting defaults.
+pub const SSH_AP_KR_JP: &[Credential] = &[
+    ("root", "qwer1234"),
+    ("root", "p@ssw0rd"),
+    ("admin", "1111"),
+    ("nas", "nas"),
+    ("root", "tmdwn123"),
+];
+
+/// SSH credentials aimed at Chinese cloud images.
+pub const SSH_CN: &[Credential] = &[
+    ("root", "Huawei@123"),
+    ("root", "admin@123"),
+    ("root", "Ab123456"),
+    ("root", "aliyun.com"),
+];
+
+/// Telnet passwords observed spiking in Canadian (Toronto) regions.
+pub const TELNET_CA_TOR: &[Credential] = &[
+    ("root", "hunt5759"),
+    ("admin", "7ujMko0admin"),
+    ("root", "klv123"),
+];
+
+/// The extended SSH list used by search-engine miners: §4.3 finds that
+/// "attackers will attempt on average 3 times more unique SSH passwords on
+/// leaked compared to non-leaked services" — miners go deeper than the
+/// background brute-force population.
+pub const SSH_MINER: &[Credential] = &[
+    ("root", "123456"),
+    ("root", "password"),
+    ("admin", "admin"),
+    ("root", "toor"),
+    ("root", "1qaz2wsx"),
+    ("root", "qwerty123"),
+    ("root", "P@ssw0rd!"),
+    ("root", "changeme"),
+    ("root", "letmein"),
+    ("root", "server"),
+    ("deploy", "deploy"),
+    ("www", "www"),
+    ("ftpuser", "ftpuser"),
+    ("jenkins", "jenkins"),
+    ("hadoop", "hadoop"),
+    ("es", "elastic"),
+    ("minecraft", "minecraft"),
+    ("steam", "steam"),
+    ("vagrant", "vagrant"),
+    ("centos", "centos"),
+    ("debian", "debian"),
+    ("admin", "admin123"),
+    ("root", "root@123"),
+    ("root", "abc123!"),
+];
+
+/// The named dictionaries, for data-driven configuration.
+pub fn dictionary(name: &str) -> Option<&'static [Credential]> {
+    Some(match name {
+        "telnet-global" => TELNET_GLOBAL,
+        "ssh-global" => SSH_GLOBAL,
+        "ssh-miner" => SSH_MINER,
+        "telnet-ap-au" => TELNET_AP_AU,
+        "telnet-ap-sg" => TELNET_AP_SG,
+        "ssh-ap-kr-jp" => SSH_AP_KR_JP,
+        "ssh-cn" => SSH_CN,
+        "telnet-ca-tor" => TELNET_CA_TOR,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_lists_have_the_paper_top3() {
+        let users: Vec<&str> = TELNET_GLOBAL.iter().map(|(u, _)| *u).collect();
+        assert!(users.contains(&"root"));
+        assert!(users.contains(&"admin"));
+        assert!(users.contains(&"support"));
+    }
+
+    #[test]
+    fn au_list_has_huawei_credentials() {
+        let users: Vec<&str> = TELNET_AP_AU.iter().map(|(u, _)| *u).collect();
+        assert!(users.contains(&"mother"));
+        assert!(users.contains(&"e8ehome"));
+    }
+
+    #[test]
+    fn dictionary_lookup() {
+        assert_eq!(dictionary("telnet-global"), Some(TELNET_GLOBAL));
+        assert_eq!(dictionary("ssh-cn"), Some(SSH_CN));
+        assert_eq!(dictionary("nope"), None);
+    }
+
+    #[test]
+    fn no_empty_dictionaries() {
+        for name in [
+            "telnet-global",
+            "ssh-global",
+            "telnet-ap-au",
+            "telnet-ap-sg",
+            "ssh-ap-kr-jp",
+            "ssh-cn",
+            "telnet-ca-tor",
+        ] {
+            assert!(!dictionary(name).unwrap().is_empty(), "{name} empty");
+        }
+    }
+}

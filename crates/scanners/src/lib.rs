@@ -1,0 +1,58 @@
+//! # cw-scanners
+//!
+//! The simulated scanner and attacker population — the "world" whose
+//! targeting biases the paper measures. Each module encodes one behavioral
+//! archetype the paper identifies, as a real agent that selects targets and
+//! crafts real wire payloads:
+//!
+//! - [`zmap`] — uniform sub-sampled Internet-wide research/unknown scanners
+//!   (they scan telescopes too; most scanning traffic looks like this);
+//! - [`search_engine`] — Censys & Shodan: benign indexers that scan, learn
+//!   banners, and publish an index other actors mine;
+//! - [`miner`] — attackers who query the search-engine indexes and burst
+//!   ("spike") traffic at newly listed services (§4.3);
+//! - [`mirai`] — Telnet-credential botnets that do *not* avoid dark space,
+//!   plus the /16-first-address preference seen on port 22 (§4.2);
+//! - [`tsunami`] — the single-target-latching botnet (§4.1, Figure 1d);
+//! - [`structure`] — scanners that filter "broadcast-looking" addresses
+//!   (trailing .255, or a 255 in any octet) (§4.2, Figures 1b–c);
+//! - [`bruteforce`] — SSH/Telnet credential attackers with geographically
+//!   tailored dictionaries (§5.1) that largely avoid telescopes (§5.2);
+//! - [`webexploit`] — HTTP exploit campaigns (Log4Shell, router RCEs, …);
+//! - [`nmap`] — the Avast/M247/CDN77 campaigns that avoid Censys-listed
+//!   services (§4.3);
+//! - [`unexpected`] — scanners that speak TLS/Telnet/SQL/… to HTTP ports
+//!   (§6);
+//! - [`population`] — assembles the full year-scenario actor mix.
+//!
+//! Shared machinery: [`identity`] (actor identities and source-address
+//! allocation), [`credentials`] (global + regional dictionaries),
+//! [`exploits`] (the malicious payload corpus matched by `cw-detection`'s
+//! ruleset), [`targets`] (target planning over the deployment topology),
+//! and [`campaign`] (the generic paced scan agent).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bruteforce;
+pub mod campaign;
+pub mod credentials;
+pub mod exploits;
+pub mod fingerprinting;
+pub mod identity;
+pub mod miner;
+pub mod mirai;
+pub mod nmap;
+pub mod population;
+pub mod search_engine;
+pub mod structure;
+pub mod targets;
+pub mod tsunami;
+pub mod unexpected;
+pub mod webexploit;
+pub mod zmap;
+
+pub use campaign::Campaign;
+pub use identity::{ActorIdentity, SrcAllocator};
+pub use population::{Population, PopulationConfig, ScenarioYear};
+pub use search_engine::{IndexEntry, SearchEngine, SearchIndex};

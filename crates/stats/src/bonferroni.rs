@@ -1,0 +1,68 @@
+//! Bonferroni correction for families of simultaneous comparisons.
+//!
+//! §3.3: "we use a p-value of 0.05 and apply Bonferroni correction to
+//! accommodate the comparisons across all vantage points. Often, Bonferroni
+//! correction shrinks p-values by several orders of magnitude."
+
+/// The family-wise significance level after Bonferroni correction:
+/// `alpha / m` for `m` simultaneous comparisons.
+///
+/// # Panics
+/// Panics if `m == 0` — an empty comparison family is a caller bug.
+pub fn bonferroni_alpha(alpha: f64, m: usize) -> f64 {
+    assert!(m > 0, "Bonferroni correction needs at least one comparison");
+    alpha / m as f64
+}
+
+/// Adjust raw p-values for `m = p_values.len()` comparisons: each p-value is
+/// multiplied by `m` and clipped to 1. A test is then significant when its
+/// adjusted p-value is below the uncorrected `alpha`.
+pub fn bonferroni_correct(p_values: &[f64]) -> Vec<f64> {
+    let m = p_values.len() as f64;
+    p_values.iter().map(|&p| (p * m).min(1.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_shrinks_linearly() {
+        assert!((bonferroni_alpha(0.05, 1) - 0.05).abs() < 1e-15);
+        assert!((bonferroni_alpha(0.05, 10) - 0.005).abs() < 1e-15);
+        // 53 neighborhoods × several characteristics → orders of magnitude.
+        assert!(bonferroni_alpha(0.05, 5000) < 1e-4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_comparisons_is_a_bug() {
+        bonferroni_alpha(0.05, 0);
+    }
+
+    #[test]
+    fn correction_clips_at_one() {
+        let adj = bonferroni_correct(&[0.001, 0.04, 0.5]);
+        assert!((adj[0] - 0.003).abs() < 1e-12);
+        assert!((adj[1] - 0.12).abs() < 1e-12);
+        assert!((adj[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_test_unchanged() {
+        let adj = bonferroni_correct(&[0.03]);
+        assert!((adj[0] - 0.03).abs() < 1e-15);
+    }
+
+    #[test]
+    fn decision_equivalence() {
+        // p < alpha/m  ⇔  p*m < alpha
+        let ps = [0.0004, 0.02, 0.06];
+        let m = ps.len();
+        let alpha = 0.05;
+        let adj = bonferroni_correct(&ps);
+        for (p, a) in ps.iter().zip(&adj) {
+            assert_eq!(*p < bonferroni_alpha(alpha, m), *a < alpha);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Contingency tables: the input shape for chi-squared comparison.
+//!
+//! A table has one **row per group** (e.g. per vantage point) and one
+//! **column per category** (e.g. per scanning AS). Cells hold observed
+//! counts. The paper requires the expected frequency of every retained
+//! variable to be non-zero (§3.3), so the table offers a pruning step that
+//! drops all-zero rows and columns before testing.
+
+/// A rows × cols table of observed counts, with labeled columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContingencyTable {
+    /// Category label per column (e.g. AS number as a string, a username…).
+    pub categories: Vec<String>,
+    /// Observed counts: `counts[row][col]`.
+    pub counts: Vec<Vec<u64>>,
+}
+
+impl ContingencyTable {
+    /// Build a table from labeled columns and per-group count rows.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths or don't match `categories`.
+    pub fn new(categories: Vec<String>, counts: Vec<Vec<u64>>) -> Self {
+        for (i, row) in counts.iter().enumerate() {
+            assert_eq!(
+                row.len(),
+                categories.len(),
+                "row {i} has {} cells but there are {} categories",
+                row.len(),
+                categories.len()
+            );
+        }
+        Self { categories, counts }
+    }
+
+    /// Number of group rows.
+    pub fn n_rows(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of category columns.
+    pub fn n_cols(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// Grand total of all observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Row sums (observations per group).
+    pub fn row_totals(&self) -> Vec<u64> {
+        self.counts.iter().map(|r| r.iter().sum()).collect()
+    }
+
+    /// Column sums (observations per category).
+    pub fn col_totals(&self) -> Vec<u64> {
+        let mut totals = vec![0u64; self.n_cols()];
+        for row in &self.counts {
+            for (c, &v) in row.iter().enumerate() {
+                totals[c] += v;
+            }
+        }
+        totals
+    }
+
+    /// Expected frequency for each cell under independence:
+    /// `E[r][c] = row_total[r] * col_total[c] / grand_total`.
+    pub fn expected(&self) -> Vec<Vec<f64>> {
+        let rows = self.row_totals();
+        let cols = self.col_totals();
+        let n = self.total() as f64;
+        rows.iter()
+            .map(|&rt| {
+                cols.iter()
+                    .map(|&ct| {
+                        if n == 0.0 {
+                            0.0
+                        } else {
+                            rt as f64 * ct as f64 / n
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Drop all-zero rows and all-zero columns.
+    ///
+    /// Zero marginals make the expected frequency of a cell zero, which the
+    /// chi-squared test cannot accommodate (§3.3); pruning them is exactly
+    /// the paper's "ensure the expected frequency of a variable is larger
+    /// than zero" step.
+    pub fn pruned(&self) -> ContingencyTable {
+        let col_keep: Vec<bool> = self.col_totals().iter().map(|&t| t > 0).collect();
+        let categories: Vec<String> = self
+            .categories
+            .iter()
+            .zip(&col_keep)
+            .filter(|(_, &k)| k)
+            .map(|(c, _)| c.clone())
+            .collect();
+        let counts: Vec<Vec<u64>> = self
+            .counts
+            .iter()
+            .filter(|row| row.iter().any(|&v| v > 0))
+            .map(|row| {
+                row.iter()
+                    .zip(&col_keep)
+                    .filter(|(_, &k)| k)
+                    .map(|(&v, _)| v)
+                    .collect()
+            })
+            .collect();
+        ContingencyTable { categories, counts }
+    }
+
+    /// True when the pruned table is still testable: at least 2 rows and
+    /// 2 columns with positive marginals.
+    pub fn is_testable(&self) -> bool {
+        let p = self.pruned();
+        p.n_rows() >= 2 && p.n_cols() >= 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cats(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn totals_and_expected() {
+        let t = ContingencyTable::new(cats(&["a", "b"]), vec![vec![10, 20], vec![30, 40]]);
+        assert_eq!(t.total(), 100);
+        assert_eq!(t.row_totals(), vec![30, 70]);
+        assert_eq!(t.col_totals(), vec![40, 60]);
+        let e = t.expected();
+        assert!((e[0][0] - 12.0).abs() < 1e-12);
+        assert!((e[0][1] - 18.0).abs() < 1e-12);
+        assert!((e[1][0] - 28.0).abs() < 1e-12);
+        assert!((e[1][1] - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pruning_drops_zero_marginals() {
+        let t = ContingencyTable::new(
+            cats(&["a", "zero", "b"]),
+            vec![vec![5, 0, 1], vec![0, 0, 0], vec![2, 0, 7]],
+        );
+        let p = t.pruned();
+        assert_eq!(p.categories, cats(&["a", "b"]));
+        assert_eq!(p.counts, vec![vec![5, 1], vec![2, 7]]);
+        assert!(p.is_testable());
+    }
+
+    #[test]
+    fn untestable_when_single_category_survives() {
+        let t = ContingencyTable::new(cats(&["a", "b"]), vec![vec![5, 0], vec![9, 0]]);
+        assert!(!t.is_testable());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_ragged_rows() {
+        ContingencyTable::new(cats(&["a", "b"]), vec![vec![1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn empty_table_total_zero() {
+        let t = ContingencyTable::new(vec![], vec![]);
+        assert_eq!(t.total(), 0);
+        assert!(!t.is_testable());
+    }
+}

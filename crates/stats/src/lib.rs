@@ -1,0 +1,48 @@
+//! # cw-stats
+//!
+//! Statistical machinery used by the Cloud Watching measurement pipeline.
+//!
+//! The paper (§3.3) compares unsolicited scanning traffic across vantage
+//! points with a specific, reproducible recipe:
+//!
+//! 1. extract the **top-3** values of a traffic characteristic (top ASes,
+//!    usernames, passwords, payloads) per vantage point ([`topk`]);
+//! 2. build a contingency table over the union of those top-3 sets
+//!    ([`contingency`]);
+//! 3. run a non-parametric **chi-squared test** ([`chi2`]) at p = 0.05 with
+//!    **Bonferroni correction** across all pairwise comparisons
+//!    ([`bonferroni`]);
+//! 4. report the **Cramér's V** effect size φ together with a
+//!    degrees-of-freedom-aware magnitude label ([`cramers`]).
+//!
+//! The search-engine leak experiment (§4.3) additionally uses a one-sided
+//! **Mann–Whitney U** test on per-hour traffic volumes ([`mannwhitney`]) and
+//! a two-sample **Kolmogorov–Smirnov** test to detect traffic "spikes"
+//! ([`ks`]).
+//!
+//! Everything is implemented from scratch on `std` only; the special
+//! functions in [`special`] are validated against published reference values
+//! in the unit tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bonferroni;
+pub mod chi2;
+pub mod contingency;
+pub mod cramers;
+pub mod descriptive;
+pub mod ks;
+pub mod mannwhitney;
+pub mod special;
+pub mod spikes;
+pub mod topk;
+
+pub use bonferroni::{bonferroni_alpha, bonferroni_correct};
+pub use chi2::{chi_squared_from_table, Chi2Result};
+pub use contingency::ContingencyTable;
+pub use cramers::{cramers_v, EffectMagnitude, EffectSize};
+pub use ks::{ks_two_sample, KsResult};
+pub use mannwhitney::{mann_whitney_u, Alternative, MannWhitneyResult};
+pub use spikes::{detect_spikes, spike_profile, Spike, SpikeProfile};
+pub use topk::{top_k_union_table, TopKSpec};
