@@ -1,18 +1,71 @@
 //! Regenerate every table and figure in one run (shares scenario runs
 //! across exhibits of the same year).
+//!
+//! The four independent simulations (2021 main, leak experiment, 2020 and
+//! 2022 appendix) run as a [`cw_core::fleet`] — each worker renders its
+//! sections to strings, and the main thread prints them in canonical
+//! order, so stdout is byte-identical for any `--threads`/`CW_THREADS`
+//! value.
 
-use cw_bench::{header, parse_args, scenario, RunOptions};
+use cw_bench::{header_str, parse_args, run_config, threads, RunOptions};
 use cw_core::compare::CharKind;
 use cw_core::dataset::TrafficSlice;
+use cw_core::fleet;
 use cw_core::leak::{run as run_leak, LeakConfig, LeakGroup, LeakService};
 use cw_core::report::{fold_cell, pct, phi_value, TextTable};
+use cw_core::scenario::ScenarioConfig;
 use cw_scanners::population::ScenarioYear;
+
+/// One independent simulation, rendered to its output sections.
+enum Job {
+    /// The 2021 scenario: Tables 2, 4, 8/9, 11+§3.2, Figure 1, Table 7.
+    Main2021,
+    /// The Table 3 leak experiment (its own world and seed).
+    Leak,
+    /// An appendix-year snapshot.
+    Appendix(ScenarioYear),
+}
 
 fn main() {
     let opts = parse_args();
-    let s21 = scenario(opts, ScenarioYear::Y2021);
+    let jobs = vec![
+        Job::Main2021,
+        Job::Leak,
+        Job::Appendix(ScenarioYear::Y2020),
+        Job::Appendix(ScenarioYear::Y2022),
+    ];
+    let mut rendered = fleet::map(jobs, threads(opts), |_, job| render(job, opts));
+    // Canonical print order interleaves the 2021 sections with the leak
+    // experiment exactly as the serial version always did.
+    let app2022 = rendered.pop().unwrap();
+    let app2020 = rendered.pop().unwrap();
+    let leak = rendered.pop().unwrap();
+    let mut main2021 = rendered.pop().unwrap();
+    print!("{}", main2021.remove(0)); // Table 2
+    for s in leak {
+        print!("{s}"); // Table 3
+    }
+    for s in main2021 {
+        print!("{s}"); // Tables 4, 8/9, 11+§3.2, Figure 1, Table 7 sample
+    }
+    for s in app2020.into_iter().chain(app2022) {
+        print!("{s}");
+    }
+}
 
-    header("Table 2 (2021 neighborhoods)");
+fn render(job: Job, opts: RunOptions) -> Vec<String> {
+    match job {
+        Job::Main2021 => render_2021(opts),
+        Job::Leak => vec![render_leak(opts)],
+        Job::Appendix(year) => vec![render_appendix(opts, year)],
+    }
+}
+
+fn render_2021(opts: RunOptions) -> Vec<String> {
+    let s21 = run_config(cw_bench::config_for(opts, ScenarioYear::Y2021));
+    let mut sections = Vec::new();
+
+    let mut out = header_str("Table 2 (2021 neighborhoods)");
     let mut t = TextTable::new(&["Slice", "Characteristic", "n", "% dif", "Avg phi"]);
     for r in cw_core::neighborhood::table2(&s21.dataset, &s21.deployment) {
         t.row(vec![
@@ -23,9 +76,104 @@ fn main() {
             phi_value(r.avg_phi, 1),
         ]);
     }
-    println!("{}", t.render());
+    out.push_str(&format!("{}\n", t.render()));
+    sections.push(out);
 
-    header("Table 3 (leak experiment)");
+    let mut out = header_str("Table 4 (2021 geography)");
+    let mut t = TextTable::new(&["Characteristic", "Slice", "Provider", "Region", "phi"]);
+    for r in cw_core::geography::table4(&s21.dataset, &s21.deployment) {
+        t.row(vec![
+            r.characteristic.label().to_string(),
+            r.slice.label().to_string(),
+            format!("{:?}", r.provider),
+            r.region.unwrap_or_else(|| "-".into()),
+            phi_value(r.avg_phi, 1),
+        ]);
+    }
+    out.push_str(&format!("{}\n", t.render()));
+    sections.push(out);
+
+    let mut out = header_str("Table 8 / Table 9 (telescope avoidance)");
+    {
+        let tel = s21.telescope.borrow();
+        let mut t = TextTable::new(&["Port", "Tel∩Cloud", "Tel∩EDU", "Cloud∩EDU"]);
+        for r in cw_core::overlap::table8(&s21.dataset, &s21.deployment, &tel) {
+            t.row(vec![
+                r.port.to_string(),
+                pct(r.tel_cloud),
+                pct(r.tel_edu),
+                pct(r.cloud_edu),
+            ]);
+        }
+        out.push_str(&format!("{}\n", t.render()));
+        let mut t = TextTable::new(&["Port", "Tel∩Mal-Cloud", "Tel∩Mal-EDU"]);
+        for r in cw_core::overlap::table9(&s21.dataset, &s21.deployment, &tel) {
+            t.row(vec![r.port.to_string(), pct(r.tel_cloud), pct(r.tel_edu)]);
+        }
+        out.push_str(&format!("{}\n", t.render()));
+    }
+    sections.push(out);
+
+    let mut out = header_str("Table 11 + §3.2 (2021 ports)");
+    for port in [80u16, 8080] {
+        let (rows, _) = cw_core::ports::protocol_breakdown(
+            &s21.dataset,
+            &s21.deployment,
+            &s21.handles.reputation,
+            port,
+        );
+        for r in rows {
+            out.push_str(&format!(
+                "  {}HTTP/{port}: {:.0}% (benign {:.0}%, malicious {:.0}%)\n",
+                if r.is_http { "" } else { "~" },
+                r.pct_of_scanners,
+                r.pct_benign,
+                r.pct_malicious
+            ));
+        }
+    }
+    let c = cw_core::ports::composition_stats(&s21.dataset, &s21.deployment);
+    out.push_str(&format!(
+        "  non-auth telnet {:.0}%, ssh {:.0}%; http80 benign {:.0}%; distinct-http malicious {:.0}%\n",
+        c.telnet_non_auth_pct, c.ssh_non_auth_pct, c.http80_benign_pct, c.distinct_http_malicious_pct
+    ));
+    sections.push(out);
+
+    let mut out = header_str("Figure 1 (sparklines)");
+    {
+        let tel = s21.telescope.borrow();
+        for port in [22u16, 445, 80, 17_128] {
+            if let Some(fig) = cw_core::figure1::series(&tel, port) {
+                out.push_str(&format!(
+                    "  port {port:>5}: {}\n",
+                    cw_core::figure1::ascii_sparkline(&fig.rolling, 80)
+                ));
+            }
+        }
+    }
+    sections.push(out);
+
+    let mut out = header_str("Table 7 sample (network types, 2021)");
+    let cc = cw_core::network::cloud_cloud_cell(
+        &s21.dataset,
+        &s21.deployment,
+        TrafficSlice::SshPort22,
+        CharKind::TopAs,
+        0.05,
+    );
+    out.push_str(&format!(
+        "  cloud-cloud SSH/22 Top-AS: {}/{} different, avg phi {}\n",
+        cc.n_different,
+        cc.n,
+        phi_value(cc.avg_phi, 1)
+    ));
+    sections.push(out);
+
+    sections
+}
+
+fn render_leak(opts: RunOptions) -> String {
+    let mut out = header_str("Table 3 (leak experiment)");
     let leak = run_leak(&LeakConfig {
         seed: opts.seed ^ 0x1EA4,
         scale: opts.scale,
@@ -50,119 +198,36 @@ fn main() {
             ]);
         }
     }
-    println!("{}", t.render());
+    out.push_str(&format!("{}\n", t.render()));
+    out
+}
 
-    header("Table 4 (2021 geography)");
-    let mut t = TextTable::new(&["Characteristic", "Slice", "Provider", "Region", "phi"]);
-    for r in cw_core::geography::table4(&s21.dataset, &s21.deployment) {
-        t.row(vec![
-            r.characteristic.label().to_string(),
-            r.slice.label().to_string(),
-            format!("{:?}", r.provider),
-            r.region.unwrap_or_else(|| "-".into()),
-            phi_value(r.avg_phi, 1),
-        ]);
-    }
-    println!("{}", t.render());
-
-    header("Table 8 / Table 9 (telescope avoidance)");
+fn render_appendix(opts: RunOptions, year: ScenarioYear) -> String {
+    let config: ScenarioConfig = cw_bench::config_for(
+        RunOptions {
+            year: Some(year),
+            ..opts
+        },
+        year,
+    );
+    let s = run_config(config);
+    let mut out = header_str(&format!("Appendix snapshot ({})", year.year()));
+    let rows = cw_core::neighborhood::table2(&s.dataset, &s.deployment);
+    out.push_str(&format!(
+        "  neighborhoods different (SSH/22 Top-AS): {:.0}% of {}\n",
+        rows[0].pct_different, rows[0].n
+    ));
     {
-        let tel = s21.telescope.borrow();
-        let mut t = TextTable::new(&["Port", "Tel∩Cloud", "Tel∩EDU", "Cloud∩EDU"]);
-        for r in cw_core::overlap::table8(&s21.dataset, &s21.deployment, &tel) {
-            t.row(vec![
-                r.port.to_string(),
-                pct(r.tel_cloud),
-                pct(r.tel_edu),
-                pct(r.cloud_edu),
-            ]);
-        }
-        println!("{}", t.render());
-        let mut t = TextTable::new(&["Port", "Tel∩Mal-Cloud", "Tel∩Mal-EDU"]);
-        for r in cw_core::overlap::table9(&s21.dataset, &s21.deployment, &tel) {
-            t.row(vec![r.port.to_string(), pct(r.tel_cloud), pct(r.tel_edu)]);
-        }
-        println!("{}", t.render());
-    }
-
-    header("Table 11 + §3.2 (2021 ports)");
-    for port in [80u16, 8080] {
+        let port = 80u16;
         let (rows, _) = cw_core::ports::protocol_breakdown(
-            &s21.dataset,
-            &s21.deployment,
-            &s21.handles.reputation,
+            &s.dataset,
+            &s.deployment,
+            &s.handles.reputation,
             port,
         );
-        for r in rows {
-            println!(
-                "  {}HTTP/{port}: {:.0}% (benign {:.0}%, malicious {:.0}%)",
-                if r.is_http { "" } else { "~" },
-                r.pct_of_scanners,
-                r.pct_benign,
-                r.pct_malicious
-            );
+        if let Some(r) = rows.iter().find(|r| !r.is_http) {
+            out.push_str(&format!("  ~HTTP/{port} share: {:.0}%\n", r.pct_of_scanners));
         }
     }
-    let c = cw_core::ports::composition_stats(&s21.dataset, &s21.deployment);
-    println!(
-        "  non-auth telnet {:.0}%, ssh {:.0}%; http80 benign {:.0}%; distinct-http malicious {:.0}%",
-        c.telnet_non_auth_pct, c.ssh_non_auth_pct, c.http80_benign_pct, c.distinct_http_malicious_pct
-    );
-
-    header("Figure 1 (sparklines)");
-    {
-        let tel = s21.telescope.borrow();
-        for port in [22u16, 445, 80, 17_128] {
-            if let Some(fig) = cw_core::figure1::series(&tel, port) {
-                println!(
-                    "  port {port:>5}: {}",
-                    cw_core::figure1::ascii_sparkline(&fig.rolling, 80)
-                );
-            }
-        }
-    }
-
-    header("Table 7 sample (network types, 2021)");
-    let cc = cw_core::network::cloud_cloud_cell(
-        &s21.dataset,
-        &s21.deployment,
-        TrafficSlice::SshPort22,
-        CharKind::TopAs,
-        0.05,
-    );
-    println!(
-        "  cloud-cloud SSH/22 Top-AS: {}/{} different, avg phi {}",
-        cc.n_different,
-        cc.n,
-        phi_value(cc.avg_phi, 1)
-    );
-
-    // Appendix years.
-    for year in [ScenarioYear::Y2020, ScenarioYear::Y2022] {
-        let s = scenario(
-            RunOptions {
-                year: Some(year),
-                ..opts
-            },
-            year,
-        );
-        header(&format!("Appendix snapshot ({})", year.year()));
-        let rows = cw_core::neighborhood::table2(&s.dataset, &s.deployment);
-        println!(
-            "  neighborhoods different (SSH/22 Top-AS): {:.0}% of {}",
-            rows[0].pct_different, rows[0].n
-        );
-        {
-            let port = 80u16;
-            let (rows, _) = cw_core::ports::protocol_breakdown(
-                &s.dataset,
-                &s.deployment,
-                &s.handles.reputation,
-                port,
-            );
-            if let Some(r) = rows.iter().find(|r| !r.is_http) {
-                println!("  ~HTTP/{port} share: {:.0}%", r.pct_of_scanners);
-            }
-        }
-    }
+    out
 }

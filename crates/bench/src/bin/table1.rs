@@ -1,18 +1,30 @@
 //! Table 1: vantage points — unique scanning IPs and ASes per network.
 
-use cw_bench::{header, paper_note, parse_args, scenario};
+use cw_bench::{config_for, header_str, paper_note_str, parse_args, run_config, threads};
+use cw_core::fleet;
 use cw_core::report::TextTable;
+use cw_core::scenario::Scenario;
 use cw_honeypot::deployment::{CollectorKind, Provider};
 use cw_scanners::population::ScenarioYear;
 
 fn main() {
-    let s = scenario(parse_args(), ScenarioYear::Y2021);
-    header("Table 1: Vantage points — unique scan IPs / ASes, July 1-7 (simulated)");
-    paper_note(
+    let opts = parse_args();
+    // One config, but routed through the fleet so the render happens in
+    // the worker and only the finished section crosses back.
+    let configs = vec![config_for(opts, ScenarioYear::Y2021)];
+    let sections = fleet::map(configs, threads(opts), |_, cfg| render(&run_config(cfg)));
+    for s in sections {
+        print!("{s}");
+    }
+}
+
+fn render(s: &Scenario) -> String {
+    let mut out = header_str("Table 1: Vantage points — unique scan IPs / ASes, July 1-7 (simulated)");
+    out.push_str(&paper_note_str(
         "HE 130K/8.3K · AWS 99.6K/7.1K · Azure 19.9K/2.5K · Google 103K/7.5K · Linode 72K/6.0K · \
          Stanford 105K/6.2K · Merit 107K/6.3K · Orion 5.1M/24.8K — absolute counts scale with the \
          simulated population; compare shapes (per-network ordering), not magnitudes",
-    );
+    ));
 
     let mut t = TextTable::new(&[
         "Network",
@@ -68,5 +80,6 @@ fn main() {
         tel.unique_source_count().to_string(),
         tel.unique_asn_count().to_string(),
     ]);
-    println!("{}", t.render());
+    out.push_str(&format!("{}\n", t.render()));
+    out
 }

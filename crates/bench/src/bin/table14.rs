@@ -1,12 +1,36 @@
 //! Table 14 (Appendix C.2): network differences — Cloud–Cloud on 2020 data,
 //! Cloud–EDU and EDU–EDU on 2022 data.
+//!
+//! The two year scenarios are independent, so they run as a two-worker
+//! [`cw_core::fleet`]; each worker folds its scenario down to the grid's
+//! cell strings and the table is assembled (in fixed grid order) on the
+//! main thread.
 
-use cw_bench::{header, paper_note, parse_args, scenario, RunOptions};
+use cw_bench::{config_for, header, paper_note, parse_args, run_config, threads, RunOptions};
 use cw_core::compare::CharKind;
 use cw_core::dataset::TrafficSlice;
+use cw_core::fleet;
 use cw_core::network::{cloud_cloud_cell, honeytrap_cell, NetworkCell, CLOUD_EDU_PAIRS};
 use cw_core::report::{phi_value, TextTable};
+use cw_core::scenario::Scenario;
 use cw_scanners::population::ScenarioYear;
+
+const GRID: &[(CharKind, TrafficSlice)] = &[
+    (CharKind::TopAs, TrafficSlice::SshPort22),
+    (CharKind::TopAs, TrafficSlice::TelnetPort23),
+    (CharKind::TopAs, TrafficSlice::HttpPort80),
+    (CharKind::TopAs, TrafficSlice::HttpAllPorts),
+    (CharKind::TopUsername, TrafficSlice::SshPort22),
+    (CharKind::TopUsername, TrafficSlice::TelnetPort23),
+    (CharKind::TopPassword, TrafficSlice::TelnetPort23),
+    (CharKind::TopPassword, TrafficSlice::SshPort22),
+    (CharKind::TopPayload, TrafficSlice::HttpPort80),
+    (CharKind::TopPayload, TrafficSlice::HttpAllPorts),
+    (CharKind::FracMalicious, TrafficSlice::SshPort22),
+    (CharKind::FracMalicious, TrafficSlice::TelnetPort23),
+    (CharKind::FracMalicious, TrafficSlice::HttpPort80),
+    (CharKind::FracMalicious, TrafficSlice::HttpAllPorts),
+];
 
 fn cells(c: &NetworkCell) -> (String, String) {
     if c.uncomputable {
@@ -16,45 +40,51 @@ fn cells(c: &NetworkCell) -> (String, String) {
     }
 }
 
+/// Per grid row: the cell-string pairs this year contributes (one CC pair
+/// for 2020, CE then EE pairs for 2022).
+fn fold_year(s: &Scenario) -> Vec<Vec<(String, String)>> {
+    let edu_edu: [(&str, &str); 1] = [("honeytrap/stanford", "honeytrap/merit")];
+    GRID.iter()
+        .map(|&(kind, slice)| match s.config.year {
+            ScenarioYear::Y2020 => {
+                vec![cells(&cloud_cloud_cell(&s.dataset, &s.deployment, slice, kind, 0.05))]
+            }
+            _ => vec![
+                cells(&honeytrap_cell(&s.dataset, &s.deployment, &CLOUD_EDU_PAIRS, slice, kind, 0.05)),
+                cells(&honeytrap_cell(&s.dataset, &s.deployment, &edu_edu, slice, kind, 0.05)),
+            ],
+        })
+        .collect()
+}
+
 fn main() {
     let opts = parse_args();
-    let s2020 = scenario(
-        RunOptions {
-            year: Some(ScenarioYear::Y2020),
-            ..opts
-        },
-        ScenarioYear::Y2020,
-    );
-    let s2022 = scenario(
-        RunOptions {
-            year: Some(ScenarioYear::Y2022),
-            ..opts
-        },
-        ScenarioYear::Y2022,
-    );
+    let configs = vec![
+        config_for(
+            RunOptions {
+                year: Some(ScenarioYear::Y2020),
+                ..opts
+            },
+            ScenarioYear::Y2020,
+        ),
+        config_for(
+            RunOptions {
+                year: Some(ScenarioYear::Y2022),
+                ..opts
+            },
+            ScenarioYear::Y2022,
+        ),
+    ];
+    let mut folded = fleet::map(configs, threads(opts), |_, cfg| fold_year(&run_config(cfg)));
+    let y2022 = folded.pop().unwrap();
+    let y2020 = folded.pop().unwrap();
+
     header("Table 14: Cloud-Cloud (2020) / Cloud-EDU (2022) / EDU-EDU (2022)");
     paper_note(
         "scanners are more likely to partially avoid education networks than to prefer a \
          specific cloud; the 2022 Merit router-bruteforce anomaly yields a medium (0.34) \
          EDU-EDU payload difference",
     );
-    let grid: &[(CharKind, TrafficSlice)] = &[
-        (CharKind::TopAs, TrafficSlice::SshPort22),
-        (CharKind::TopAs, TrafficSlice::TelnetPort23),
-        (CharKind::TopAs, TrafficSlice::HttpPort80),
-        (CharKind::TopAs, TrafficSlice::HttpAllPorts),
-        (CharKind::TopUsername, TrafficSlice::SshPort22),
-        (CharKind::TopUsername, TrafficSlice::TelnetPort23),
-        (CharKind::TopPassword, TrafficSlice::TelnetPort23),
-        (CharKind::TopPassword, TrafficSlice::SshPort22),
-        (CharKind::TopPayload, TrafficSlice::HttpPort80),
-        (CharKind::TopPayload, TrafficSlice::HttpAllPorts),
-        (CharKind::FracMalicious, TrafficSlice::SshPort22),
-        (CharKind::FracMalicious, TrafficSlice::TelnetPort23),
-        (CharKind::FracMalicious, TrafficSlice::HttpPort80),
-        (CharKind::FracMalicious, TrafficSlice::HttpAllPorts),
-    ];
-    let edu_edu: [(&str, &str); 1] = [("honeytrap/stanford", "honeytrap/merit")];
     let mut t = TextTable::new(&[
         "Characteristic",
         "Slice",
@@ -65,23 +95,13 @@ fn main() {
         "EE'22 dif",
         "phi",
     ]);
-    for &(kind, slice) in grid {
-        let cc = cloud_cloud_cell(&s2020.dataset, &s2020.deployment, slice, kind, 0.05);
-        let ce = honeytrap_cell(&s2022.dataset, &s2022.deployment, &CLOUD_EDU_PAIRS, slice, kind, 0.05);
-        let ee = honeytrap_cell(&s2022.dataset, &s2022.deployment, &edu_edu, slice, kind, 0.05);
-        let (a, b) = cells(&cc);
-        let (c, d) = cells(&ce);
-        let (e, f) = cells(&ee);
-        t.row(vec![
-            kind.label().to_string(),
-            slice.label().to_string(),
-            a,
-            b,
-            c,
-            d,
-            e,
-            f,
-        ]);
+    for (i, &(kind, slice)) in GRID.iter().enumerate() {
+        let mut row = vec![kind.label().to_string(), slice.label().to_string()];
+        for (a, b) in y2020[i].iter().chain(y2022[i].iter()) {
+            row.push(a.clone());
+            row.push(b.clone());
+        }
+        t.row(row);
     }
     println!("{}", t.render());
 }

@@ -1,11 +1,13 @@
 //! Table 7: differences across network types (cloud–cloud, cloud–EDU,
 //! EDU–EDU).
 
-use cw_bench::{header, paper_note, parse_args, scenario};
+use cw_bench::{config_for, header_str, paper_note_str, parse_args, run_config, threads};
 use cw_core::compare::CharKind;
 use cw_core::dataset::TrafficSlice;
+use cw_core::fleet;
 use cw_core::network::{cloud_cloud_cell, honeytrap_cell, NetworkCell, CLOUD_EDU_PAIRS};
 use cw_core::report::{phi_value, TextTable};
+use cw_core::scenario::Scenario;
 use cw_scanners::population::ScenarioYear;
 
 fn cell_str(c: &NetworkCell) -> (String, String) {
@@ -20,13 +22,21 @@ fn cell_str(c: &NetworkCell) -> (String, String) {
 }
 
 fn main() {
-    let s = scenario(parse_args(), ScenarioYear::Y2021);
-    header("Table 7: differences across network types (2021)");
-    paper_note(
+    let opts = parse_args();
+    let configs = vec![config_for(opts, ScenarioYear::Y2021)];
+    let sections = fleet::map(configs, threads(opts), |_, cfg| render(&run_config(cfg)));
+    for s in sections {
+        print!("{s}");
+    }
+}
+
+fn render(s: &Scenario) -> String {
+    let mut out = header_str("Table 7: differences across network types (2021)");
+    out.push_str(&paper_note_str(
         "cloud-cloud differences are small (avg phi ≤ 0.23); cloud-EDU mostly similar except \
          SSH/22 Top-AS in 2021 (phi 0.48: Chinanet→EDU, Cogent→cloud); EDU-EDU never different; \
          credentials are × for Honeytrap fleets",
-    );
+    ));
     let grid: &[(CharKind, TrafficSlice)] = &[
         (CharKind::TopAs, TrafficSlice::SshPort22),
         (CharKind::TopAs, TrafficSlice::TelnetPort23),
@@ -72,5 +82,6 @@ fn main() {
             ee_phi,
         ]);
     }
-    println!("{}", t.render());
+    out.push_str(&format!("{}\n", t.render()));
+    out
 }

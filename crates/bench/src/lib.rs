@@ -1,8 +1,15 @@
 //! Shared plumbing for the experiment regenerator binaries.
 //!
-//! Every binary accepts `--scale <f64>`, `--seed <u64>` and (where
-//! relevant) `--year <2020|2021|2022>`; defaults regenerate the published
-//! EXPERIMENTS.md values.
+//! Every binary accepts `--scale <f64>`, `--seed <u64>`, `--threads <N>`
+//! and (where relevant) `--year <2020|2021|2022>`; defaults regenerate the
+//! published EXPERIMENTS.md values.
+//!
+//! Binaries that run more than one scenario go through
+//! [`cw_core::fleet`]: each scenario is built, run, and rendered to its
+//! output sections inside a worker thread, and the main thread prints the
+//! sections in canonical order — so stdout is byte-identical for any
+//! `--threads` value (see `docs/ARCHITECTURE.md`). `--threads` beats the
+//! `CW_THREADS` environment variable, which beats autodetection.
 
 use cw_core::scenario::{Scenario, ScenarioConfig, DEFAULT_SEED};
 use cw_scanners::population::ScenarioYear;
@@ -16,6 +23,9 @@ pub struct RunOptions {
     pub seed: u64,
     /// Year override.
     pub year: Option<ScenarioYear>,
+    /// Worker threads for fleet binaries (`None` = `CW_THREADS` or
+    /// autodetect; see [`cw_core::fleet::resolve_threads`]).
+    pub threads: Option<usize>,
 }
 
 impl Default for RunOptions {
@@ -24,16 +34,20 @@ impl Default for RunOptions {
             scale: 1.0,
             seed: DEFAULT_SEED,
             year: None,
+            threads: None,
         }
     }
 }
+
+const USAGE: &str =
+    "usage: <binary> [--scale <f64>] [--seed <u64>] [--year <2020|2021|2022>] [--threads <N>]";
 
 /// Parse `std::env::args()`. Malformed arguments print a usage message
 /// and exit with status 2.
 pub fn parse_args() -> RunOptions {
     fn usage(problem: &str) -> ! {
         eprintln!("error: {problem}");
-        eprintln!("usage: <binary> [--scale <f64>] [--seed <u64>] [--year <2020|2021|2022>]");
+        eprintln!("{USAGE}");
         std::process::exit(2);
     }
     let mut opts = RunOptions::default();
@@ -65,8 +79,17 @@ pub fn parse_args() -> RunOptions {
                     other => usage(&format!("unknown year '{other}' (use 2020, 2021 or 2022)")),
                 })
             }
+            "--threads" => {
+                let n: usize = value("--threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--threads expects an unsigned integer"));
+                if n == 0 {
+                    usage("--threads must be at least 1");
+                }
+                opts.threads = Some(n);
+            }
             "--help" | "-h" => {
-                eprintln!("usage: <binary> [--scale <f64>] [--seed <u64>] [--year <2020|2021|2022>]");
+                eprintln!("{USAGE}");
                 std::process::exit(0);
             }
             other => usage(&format!("unknown argument '{other}'")),
@@ -75,22 +98,36 @@ pub fn parse_args() -> RunOptions {
     opts
 }
 
-/// Run the scenario for a year under the given options.
-pub fn scenario(opts: RunOptions, default_year: ScenarioYear) -> Scenario {
+/// Worker-thread count for these options (flag, then `CW_THREADS`, then
+/// autodetect).
+pub fn threads(opts: RunOptions) -> usize {
+    cw_core::fleet::resolve_threads(opts.threads)
+}
+
+/// The scenario configuration these options select for a year.
+pub fn config_for(opts: RunOptions, default_year: ScenarioYear) -> ScenarioConfig {
     let year = opts.year.unwrap_or(default_year);
-    let config = ScenarioConfig::paper(year)
+    ScenarioConfig::paper(year)
         .with_seed(opts.seed)
-        .with_scale(opts.scale);
+        .with_scale(opts.scale)
+}
+
+/// Run one configured scenario with progress logging on stderr.
+///
+/// Safe to call from fleet workers: progress goes to stderr (unordered
+/// under parallelism), results to the caller.
+pub fn run_config(config: ScenarioConfig) -> Scenario {
     eprintln!(
         "[cw] running {} scenario (scale {}, seed {:#x}) ...",
-        year.year(),
-        opts.scale,
-        opts.seed
+        config.year.year(),
+        config.scale,
+        config.seed
     );
     let start = std::time::Instant::now();
     let s = Scenario::run(config);
     eprintln!(
-        "[cw] simulated week complete in {:.1?}: {} flows delivered, {} honeypot events, {} telescope packets",
+        "[cw] simulated {} week complete in {:.1?}: {} flows delivered, {} honeypot events, {} telescope packets",
+        config.year.year(),
         start.elapsed(),
         s.stats.flows_delivered,
         s.dataset.events().len(),
@@ -99,12 +136,28 @@ pub fn scenario(opts: RunOptions, default_year: ScenarioYear) -> Scenario {
     s
 }
 
+/// Run the scenario for a year under the given options.
+pub fn scenario(opts: RunOptions, default_year: ScenarioYear) -> Scenario {
+    run_config(config_for(opts, default_year))
+}
+
 /// Print a titled section header.
 pub fn header(title: &str) {
-    println!("\n=== {title} ===\n");
+    print!("{}", header_str(title));
+}
+
+/// A titled section header, rendered to a string (for fleet workers that
+/// build sections off the main thread).
+pub fn header_str(title: &str) -> String {
+    format!("\n=== {title} ===\n\n")
 }
 
 /// Print a `paper vs measured` context line.
 pub fn paper_note(note: &str) {
-    println!("(paper: {note})\n");
+    print!("{}", paper_note_str(note));
+}
+
+/// A `paper vs measured` context line, rendered to a string.
+pub fn paper_note_str(note: &str) -> String {
+    format!("(paper: {note})\n\n")
 }

@@ -110,6 +110,34 @@ impl Dataset {
         }
     }
 
+    /// An empty dataset — the identity element for [`Dataset::absorb`].
+    pub fn empty() -> Self {
+        Dataset {
+            events: Vec::new(),
+            vantage_by_ip: BTreeMap::new(),
+            by_dst: BTreeMap::new(),
+        }
+    }
+
+    /// Fold another dataset into this one — the fleet merge step.
+    ///
+    /// `other`'s events are appended after `self`'s (its per-destination
+    /// indices are rebased), so folding per-run datasets in stream-id order
+    /// yields the same merged dataset for any worker-thread count. Vantage
+    /// metadata is unioned; identical IPs must describe identical vantages
+    /// (always true for runs built from [`Deployment::standard`]).
+    pub fn absorb(&mut self, other: Dataset) {
+        let base = self.events.len();
+        for (dst, idxs) in other.by_dst {
+            self.by_dst
+                .entry(dst)
+                .or_default()
+                .extend(idxs.into_iter().map(|i| i + base));
+        }
+        self.events.extend(other.events);
+        self.vantage_by_ip.extend(other.vantage_by_ip);
+    }
+
     /// All classified events.
     pub fn events(&self) -> &[ClassifiedEvent] {
         &self.events

@@ -1,0 +1,235 @@
+//! The parallel scenario fleet runner.
+//!
+//! Every experiment binary ultimately runs a handful of *independent*
+//! scenarios — one per (year, seed) pair, or several replicate seeds of the
+//! same year. Each run is single-threaded by design (the event loop wires
+//! agents with `Rc<RefCell<…>>`, so a [`Scenario`] is not `Send`), but the
+//! runs themselves share nothing: this module spreads them across worker
+//! threads while keeping every result bit-identical to a serial execution.
+//!
+//! # Determinism contract
+//!
+//! Three rules make thread count an *observable no-op*:
+//!
+//! 1. **Seed splitting, not seed sharing.** Replicate seeds are derived
+//!    up front with [`cw_netsim::rng::fork_seed`]`(master, stream_id)` — a
+//!    pure function of the master seed and the run's index. No RNG state is
+//!    shared between runs, so scheduling cannot perturb any stream.
+//! 2. **Per-run construction inside the worker.** A run's world is built,
+//!    executed, and folded to a `Send` summary entirely on one worker
+//!    thread (the `ScenarioFactory` pattern — closures build the non-`Send`
+//!    scenario locally rather than sending it across threads).
+//! 3. **Merge in input order.** Workers own static shards (run *i* goes to
+//!    worker *i* mod *threads* — no work stealing), and results are
+//!    reassembled by input index before any folding. Aggregates like
+//!    [`Dataset::absorb`] / `RunStats::absorb` are applied in stream-id
+//!    order 0, 1, 2, …, never in completion order.
+//!
+//! Together: `threads = 1` and `threads = N` produce byte-identical output,
+//! so `--threads`/`CW_THREADS` is purely a wall-clock knob.
+//!
+//! # Example: thread count never changes results
+//!
+//! ```
+//! use cw_core::fleet;
+//!
+//! // Any embarrassingly-parallel job list; here, deriving replicate seeds.
+//! let specs: Vec<u64> = (0..16).collect();
+//! let serial = fleet::map(specs.clone(), 1, |i, s| {
+//!     cw_netsim::rng::fork_seed(0xC10D, s ^ i as u64)
+//! });
+//! let parallel = fleet::map(specs, 4, |i, s| {
+//!     cw_netsim::rng::fork_seed(0xC10D, s ^ i as u64)
+//! });
+//! assert_eq!(serial, parallel);
+//! ```
+
+use crate::dataset::Dataset;
+use crate::scenario::{Scenario, ScenarioConfig};
+use cw_netsim::engine::RunStats;
+use cw_netsim::rng::fork_seed;
+
+/// Decide how many worker threads a fleet should use.
+///
+/// Precedence: an explicit request (e.g. a `--threads N` flag) wins; then
+/// the `CW_THREADS` environment variable; then the machine's available
+/// parallelism. The result is clamped to at least 1. `CW_THREADS` values
+/// that fail to parse are ignored rather than fatal, so a stray export
+/// can't break a pipeline.
+pub fn resolve_threads(explicit: Option<usize>) -> usize {
+    explicit
+        .or_else(|| {
+            std::env::var("CW_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+}
+
+/// Run `job` over every spec on up to `threads` workers, returning results
+/// in input order.
+///
+/// Sharding is static round-robin (spec *i* runs on worker *i* mod
+/// `threads`): there is no work stealing and no shared queue, so the
+/// assignment of runs to threads is a pure function of the input — part of
+/// the determinism contract (although `job` must itself be deterministic
+/// for results to be reproducible). With `threads <= 1` (or a single spec)
+/// the fleet degrades to a plain serial loop on the calling thread with no
+/// thread machinery at all.
+///
+/// `job` receives `(index, spec)` so per-run seeds can be derived from the
+/// stream id. Specs move into their worker; only `Send` results come back.
+/// A panicking job propagates the panic to the caller.
+pub fn map<S, T, F>(specs: Vec<S>, threads: usize, job: F) -> Vec<T>
+where
+    S: Send,
+    T: Send,
+    F: Fn(usize, S) -> T + Sync,
+{
+    let n = specs.len();
+    if threads <= 1 || n <= 1 {
+        return specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| job(i, s))
+            .collect();
+    }
+    let workers = threads.min(n);
+    // Static shards: worker w owns specs w, w+workers, w+2*workers, …
+    let mut shards: Vec<Vec<(usize, S)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, s) in specs.into_iter().enumerate() {
+        shards[i % workers].push((i, s));
+    }
+    let job = &job;
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|shard| {
+                scope.spawn(move || {
+                    shard
+                        .into_iter()
+                        .map(|(i, s)| (i, job(i, s)))
+                        .collect::<Vec<(usize, T)>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            // Re-raise worker panics on the caller.
+            for (i, t) in h.join().expect("fleet worker panicked") {
+                out[i] = Some(t);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|t| t.expect("every shard index produced a result"))
+        .collect()
+}
+
+/// Run one full scenario per config across `threads` workers and fold each
+/// to a `Send` summary, in input order.
+///
+/// This is the `ScenarioFactory` entry point: each worker thread builds its
+/// scenario's world from the config, runs the collection window, and
+/// applies `fold` locally — the non-`Send` [`Scenario`] (its `Rc<RefCell>`
+/// listeners, telescope, and population handles) never leaves the thread
+/// that built it. Only the folded `T` crosses back.
+pub fn run_scenarios<T, F>(configs: Vec<ScenarioConfig>, threads: usize, fold: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Scenario) -> T + Sync,
+{
+    map(configs, threads, |i, cfg| fold(i, Scenario::run(cfg)))
+}
+
+/// The merged output of a fleet of replicate runs.
+pub struct Replicates {
+    /// Per-replicate seeds, in stream-id order (`fork_seed(master, 0..n)`).
+    pub seeds: Vec<u64>,
+    /// All replicates' events merged in stream-id order.
+    pub dataset: Dataset,
+    /// Engine counters summed across replicates.
+    pub stats: RunStats,
+}
+
+/// Run `n` replicates of `base` — identical except for the seed, which is
+/// split per replicate with [`fork_seed`]`(base.seed, stream_id)` — and
+/// merge their datasets and engine stats in stream-id order.
+///
+/// The merged result is a pure function of `(base, n)`: thread count only
+/// changes wall-clock time.
+///
+/// ```
+/// use cw_core::fleet;
+/// use cw_core::scenario::ScenarioConfig;
+/// use cw_scanners::population::ScenarioYear;
+///
+/// let base = ScenarioConfig::fast(ScenarioYear::Y2021).with_scale(0.01);
+/// let serial = fleet::run_replicates(base, 3, 1);
+/// let parallel = fleet::run_replicates(base, 3, 3);
+/// assert_eq!(serial.seeds, parallel.seeds);
+/// assert_eq!(serial.stats, parallel.stats);
+/// assert_eq!(serial.dataset.events().len(), parallel.dataset.events().len());
+/// ```
+pub fn run_replicates(base: ScenarioConfig, n: usize, threads: usize) -> Replicates {
+    let seeds: Vec<u64> = (0..n as u64).map(|i| fork_seed(base.seed, i)).collect();
+    let configs: Vec<ScenarioConfig> = seeds.iter().map(|&s| base.with_seed(s)).collect();
+    let folded = run_scenarios(configs, threads, |_, s| (s.dataset, s.stats));
+    let mut dataset = Dataset::empty();
+    let mut stats = RunStats::default();
+    for (ds, st) in folded {
+        dataset.absorb(ds);
+        stats.absorb(st);
+    }
+    Replicates {
+        seeds,
+        dataset,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cw_scanners::population::ScenarioYear;
+
+    #[test]
+    fn map_orders_results_by_input_for_any_thread_count() {
+        let specs: Vec<u32> = (0..23).collect();
+        let serial = map(specs.clone(), 1, |i, s| (i, s * 2));
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(map(specs.clone(), threads, |i, s| (i, s * 2)), serial);
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_singleton() {
+        assert_eq!(map(Vec::<u8>::new(), 8, |_, s| s), Vec::<u8>::new());
+        assert_eq!(map(vec![7u8], 8, |i, s| s + i as u8), vec![7]);
+    }
+
+    #[test]
+    fn resolve_threads_precedence() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(0)), 1);
+        // CW_THREADS / autodetect paths at least yield a positive count.
+        assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    fn replicates_merge_is_thread_invariant() {
+        let base = ScenarioConfig::fast(ScenarioYear::Y2021).with_scale(0.01);
+        let a = run_replicates(base, 3, 1);
+        let b = run_replicates(base, 3, 2);
+        assert_eq!(a.seeds, b.seeds);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.dataset.events().len(), b.dataset.events().len());
+        // Distinct forked seeds actually produce distinct worlds.
+        assert!(a.seeds.iter().collect::<std::collections::BTreeSet<_>>().len() == 3);
+    }
+}

@@ -22,15 +22,20 @@
 //! - [`leak`] — Table 3: the Censys/Shodan leak experiment;
 //! - [`ports`] — Tables 11, 17 and the §3.2 traffic-composition stats;
 //! - [`figure1`] — the address-structure series of Figure 1;
-//! - [`report`] — text table rendering shared by the experiment binaries.
+//! - [`report`] — text table rendering shared by the experiment binaries;
+//! - [`fleet`] — the parallel scenario fleet runner: independent runs
+//!   spread across worker threads with per-run seeds split from the master
+//!   seed, bit-identical for any thread count (see
+//!   `docs/ARCHITECTURE.md`).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod axes;
 pub mod compare;
 pub mod dataset;
 pub mod figure1;
+pub mod fleet;
 pub mod geography;
 pub mod leak;
 pub mod neighborhood;

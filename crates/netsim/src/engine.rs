@@ -117,6 +117,21 @@ pub struct RunStats {
     pub last_time: SimTime,
 }
 
+impl RunStats {
+    /// Fold another run's counters into this one — the fleet merge step.
+    ///
+    /// Counters add; `last_time` takes the maximum. Folding per-run stats
+    /// in stream-id order yields the same aggregate for any thread count
+    /// (addition of `u64` counters is associative and commutative, and the
+    /// fleet presents results in input order regardless of scheduling).
+    pub fn absorb(&mut self, other: RunStats) {
+        self.wakes += other.wakes;
+        self.flows_delivered += other.flows_delivered;
+        self.flows_unrouted += other.flows_unrouted;
+        self.last_time = self.last_time.max(other.last_time);
+    }
+}
+
 struct NetworkCtx<'a> {
     now: SimTime,
     agent: AgentId,
@@ -189,8 +204,26 @@ impl Engine {
         self.agents.len()
     }
 
+    /// Earliest pending wake time, if any work remains queued.
+    ///
+    /// After [`Engine::run`]`(until)` returns, any value here is `>= until`
+    /// — the wakes the horizon cut off, still waiting to be processed.
+    pub fn next_wake(&self) -> Option<SimTime> {
+        self.queue.peek().map(|&Reverse((t, _))| t)
+    }
+
     /// Run until the queue drains or simulated time reaches `until`
-    /// (exclusive). Returns aggregate statistics.
+    /// (**exclusive**). Returns aggregate statistics.
+    ///
+    /// # Horizon boundary
+    ///
+    /// A wake scheduled at exactly `until` is **not processed and not
+    /// dropped**: the engine peeks before popping, so boundary wakes stay
+    /// queued (observable via [`Engine::next_wake`]) and are processed by a
+    /// later `run` call with a larger horizon. Scenario horizons are
+    /// therefore half-open windows `[0, until)` — running a week covers
+    /// seconds `0..=604_799`, and splitting a window into consecutive `run`
+    /// calls processes every event exactly once.
     pub fn run(&mut self, until: SimTime) -> RunStats {
         while let Some(&Reverse((t, id))) = self.queue.peek() {
             if t >= until {
@@ -346,6 +379,74 @@ mod tests {
         // Resuming continues deterministically.
         let stats = e.run(SimTime(20));
         assert_eq!(stats.wakes, 20);
+    }
+
+    #[test]
+    fn wake_at_horizon_is_deferred_not_dropped() {
+        let mut e = Engine::new();
+        e.add_agent(
+            Box::new(Pinger {
+                remaining: 2,
+                dst: Ipv4Addr::new(99, 0, 0, 1),
+                outcomes: vec![],
+            }),
+            SimTime(10),
+        );
+        // The first wake is at exactly `until`: the exclusive horizon means
+        // nothing runs, and the wake stays queued.
+        let stats = e.run(SimTime(10));
+        assert_eq!(stats.wakes, 0);
+        assert_eq!(e.next_wake(), Some(SimTime(10)));
+        // A later run with a wider horizon processes it — exactly once.
+        let stats = e.run(SimTime(12));
+        assert_eq!(stats.wakes, 2);
+        assert_eq!(stats.last_time, SimTime(11));
+        assert_eq!(e.next_wake(), None);
+    }
+
+    #[test]
+    fn split_windows_cover_every_event_exactly_once() {
+        fn wakes(horizons: &[u64]) -> u64 {
+            let mut e = Engine::new();
+            e.add_agent(
+                Box::new(Pinger {
+                    remaining: 30,
+                    dst: Ipv4Addr::new(99, 0, 0, 1),
+                    outcomes: vec![],
+                }),
+                SimTime(0),
+            );
+            let mut stats = RunStats::default();
+            for &h in horizons {
+                stats = e.run(SimTime(h));
+            }
+            stats.wakes
+        }
+        // [0,30) in one go vs. split at boundaries that land exactly on
+        // queued wakes: same total, no duplicates, no drops.
+        assert_eq!(wakes(&[30]), 30);
+        assert_eq!(wakes(&[7, 13, 13, 30]), 30);
+    }
+
+    #[test]
+    fn run_stats_absorb_folds_counters() {
+        let a = RunStats {
+            wakes: 3,
+            flows_delivered: 2,
+            flows_unrouted: 1,
+            last_time: SimTime(9),
+        };
+        let mut b = RunStats {
+            wakes: 10,
+            flows_delivered: 4,
+            flows_unrouted: 0,
+            last_time: SimTime(5),
+        };
+        b.absorb(a);
+        assert_eq!(b.wakes, 13);
+        assert_eq!(b.flows_delivered, 6);
+        assert_eq!(b.flows_unrouted, 1);
+        assert_eq!(b.last_time, SimTime(9));
     }
 
     #[test]

@@ -25,9 +25,15 @@
 //!
 //! Everything above this crate — protocols, honeypots, scanners, analysis —
 //! treats these primitives as "the Internet".
+//!
+//! One simulation run is deliberately single-threaded (the [`engine`] wires
+//! agents and listeners with `Rc<RefCell<…>>`); parallelism lives one layer
+//! up, in `cw_core::fleet`, which runs *independent* scenarios on worker
+//! threads with per-run seeds split via [`rng::fork_seed`] — see
+//! `docs/ARCHITECTURE.md` for the determinism contract.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod asn;
 pub mod engine;

@@ -30,6 +30,36 @@ impl SplitMix64 {
     }
 }
 
+/// Split a master seed into the seed of independent stream `stream_id`.
+///
+/// This is the fleet runner's determinism contract: every scenario run in a
+/// fleet gets `fork_seed(master, stream_id)` as its own master seed, where
+/// `stream_id` is the run's position in the fleet. The derivation depends
+/// only on the two inputs — never on thread count, scheduling, or execution
+/// order — so a fleet produces bit-identical results however its runs are
+/// sharded across workers (see `cw_core::fleet`).
+///
+/// # Example
+///
+/// ```
+/// use cw_netsim::rng::fork_seed;
+///
+/// // Per-run seeds are a pure function of (master, stream).
+/// assert_eq!(fork_seed(42, 3), fork_seed(42, 3));
+/// // Neighboring streams land far apart.
+/// assert_ne!(fork_seed(42, 3), fork_seed(42, 4));
+/// assert_ne!(fork_seed(42, 0), fork_seed(43, 0));
+/// ```
+pub fn fork_seed(master_seed: u64, stream_id: u64) -> u64 {
+    // One SplitMix64 round over the master decorrelates nearby masters;
+    // folding in the stream id via the golden-gamma multiplier (a bijection
+    // on u64) then one more round decorrelates nearby streams.
+    let mut sm = SplitMix64::new(master_seed);
+    let base = sm.next_u64();
+    let mut sm = SplitMix64::new(base ^ stream_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    sm.next_u64()
+}
+
 /// FNV-1a 64-bit hash, used to derive labeled RNG sub-streams.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
@@ -105,6 +135,45 @@ impl SimRng {
             *slot = sm.next_u64();
         }
         SimRng { s }
+    }
+
+    /// Split off the independent generator for stream `stream_id`.
+    ///
+    /// Like [`derive_u64`](Self::derive_u64) this does not advance `self`;
+    /// unlike it, `fork` is specified as *the* seed-splitting API for
+    /// parallel fleets: the forked stream is a pure function of the current
+    /// state and `stream_id`, so consuming forks from different worker
+    /// threads — in any order — yields exactly the values a serial loop
+    /// would see.
+    ///
+    /// # Example
+    ///
+    /// One value drawn from each of four forked streams, serially and then
+    /// from four worker threads; the results are bit-identical:
+    ///
+    /// ```
+    /// use cw_netsim::rng::SimRng;
+    ///
+    /// let root = SimRng::seed_from_u64(0xC10D);
+    /// let serial: Vec<u64> = (0..4).map(|i| root.fork(i).next_u64()).collect();
+    ///
+    /// let threaded: Vec<u64> = std::thread::scope(|scope| {
+    ///     let handles: Vec<_> = (0..4)
+    ///         .map(|i| {
+    ///             let fork = root.fork(i);
+    ///             scope.spawn(move || {
+    ///                 let mut rng = fork;
+    ///                 rng.next_u64()
+    ///             })
+    ///         })
+    ///         .collect();
+    ///     handles.into_iter().map(|h| h.join().unwrap()).collect()
+    /// });
+    ///
+    /// assert_eq!(serial, threaded);
+    /// ```
+    pub fn fork(&self, stream_id: u64) -> SimRng {
+        SimRng::seed_from_u64(fork_seed(self.s[0] ^ self.s[2].rotate_left(29), stream_id))
     }
 
     /// Next 64 uniformly random bits.
@@ -315,6 +384,39 @@ mod tests {
             }
         }
         assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_is_pure_and_streams_are_decorrelated() {
+        let root = SimRng::seed_from_u64(7);
+        // Pure: forking never advances the parent, and repeated forks agree.
+        let mut a = root.fork(0);
+        let mut a2 = root.fork(0);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), a2.next_u64());
+        }
+        // Distinct streams (and the parent) diverge immediately.
+        let mut b = root.fork(1);
+        let mut parent = root.clone();
+        let mut collisions = 0;
+        for _ in 0..32 {
+            let x = a.next_u64();
+            if x == b.next_u64() || x == parent.next_u64() {
+                collisions += 1;
+            }
+        }
+        assert_eq!(collisions, 0);
+    }
+
+    #[test]
+    fn fork_seed_distributes_nearby_inputs() {
+        // Adjacent (master, stream) pairs must land on distinct seeds.
+        let mut seen = std::collections::BTreeSet::new();
+        for master in 0..32u64 {
+            for stream in 0..32u64 {
+                assert!(seen.insert(fork_seed(master, stream)));
+            }
+        }
     }
 
     #[test]

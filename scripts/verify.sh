@@ -1,0 +1,32 @@
+#!/bin/sh
+# Full verification gate for the cloud-watching workspace:
+#   build, tests, doc build (warnings are errors), doctests, and the fleet
+#   determinism check (CW_THREADS=8 stdout must be byte-identical to
+#   CW_THREADS=1).
+# Usage: scripts/verify.sh [scale]   (default scale 0.05 for a quick run)
+set -eu
+
+cd "$(dirname "$0")/.."
+scale="${1:-0.05}"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+echo "==> cargo test --doc -q"
+cargo test --doc -q
+
+echo "==> fleet determinism: all --scale $scale, 1 vs 8 threads"
+out1="$(mktemp)"; out8="$(mktemp)"
+trap 'rm -f "$out1" "$out8"' EXIT
+CW_THREADS=1 ./target/release/all --scale "$scale" >"$out1" 2>/dev/null
+CW_THREADS=8 ./target/release/all --scale "$scale" >"$out8" 2>/dev/null
+cmp "$out1" "$out8"
+echo "    byte-identical across thread counts"
+
+echo "verify: OK"

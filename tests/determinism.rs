@@ -2,9 +2,12 @@
 //! analyses — the property that makes the published EXPERIMENTS.md values
 //! regenerable anywhere.
 
+use cloud_watching::core::fleet;
 use cloud_watching::core::neighborhood;
 use cloud_watching::core::scenario::{Scenario, ScenarioConfig};
+use cloud_watching::netsim::rng::{fork_seed, SimRng};
 use cloud_watching::scanners::population::ScenarioYear;
+use proptest::prelude::*;
 
 fn run(seed: u64) -> Scenario {
     Scenario::run(
@@ -57,4 +60,68 @@ fn different_seeds_different_worlds() {
         b.dataset.events().len(),
         "different seeds should perturb the event count"
     );
+}
+
+/// The fleet determinism contract on real scenario runs: replicate fleets
+/// merged at thread counts 1, 2 and 8 are event-for-event identical.
+#[test]
+fn fleet_replicates_invariant_under_thread_count() {
+    let base = ScenarioConfig::fast(ScenarioYear::Y2021).with_scale(0.01);
+    let baseline = fleet::run_replicates(base, 3, 1);
+    for threads in [2, 8] {
+        let merged = fleet::run_replicates(base, 3, threads);
+        assert_eq!(baseline.seeds, merged.seeds);
+        assert_eq!(baseline.stats, merged.stats, "threads={threads}");
+        assert_eq!(
+            baseline.dataset.events().len(),
+            merged.dataset.events().len(),
+            "threads={threads}"
+        );
+        for (a, b) in baseline.dataset.events().iter().zip(merged.dataset.events()) {
+            assert_eq!(a.event, b.event);
+            assert_eq!(a.verdict, b.verdict);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Fleet results are a pure function of the input list: invariant
+    /// under worker-thread count (1, 2, 8) and under any permutation of
+    /// the shard inputs (permuting specs and un-permuting results gives
+    /// the serial baseline back).
+    #[test]
+    fn fleet_map_invariant_under_threads_and_permutation(
+        master in any::<u64>(),
+        n in 1usize..24,
+        threads in prop::sample::select(vec![1usize, 2, 8]),
+        perm_seed in any::<u64>(),
+    ) {
+        // Each job consumes its own forked RNG stream — a miniature
+        // scenario run (seed-split, state-free, deterministic).
+        let specs: Vec<u64> = (0..n as u64).map(|i| fork_seed(master, i)).collect();
+        let job = |i: usize, spec: u64| {
+            let mut rng = SimRng::seed_from_u64(spec);
+            let mut acc = i as u64;
+            for _ in 0..64 {
+                acc = acc.wrapping_mul(3).wrapping_add(rng.next_u64());
+            }
+            acc
+        };
+        let baseline = fleet::map(specs.clone(), 1, job);
+        prop_assert_eq!(&baseline, &fleet::map(specs.clone(), threads, job));
+
+        let mut order: Vec<usize> = (0..n).collect();
+        SimRng::seed_from_u64(perm_seed).shuffle(&mut order);
+        let permuted: Vec<u64> = order.iter().map(|&i| specs[i]).collect();
+        // The job only sees its spec, not its position, in this variant.
+        let permuted_out = fleet::map(permuted, threads, |_, spec| job(0, spec));
+        let positional: Vec<u64> = specs.iter().map(|&s| job(0, s)).collect();
+        let mut unpermuted = vec![0u64; n];
+        for (k, &i) in order.iter().enumerate() {
+            unpermuted[i] = permuted_out[k];
+        }
+        prop_assert_eq!(positional, unpermuted);
+    }
 }

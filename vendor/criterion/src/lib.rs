@@ -1,0 +1,223 @@
+//! An offline, zero-dependency stand-in for the [`criterion`] benchmark
+//! harness.
+//!
+//! This workspace builds in hermetic environments with no crates.io access,
+//! so the real `criterion` cannot be fetched. This shim implements the API
+//! subset the workspace's benches use (`criterion_group!`/`criterion_main!`,
+//! `Criterion::bench_function`, benchmark groups with `throughput` and
+//! `sample_size`, `Bencher::iter` / `iter_batched`) with a simple
+//! wall-clock measurement loop:
+//!
+//! - each benchmark is warmed up once, then timed over a fixed wall-clock
+//!   budget (scaled down when `sample_size` is lowered);
+//! - the mean time per iteration is printed, plus derived throughput when
+//!   the group declared one;
+//! - under `cargo test` (the harness passes `--test`) every benchmark runs
+//!   exactly one iteration, as a smoke test.
+//!
+//! Numbers from this shim are indicative, not statistically rigorous — it
+//! exists so `cargo bench` stays useful (and `cargo test` stays green)
+//! without network access.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Declared per-iteration work, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How much setup output to batch per measured call in
+/// [`Bencher::iter_batched`]. The shim runs one setup per call regardless;
+/// the variants exist for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The timing loop handed to each benchmark closure.
+pub struct Bencher {
+    smoke: bool,
+    budget: Duration,
+    /// (iterations, total elapsed) of the last `iter`/`iter_batched` call.
+    measurement: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly and record the mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (also the smoke-test iteration).
+        let warm = Instant::now();
+        let _ = routine();
+        let once = warm.elapsed();
+        if self.smoke {
+            self.measurement = Some((1, once));
+            return;
+        }
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            let _ = routine();
+            iters += 1;
+        }
+        self.measurement = Some((iters.max(1), start.elapsed()));
+    }
+
+    /// Time `routine` over inputs built by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut iters: u64 = 0;
+        let mut spent = Duration::ZERO;
+        let rounds: u64 = if self.smoke { 1 } else { u64::MAX };
+        while iters < rounds && (iters == 0 || spent < self.budget) {
+            let input = setup();
+            let start = Instant::now();
+            let _ = routine(input);
+            spent += start.elapsed();
+            iters += 1;
+        }
+        self.measurement = Some((iters.max(1), spent));
+    }
+}
+
+fn report(name: &str, measurement: Option<(u64, Duration)>, throughput: Option<Throughput>) {
+    let Some((iters, elapsed)) = measurement else {
+        println!("{name:<40} (no measurement)");
+        return;
+    };
+    let per_iter = elapsed.as_secs_f64() / iters as f64;
+    let mut line = format!("{name:<40} {:>12.3} us/iter ({iters} iters)", per_iter * 1e6);
+    match throughput {
+        Some(Throughput::Bytes(b)) => {
+            line.push_str(&format!(
+                "  {:>10.1} MiB/s",
+                b as f64 / per_iter / (1024.0 * 1024.0)
+            ));
+        }
+        Some(Throughput::Elements(n)) => {
+            line.push_str(&format!("  {:>12.0} elem/s", n as f64 / per_iter));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// The benchmark registry/driver (a subset of criterion's `Criterion`).
+pub struct Criterion {
+    smoke: bool,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs bench targets with `--test`; `cargo bench`
+        // passes `--bench`. Smoke mode runs each benchmark once.
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion {
+            smoke,
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            smoke: self.smoke,
+            budget: self.budget,
+            measurement: None,
+        };
+        f(&mut b);
+        report(name, b.measurement, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            parent: self,
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample-size settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Lower the sampling effort (shrinks the shim's wall-clock budget).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Reduced sample sizes signal expensive routines: shrink the budget
+        // so a whole-scenario bench doesn't run for minutes.
+        let budget = match self.sample_size {
+            Some(n) if n < 100 => self.parent.budget,
+            _ => self.parent.budget * 2,
+        };
+        let mut b = Bencher {
+            smoke: self.parent.smoke,
+            budget,
+            measurement: None,
+        };
+        f(&mut b);
+        report(&format!("  {name}"), b.measurement, self.throughput);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Group benchmark functions under one registration entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,636 @@
+//! An offline, zero-dependency stand-in for the [`proptest`] crate.
+//!
+//! This workspace builds in hermetic environments with no crates.io access,
+//! so the real `proptest` cannot be fetched. This shim implements the exact
+//! API subset the workspace's property tests use, with the same semantics a
+//! reader of those tests expects:
+//!
+//! - the [`proptest!`] macro (including `#![proptest_config(..)]` and
+//!   multiple `#[test]` functions per block);
+//! - [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`];
+//! - `any::<T>()` for the integer primitives and `bool`;
+//! - range strategies (`0u64..500`, `8u8..=32`, `0.0f64..100.0`, …);
+//! - [`collection::vec`] with exact or ranged sizes;
+//! - [`sample::select`] and [`strategy::Just`];
+//! - `&str` regex strategies for the literal/class/`{m,n}` subset used in
+//!   the tests (e.g. `"[a-zA-Z0-9_.-]{1,16}"`, `"[ -~&&[^\r\n]]{0,40}"`).
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case panics with the sampled arguments so
+//!   it can be reproduced by reading the message, not minimized.
+//! - **Deterministic seeding.** The RNG seed is derived from the test's
+//!   module path and name, so a failure reproduces on every run and on
+//!   every machine. Set `PROPTEST_CASES` to change the case count
+//!   (default 256).
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+#![forbid(unsafe_code)]
+
+/// Test-case driving machinery: the deterministic RNG, the per-test
+/// configuration, and the case outcome type.
+pub mod test_runner {
+    /// Why a sampled case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!` — resample, don't count.
+        Reject,
+        /// A `prop_assert!`-family assertion failed.
+        Fail(String),
+    }
+
+    /// Per-test configuration (a subset of proptest's `Config`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of accepted cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(256);
+            Config { cases }
+        }
+    }
+
+    /// The deterministic generator handed to strategies (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a raw value.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Seed deterministically from a test's full name.
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the name, so every test gets its own stream.
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 pseudo-random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform integer in `[0, n)`; `n` must be positive.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "below(0)");
+            // Multiply-shift; bias is < 2^-64 * n, irrelevant for testing.
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and primitive strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    ///
+    /// Unlike real proptest there is no value tree: `sample` draws a fresh
+    /// value and failures are not shrunk.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Strategy producing one fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    let off = if span == u64::MAX { rng.next_u64() } else { rng.below(span + 1) };
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for ::std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for ::std::ops::Range<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    /// `&str` literals are regex strategies (the subset in [`crate::string`]).
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            crate::string::sample_regex(self, rng)
+        }
+    }
+}
+
+/// `any::<T>()` — uniform values over a whole primitive type.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "whole domain" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw a uniform value of the type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> u128 {
+            (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies (`vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An element-count specification: exact, `lo..hi`, or `lo..=hi`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<::std::ops::Range<usize>> for SizeRange {
+        fn from(r: ::std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<::std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: ::std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from a [`SizeRange`].
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo) as u64;
+            let len = self.size.lo + if span == 0 { 0 } else { rng.below(span + 1) as usize };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Generate vectors whose elements come from `element` and whose length
+    /// is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// Sampling strategies (`select`).
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy choosing uniformly from a fixed list.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            assert!(!self.0.is_empty(), "select from empty list");
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+
+    /// Choose uniformly from `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select(options)
+    }
+}
+
+/// Generation of strings from the regex subset the workspace tests use.
+///
+/// Supported grammar: a sequence of atoms, each an escaped or literal
+/// character, `.` (any printable ASCII), or a `[class]`; every atom may
+/// carry a `{m}` / `{m,n}` repetition. Classes support literals, ranges
+/// (`a-z`, ` -~`), escapes (`\r`, `\n`, `\t`, `\\`), leading `^` negation,
+/// and the `&&[^...]` intersection form (e.g. `[ -~&&[^\r\n]]`).
+pub mod string {
+    use crate::test_runner::TestRng;
+
+    /// 7-bit character set.
+    #[derive(Clone)]
+    struct CharSet([bool; 128]);
+
+    impl CharSet {
+        fn none() -> Self {
+            CharSet([false; 128])
+        }
+        fn printable() -> Self {
+            let mut s = CharSet::none();
+            for c in 0x20..=0x7E {
+                s.0[c] = true;
+            }
+            s
+        }
+        fn single(c: u8) -> Self {
+            let mut s = CharSet::none();
+            s.0[(c & 0x7F) as usize] = true;
+            s
+        }
+        fn add_range(&mut self, lo: u8, hi: u8) {
+            for c in lo..=hi {
+                self.0[(c & 0x7F) as usize] = true;
+            }
+        }
+        fn intersect(&mut self, other: &CharSet) {
+            for i in 0..128 {
+                self.0[i] = self.0[i] && other.0[i];
+            }
+        }
+        fn negate_within_printable(&self) -> CharSet {
+            let mut out = CharSet::none();
+            for i in 0x20..=0x7E {
+                out.0[i] = !self.0[i];
+            }
+            out
+        }
+        fn members(&self) -> Vec<u8> {
+            (0..128u8).filter(|&c| self.0[c as usize]).collect()
+        }
+    }
+
+    struct Atom {
+        set: CharSet,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse_escape(bytes: &[u8], i: &mut usize) -> u8 {
+        *i += 1; // consume '\\'
+        let c = bytes[*i];
+        *i += 1;
+        match c {
+            b'r' => b'\r',
+            b'n' => b'\n',
+            b't' => b'\t',
+            b'0' => 0,
+            other => other,
+        }
+    }
+
+    /// Parse a `[...]` class starting at the opening bracket.
+    fn parse_class(bytes: &[u8], i: &mut usize) -> CharSet {
+        *i += 1; // consume '['
+        let negated = bytes.get(*i) == Some(&b'^');
+        if negated {
+            *i += 1;
+        }
+        let mut set = CharSet::none();
+        let mut negset: Option<CharSet> = None;
+        while *i < bytes.len() && bytes[*i] != b']' {
+            // Intersection form `&&[^...]`.
+            if bytes[*i] == b'&' && bytes.get(*i + 1) == Some(&b'&') {
+                *i += 2;
+                assert!(
+                    bytes.get(*i) == Some(&b'['),
+                    "class intersection must be `&&[...]`"
+                );
+                negset = Some(parse_class(bytes, i));
+                continue;
+            }
+            let lo = if bytes[*i] == b'\\' {
+                parse_escape(bytes, i)
+            } else {
+                let c = bytes[*i];
+                *i += 1;
+                c
+            };
+            // A range `lo-hi` (a trailing '-' is a literal).
+            if bytes.get(*i) == Some(&b'-') && bytes.get(*i + 1).is_some_and(|&c| c != b']') {
+                *i += 1;
+                let hi = if bytes[*i] == b'\\' {
+                    parse_escape(bytes, i)
+                } else {
+                    let c = bytes[*i];
+                    *i += 1;
+                    c
+                };
+                set.add_range(lo, hi);
+            } else {
+                set.add_range(lo, lo);
+            }
+        }
+        assert!(bytes.get(*i) == Some(&b']'), "unterminated character class");
+        *i += 1; // consume ']'
+        if let Some(n) = negset {
+            // `parse_class` already applied the inner '^', so `n` is the set
+            // of characters to keep.
+            set.intersect(&n);
+        }
+        if negated {
+            set.negate_within_printable()
+        } else {
+            set
+        }
+    }
+
+    fn parse_quantifier(bytes: &[u8], i: &mut usize) -> (usize, usize) {
+        if bytes.get(*i) != Some(&b'{') {
+            return (1, 1);
+        }
+        *i += 1;
+        let mut min = 0usize;
+        while bytes[*i].is_ascii_digit() {
+            min = min * 10 + (bytes[*i] - b'0') as usize;
+            *i += 1;
+        }
+        let max = if bytes[*i] == b',' {
+            *i += 1;
+            let mut m = 0usize;
+            while bytes[*i].is_ascii_digit() {
+                m = m * 10 + (bytes[*i] - b'0') as usize;
+                *i += 1;
+            }
+            m
+        } else {
+            min
+        };
+        assert!(bytes[*i] == b'}', "unterminated quantifier");
+        *i += 1;
+        (min, max)
+    }
+
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let bytes = pattern.as_bytes();
+        let mut atoms = Vec::new();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let set = match bytes[i] {
+                b'[' => parse_class(bytes, &mut i),
+                b'.' => {
+                    i += 1;
+                    CharSet::printable()
+                }
+                b'\\' => CharSet::single(parse_escape(bytes, &mut i)),
+                c => {
+                    i += 1;
+                    CharSet::single(c)
+                }
+            };
+            let (min, max) = parse_quantifier(bytes, &mut i);
+            atoms.push(Atom { set, min, max });
+        }
+        atoms
+    }
+
+    /// Sample one string matching `pattern` (see module docs for the
+    /// supported subset).
+    pub fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse(pattern) {
+            let span = (atom.max - atom.min) as u64;
+            let n = atom.min + if span == 0 { 0 } else { rng.below(span + 1) as usize };
+            let members = atom.set.members();
+            assert!(
+                !members.is_empty() || n == 0,
+                "empty character class in pattern {pattern:?}"
+            );
+            for _ in 0..n {
+                out.push(members[rng.below(members.len() as u64) as usize] as char);
+            }
+        }
+        out
+    }
+}
+
+/// Everything a property test needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop::` namespace (`prop::collection`, `prop::sample`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Reject the current case (resample without counting it).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Assert within a property test; failure reports the sampled arguments.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion within a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: `{:?}` == `{:?}`", l, r),
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion within a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l != *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: `{:?}` != `{:?}`", l, r),
+            ));
+        }
+    }};
+}
+
+/// Define property tests: each `#[test] fn name(arg in strategy, ...)`
+/// becomes a test that samples its arguments `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut accepted: u32 = 0;
+                let mut attempts: u64 = 0;
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= (config.cases as u64) * 32 + 1024,
+                        "proptest: too many cases rejected by prop_assume!"
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                    // Render args before the body runs: the body may move them.
+                    let sampled = ::std::format!("{:?}", ($(&$arg,)*));
+                    let outcome = (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case #{} failed: {}\n  sampled args: {}",
+                                accepted + 1,
+                                msg,
+                                sampled
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
