@@ -1,0 +1,117 @@
+//! End-to-end scenario benchmark: machine-readable perf trajectory.
+//!
+//! Runs the 2021 scenario, times the engine phase and the
+//! classification+dataset-build phase separately, and writes
+//! `BENCH_scenario.json` into the current directory so successive PRs can
+//! record before/after numbers. Fleet wall time is measured at worker
+//! thread counts 1 and 8 (`run_replicates`, so the thread axis exercises
+//! the merge path too).
+
+use cw_bench::{parse_args, run_config};
+use cw_core::dataset::Dataset;
+use cw_core::fleet;
+use cw_core::scenario::ScenarioConfig;
+use cw_scanners::population::ScenarioYear;
+use std::time::Instant;
+
+/// Repetitions of the dataset-build phase (the min is reported).
+const BUILD_REPS: usize = 5;
+
+fn main() {
+    let opts = parse_args();
+    let year = opts.year.unwrap_or(ScenarioYear::Y2021);
+    let config = ScenarioConfig::paper(year)
+        .with_seed(opts.seed)
+        .with_scale(opts.scale);
+
+    // Phase 1: one full scenario (engine + first dataset build).
+    let t0 = Instant::now();
+    let s = run_config(config);
+    let scenario_secs = t0.elapsed().as_secs_f64();
+    let events = s.dataset.len() as u64;
+
+    // Phase 2: classification + dataset build alone, re-run on the retained
+    // captures (the honeypots stay alive inside the scenario).
+    let caps: Vec<_> = s
+        .deployment
+        .honeypots
+        .iter()
+        .map(|h| h.borrow().capture())
+        .collect();
+    let mut build_secs = f64::INFINITY;
+    for _ in 0..BUILD_REPS {
+        let borrows: Vec<_> = caps.iter().map(|c| c.borrow()).collect();
+        let refs: Vec<&cw_honeypot::capture::Capture> = borrows.iter().map(|b| &**b).collect();
+        let t = Instant::now();
+        let ds = Dataset::from_captures(&refs, &s.deployment);
+        let dt = t.elapsed().as_secs_f64();
+        assert_eq!(ds.len() as u64, events);
+        build_secs = build_secs.min(dt);
+    }
+    let events_per_sec = events as f64 / build_secs;
+
+    // Distinct-payload ratio: distinct payload blobs / payload-carrying
+    // events (the quantity memoized classification scales with). The
+    // interner already deduplicates, so distinct = arena size.
+    let payload_events = s
+        .dataset
+        .table()
+        .observed()
+        .iter()
+        .filter(|o| matches!(o, cw_honeypot::capture::Observed::Payload(_)))
+        .count() as u64;
+    let distinct_payloads = s.dataset.interner().payload_count() as u64;
+    let distinct_ratio = if payload_events == 0 {
+        0.0
+    } else {
+        distinct_payloads as f64 / payload_events as f64
+    };
+
+    // Phase 3: fleet wall time at 1 and 8 workers (4 replicates).
+    let base = config;
+    let mut fleet_secs = Vec::new();
+    for threads in [1usize, 8] {
+        let t = Instant::now();
+        let merged = fleet::run_replicates(base, 4, threads);
+        let dt = t.elapsed().as_secs_f64();
+        eprintln!(
+            "[bench] fleet 4 replicates @ {threads} threads: {:.2}s ({} events)",
+            dt,
+            merged.dataset.len()
+        );
+        fleet_secs.push((threads, dt));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"scenario\": {{\"year\": {}, \"scale\": {}, \"seed\": {}}},\n",
+            "  \"events\": {},\n",
+            "  \"payload_events\": {},\n",
+            "  \"distinct_payloads\": {},\n",
+            "  \"distinct_payload_ratio\": {:.6},\n",
+            "  \"scenario_wall_secs\": {:.4},\n",
+            "  \"dataset_build_secs\": {:.4},\n",
+            "  \"classification_events_per_sec\": {:.1},\n",
+            "  \"fleet\": [{}]\n",
+            "}}\n"
+        ),
+        year.year(),
+        opts.scale,
+        opts.seed,
+        events,
+        payload_events,
+        distinct_payloads,
+        distinct_ratio,
+        scenario_secs,
+        build_secs,
+        events_per_sec,
+        fleet_secs
+            .iter()
+            .map(|(t, s)| format!("{{\"threads\": {t}, \"wall_secs\": {s:.4}}}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::fs::write("BENCH_scenario.json", &json).expect("write BENCH_scenario.json");
+    print!("{json}");
+}

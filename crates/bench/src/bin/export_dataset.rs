@@ -24,6 +24,6 @@ fn main() {
         .expect("write pcap");
     println!(
         "wrote {} events to out/cloud_watching_2021.{{csv,jsonl,pcap}}",
-        s.dataset.events().len()
+        s.dataset.len()
     );
 }

@@ -62,7 +62,7 @@ pub fn parse_args() -> RunOptions {
                 opts.scale = value("--scale")
                     .parse()
                     .unwrap_or_else(|_| usage("--scale expects a number"));
-                if !(opts.scale > 0.0) {
+                if opts.scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
                     usage("--scale must be positive");
                 }
             }
@@ -130,7 +130,7 @@ pub fn run_config(config: ScenarioConfig) -> Scenario {
         config.year.year(),
         start.elapsed(),
         s.stats.flows_delivered,
-        s.dataset.events().len(),
+        s.dataset.len(),
         s.telescope.borrow().total_packets()
     );
     s

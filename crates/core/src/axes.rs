@@ -6,59 +6,90 @@
 //! attempted), and why (i.e., the maliciousness of traffic)."
 //!
 //! Each extractor turns a set of classified events into a frequency map
-//! keyed by a category label; payload categories are the §3.3-normalized
-//! payload bytes (Date/Host/Content-Length stripped) rendered as a stable
-//! digest.
+//! keyed by a category label. Counting happens on interned ids (4-byte
+//! keys, no string construction in the per-event loop); display strings —
+//! including the §3.3 payload normalization (Date/Host/Content-Length
+//! stripped) — are resolved once per *distinct* id when the final map is
+//! assembled.
 
 use crate::dataset::ClassifiedEvent;
 use cw_detection::Verdict;
 use cw_honeypot::capture::Observed;
+use cw_netsim::intern::{CredId, PayloadId};
 use cw_netsim::rng::fnv1a;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Frequency of traffic per source AS ("who").
-pub fn as_freqs(events: &[&ClassifiedEvent]) -> BTreeMap<String, u64> {
-    let mut m = BTreeMap::new();
+pub fn as_freqs(events: &[ClassifiedEvent<'_>]) -> BTreeMap<String, u64> {
+    let mut by_asn: HashMap<u32, u64> = HashMap::new();
     for e in events {
-        *m.entry(e.event.src_asn.to_string()).or_insert(0) += 1;
+        *by_asn.entry(e.event.src_asn.0).or_insert(0) += 1;
     }
-    m
+    by_asn
+        .into_iter()
+        .map(|(asn, n)| (cw_netsim::asn::Asn(asn).to_string(), n))
+        .collect()
 }
 
 /// Frequency of attempted usernames ("what", SSH/Telnet).
-pub fn username_freqs(events: &[&ClassifiedEvent]) -> BTreeMap<String, u64> {
-    let mut m = BTreeMap::new();
-    for e in events {
-        if let Observed::Credentials { username, .. } = &e.event.observed {
-            *m.entry(username.clone()).or_insert(0) += 1;
-        }
-    }
-    m
+pub fn username_freqs(events: &[ClassifiedEvent<'_>]) -> BTreeMap<String, u64> {
+    cred_freqs(events, |observed| match observed {
+        Observed::Credentials { username, .. } => Some(username),
+        _ => None,
+    })
 }
 
 /// Frequency of attempted passwords ("what", SSH/Telnet).
-pub fn password_freqs(events: &[&ClassifiedEvent]) -> BTreeMap<String, u64> {
-    let mut m = BTreeMap::new();
+pub fn password_freqs(events: &[ClassifiedEvent<'_>]) -> BTreeMap<String, u64> {
+    cred_freqs(events, |observed| match observed {
+        Observed::Credentials { password, .. } => Some(password),
+        _ => None,
+    })
+}
+
+/// ID-keyed credential counting; strings resolve once per distinct id.
+/// A `CredId` ↔ string mapping is bijective within one interner, so the
+/// rendered map has exactly one entry per distinct credential.
+fn cred_freqs(
+    events: &[ClassifiedEvent<'_>],
+    select: impl Fn(Observed) -> Option<CredId>,
+) -> BTreeMap<String, u64> {
+    let mut by_id: HashMap<CredId, u64> = HashMap::new();
     for e in events {
-        if let Observed::Credentials { password, .. } = &e.event.observed {
-            *m.entry(password.clone()).or_insert(0) += 1;
+        if let Some(id) = select(e.event.observed) {
+            *by_id.entry(id).or_insert(0) += 1;
         }
     }
-    m
+    let Some(interner) = events.first().map(|e| e.interner()) else {
+        return BTreeMap::new();
+    };
+    by_id
+        .into_iter()
+        .map(|(id, n)| (interner.cred(id).to_string(), n))
+        .collect()
 }
 
 /// Frequency of normalized payloads ("what", HTTP and friends).
 ///
-/// Payloads are normalized per §3.3 (ephemeral Date/Host/Content-Length
-/// values removed) and keyed by a short stable digest plus a readable
-/// prefix, so top-3 tables stay legible.
-pub fn payload_freqs(events: &[&ClassifiedEvent]) -> BTreeMap<String, u64> {
-    let mut m = BTreeMap::new();
+/// Counting is keyed by [`PayloadId`]; each *distinct* payload is then
+/// normalized per §3.3 (ephemeral Date/Host/Content-Length values removed)
+/// and rendered once via [`payload_key`]. Distinct ids whose normalized
+/// form collides fold into one category (their counts add), exactly as
+/// per-event string keying grouped them.
+pub fn payload_freqs(events: &[ClassifiedEvent<'_>]) -> BTreeMap<String, u64> {
+    let mut by_id: HashMap<PayloadId, u64> = HashMap::new();
     for e in events {
-        if let Observed::Payload(p) = &e.event.observed {
-            let normalized = cw_protocols::http::normalize(p);
-            *m.entry(payload_key(&normalized)).or_insert(0) += 1;
+        if let Observed::Payload(p) = e.event.observed {
+            *by_id.entry(p).or_insert(0) += 1;
         }
+    }
+    let Some(interner) = events.first().map(|e| e.interner()) else {
+        return BTreeMap::new();
+    };
+    let mut m = BTreeMap::new();
+    for (id, n) in by_id {
+        let normalized = cw_protocols::http::normalize(interner.payload(id));
+        *m.entry(payload_key(&normalized)).or_insert(0) += n;
     }
     m
 }
@@ -81,7 +112,7 @@ pub fn payload_key(normalized: &[u8]) -> String {
 }
 
 /// Malicious/benign event counts ("why"): `(attacker, scanner)`.
-pub fn maliciousness_counts(events: &[&ClassifiedEvent]) -> (u64, u64) {
+pub fn maliciousness_counts(events: &[ClassifiedEvent<'_>]) -> (u64, u64) {
     let mut attacker = 0;
     let mut scanner = 0;
     for e in events {
@@ -94,7 +125,7 @@ pub fn maliciousness_counts(events: &[&ClassifiedEvent]) -> (u64, u64) {
 }
 
 /// The "why" axis as a two-category frequency map for chi-squared testing.
-pub fn maliciousness_freqs(events: &[&ClassifiedEvent]) -> BTreeMap<String, u64> {
+pub fn maliciousness_freqs(events: &[ClassifiedEvent<'_>]) -> BTreeMap<String, u64> {
     let (attacker, scanner) = maliciousness_counts(events);
     let mut m = BTreeMap::new();
     m.insert("malicious".to_string(), attacker);
@@ -105,66 +136,103 @@ pub fn maliciousness_freqs(events: &[&ClassifiedEvent]) -> BTreeMap<String, u64>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cw_detection::RuleSet;
-    use cw_honeypot::capture::ScanEvent;
+    use cw_honeypot::capture::{Capture, ScanEvent};
     use cw_netsim::asn::Asn;
     use cw_netsim::flow::LoginService;
     use cw_netsim::time::SimTime;
     use std::net::Ipv4Addr;
 
-    fn ev(asn: u32, observed: Observed, port: u16) -> ClassifiedEvent {
-        let e = ScanEvent {
-            time: SimTime(0),
-            src: Ipv4Addr::new(100, 0, 0, 1),
-            src_asn: Asn(asn),
-            dst: Ipv4Addr::new(20, 0, 0, 1),
-            dst_port: port,
-            observed,
-        };
-        let rules = RuleSet::builtin();
-        let (verdict, fingerprint) = crate::dataset::classify_event(&e, &rules);
-        ClassifiedEvent {
-            event: e,
-            verdict,
-            fingerprint,
+    /// Test fixture: a capture plus the reference (unmemoized)
+    /// classification, yielding `ClassifiedEvent`s like a dataset would.
+    struct Fixture {
+        cap: Capture,
+        classified: Vec<(ScanEvent, Verdict, Option<cw_protocols::ProtocolId>)>,
+    }
+
+    enum Raw {
+        Handshake,
+        Payload(Vec<u8>),
+        Creds(&'static str, &'static str),
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Fixture {
+                cap: Capture::new("axes-test"),
+                classified: Vec::new(),
+            }
         }
+
+        fn push(&mut self, asn: u32, raw: Raw, port: u16) {
+            let observed = match raw {
+                Raw::Handshake => Observed::Handshake,
+                Raw::Payload(p) => Observed::Payload(self.cap.intern_payload(&p)),
+                Raw::Creds(u, p) => Observed::Credentials {
+                    service: LoginService::Ssh,
+                    username: self.cap.intern_cred(u),
+                    password: self.cap.intern_cred(p),
+                },
+            };
+            let e = ScanEvent {
+                time: SimTime(0),
+                src: Ipv4Addr::new(100, 0, 0, 1),
+                src_asn: Asn(asn),
+                dst: Ipv4Addr::new(20, 0, 0, 1),
+                dst_port: port,
+                observed,
+            };
+            let interner = self.cap.interner();
+            let (verdict, fingerprint) = crate::dataset::classify_event(
+                &e,
+                &interner.borrow(),
+                cw_detection::RuleSet::builtin_cached(),
+            );
+            self.classified.push((e, verdict, fingerprint));
+        }
+
+        fn events<'a>(
+            &'a self,
+            interner: &'a cw_netsim::intern::Interner,
+        ) -> Vec<ClassifiedEvent<'a>> {
+            self.classified
+                .iter()
+                .map(|&(event, verdict, fingerprint)| {
+                    ClassifiedEvent::new(event, verdict, fingerprint, interner)
+                })
+                .collect()
+        }
+    }
+
+    /// Run `f` over the fixture's classified events.
+    fn with_events<R>(fx: &Fixture, f: impl FnOnce(&[ClassifiedEvent<'_>]) -> R) -> R {
+        let interner = fx.cap.interner();
+        let interner = interner.borrow();
+        f(&fx.events(&interner))
     }
 
     #[test]
     fn as_axis_counts_traffic() {
-        let evs = [ev(4134, Observed::Handshake, 22),
-            ev(4134, Observed::Handshake, 22),
-            ev(174, Observed::Handshake, 22)];
-        let refs: Vec<&ClassifiedEvent> = evs.iter().collect();
-        let m = as_freqs(&refs);
-        assert_eq!(m.get("AS4134"), Some(&2));
-        assert_eq!(m.get("AS174"), Some(&1));
+        let mut fx = Fixture::new();
+        fx.push(4134, Raw::Handshake, 22);
+        fx.push(4134, Raw::Handshake, 22);
+        fx.push(174, Raw::Handshake, 22);
+        with_events(&fx, |evs| {
+            let m = as_freqs(evs);
+            assert_eq!(m.get("AS4134"), Some(&2));
+            assert_eq!(m.get("AS174"), Some(&1));
+        });
     }
 
     #[test]
     fn credential_axes() {
-        let evs = [ev(
-                1,
-                Observed::Credentials {
-                    service: LoginService::Ssh,
-                    username: "root".into(),
-                    password: "123456".into(),
-                },
-                22,
-            ),
-            ev(
-                1,
-                Observed::Credentials {
-                    service: LoginService::Ssh,
-                    username: "root".into(),
-                    password: "password".into(),
-                },
-                22,
-            ),
-            ev(1, Observed::Handshake, 22)];
-        let refs: Vec<&ClassifiedEvent> = evs.iter().collect();
-        assert_eq!(username_freqs(&refs).get("root"), Some(&2));
-        assert_eq!(password_freqs(&refs).len(), 2);
+        let mut fx = Fixture::new();
+        fx.push(1, Raw::Creds("root", "123456"), 22);
+        fx.push(1, Raw::Creds("root", "password"), 22);
+        fx.push(1, Raw::Handshake, 22);
+        with_events(&fx, |evs| {
+            assert_eq!(username_freqs(evs).get("root"), Some(&2));
+            assert_eq!(password_freqs(evs).len(), 2);
+        });
     }
 
     #[test]
@@ -175,24 +243,30 @@ mod tests {
         let b = cw_protocols::HttpRequest::new("GET", "/")
             .header("Host", "20.9.9.9")
             .to_bytes();
-        let evs = [ev(1, Observed::Payload(a), 80),
-            ev(1, Observed::Payload(b), 80)];
-        let refs: Vec<&ClassifiedEvent> = evs.iter().collect();
-        let m = payload_freqs(&refs);
-        assert_eq!(m.len(), 1, "hosts must normalize away: {m:?}");
-        assert_eq!(*m.values().next().unwrap(), 2);
+        let mut fx = Fixture::new();
+        fx.push(1, Raw::Payload(a), 80);
+        fx.push(1, Raw::Payload(b), 80);
+        with_events(&fx, |evs| {
+            // The two payloads intern as *different* ids but normalize to
+            // one category — the render step must fold their counts.
+            let m = payload_freqs(evs);
+            assert_eq!(m.len(), 1, "hosts must normalize away: {m:?}");
+            assert_eq!(*m.values().next().unwrap(), 2);
+        });
     }
 
     #[test]
     fn maliciousness_axis() {
-        let evs = [ev(1, Observed::Payload(cw_scanners::exploits::log4shell("x")), 80),
-            ev(1, Observed::Payload(cw_scanners::exploits::benign_get("ua")), 80),
-            ev(1, Observed::Handshake, 80)];
-        let refs: Vec<&ClassifiedEvent> = evs.iter().collect();
-        assert_eq!(maliciousness_counts(&refs), (1, 2));
-        let m = maliciousness_freqs(&refs);
-        assert_eq!(m.get("malicious"), Some(&1));
-        assert_eq!(m.get("not-malicious"), Some(&2));
+        let mut fx = Fixture::new();
+        fx.push(1, Raw::Payload(cw_scanners::exploits::log4shell("x")), 80);
+        fx.push(1, Raw::Payload(cw_scanners::exploits::benign_get("ua")), 80);
+        fx.push(1, Raw::Handshake, 80);
+        with_events(&fx, |evs| {
+            assert_eq!(maliciousness_counts(evs), (1, 2));
+            let m = maliciousness_freqs(evs);
+            assert_eq!(m.get("malicious"), Some(&1));
+            assert_eq!(m.get("not-malicious"), Some(&2));
+        });
     }
 
     #[test]

@@ -42,7 +42,7 @@ impl CharKind {
     }
 
     /// Extract this characteristic's frequency map from one group.
-    pub fn freqs(&self, events: &[&ClassifiedEvent]) -> BTreeMap<String, u64> {
+    pub fn freqs(&self, events: &[ClassifiedEvent<'_>]) -> BTreeMap<String, u64> {
         match self {
             CharKind::TopAs => axes::as_freqs(events),
             CharKind::FracMalicious => axes::maliciousness_freqs(events),
@@ -116,7 +116,7 @@ pub fn compare_freqs(
 /// Convenience: extract each group's frequencies and compare.
 pub fn compare_groups(
     kind: CharKind,
-    groups: &[Vec<&ClassifiedEvent>],
+    groups: &[Vec<ClassifiedEvent<'_>>],
     alpha: f64,
     family_size: usize,
 ) -> Option<GroupComparison> {

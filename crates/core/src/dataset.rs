@@ -1,16 +1,33 @@
 //! The queryable event store behind every analysis.
 //!
-//! A [`Dataset`] flattens all honeypot captures, attaches vantage metadata,
-//! pre-classifies every event with the vetted ruleset (§3.2), and exposes
-//! the §3.3 traffic slices. It also writes the released dataset as
-//! CSV/JSONL.
+//! A [`Dataset`] flattens all honeypot captures into one columnar
+//! [`EventTable`], attaches vantage metadata, pre-classifies every event
+//! with the vetted ruleset (§3.2), and exposes the §3.3 traffic slices.
+//! It also writes the released dataset as CSV/JSONL/pcap.
+//!
+//! # Interned, memoized classification
+//!
+//! Events carry [`PayloadId`]/[`cw_netsim::intern::CredId`] handles instead of bytes. The
+//! build step remaps each capture's ids into the dataset's own
+//! [`Interner`] (captures of one deployment share an id space, so the
+//! remap runs once per deployment, not once per capture) and then
+//! classifies + LZR-fingerprints **once per distinct `(PayloadId, port)`
+//! pair** — a memo over a few thousand distinct payloads instead of a
+//! rule-matcher run per event. Verdicts are pure functions of
+//! `(payload bytes, port)`, so memoization is observationally identical
+//! to the per-event path.
+//!
+//! The same remap machinery powers [`Dataset::absorb`]: fleet workers
+//! build worker-local datasets whose interners are merged in stream-id
+//! order, keeping merged output byte-identical for any thread count.
 
-use cw_detection::{classify_intent, RuleSet, Verdict};
-use cw_honeypot::capture::{Capture, Observed, ScanEvent};
+use cw_detection::{is_malicious_payload, RuleSet, Verdict};
+use cw_honeypot::capture::{Capture, EventTable, Observed, ScanEvent};
 use cw_honeypot::deployment::{Deployment, VantagePoint};
-use cw_netsim::flow::{ConnectionIntent, LoginService};
+use cw_netsim::flow::LoginService;
+use cw_netsim::intern::{Interner, PayloadId, Remap};
 use cw_protocols::ProtocolId;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::Write;
 use std::net::Ipv4Addr;
 
@@ -50,18 +67,37 @@ impl TrafficSlice {
     }
 }
 
-/// A classified event: the capture record plus analysis metadata.
-#[derive(Debug, Clone)]
-pub struct ClassifiedEvent {
-    /// The raw observation.
+/// A classified event: the capture record plus analysis metadata, with a
+/// borrow of the dataset's interner so display strings resolve on demand.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassifiedEvent<'a> {
+    /// The raw observation (interned ids in the dataset's id space).
     pub event: ScanEvent,
     /// §3.2 verdict.
     pub verdict: Verdict,
     /// LZR fingerprint of the payload, if one was observed.
     pub fingerprint: Option<ProtocolId>,
+    interner: &'a Interner,
 }
 
-impl ClassifiedEvent {
+impl<'a> ClassifiedEvent<'a> {
+    /// Assemble a classified event from parts — for harnesses that
+    /// classify outside a [`Dataset`] (the leak experiment, axes tests).
+    /// `interner` must be the interner `event`'s ids were minted by.
+    pub fn new(
+        event: ScanEvent,
+        verdict: Verdict,
+        fingerprint: Option<ProtocolId>,
+        interner: &'a Interner,
+    ) -> Self {
+        ClassifiedEvent {
+            event,
+            verdict,
+            fingerprint,
+            interner,
+        }
+    }
+
     /// Does the event fall into a traffic slice?
     pub fn in_slice(&self, slice: TrafficSlice) -> bool {
         match slice {
@@ -72,87 +108,198 @@ impl ClassifiedEvent {
             TrafficSlice::AnyAll => true,
         }
     }
+
+    /// The interner this event's ids resolve against.
+    pub fn interner(&self) -> &'a Interner {
+        self.interner
+    }
+
+    /// The observed payload bytes, if any.
+    pub fn payload_bytes(&self) -> Option<&'a [u8]> {
+        self.event.observed.payload().map(|p| self.interner.payload(p))
+    }
+
+    /// The harvested username, if this was a credential observation.
+    pub fn username(&self) -> Option<&'a str> {
+        match self.event.observed {
+            Observed::Credentials { username, .. } => Some(self.interner.cred(username)),
+            _ => None,
+        }
+    }
+
+    /// The harvested password, if this was a credential observation.
+    pub fn password(&self) -> Option<&'a str> {
+        match self.event.observed {
+            Observed::Credentials { password, .. } => Some(self.interner.cred(password)),
+            _ => None,
+        }
+    }
 }
 
-/// The flattened, classified event store.
+/// The flattened, classified event store (columnar, interned).
 pub struct Dataset {
-    events: Vec<ClassifiedEvent>,
+    table: EventTable,
+    verdicts: Vec<Verdict>,
+    fingerprints: Vec<Option<ProtocolId>>,
+    interner: Interner,
     vantage_by_ip: BTreeMap<Ipv4Addr, VantagePoint>,
     by_dst: BTreeMap<Ipv4Addr, Vec<usize>>,
 }
 
+/// Per-distinct classification memo: `(payload id, port)` → verdict +
+/// fingerprint. Ids are in the dataset's interner space.
+type ClassifyMemo = HashMap<(PayloadId, u16), (Verdict, Option<ProtocolId>)>;
+
 impl Dataset {
     /// Build from captures and the deployment's vantage metadata.
     pub fn from_captures(captures: &[&Capture], deployment: &Deployment) -> Self {
-        let rules = RuleSet::builtin();
+        let rules = RuleSet::builtin_cached();
         let vantage_by_ip: BTreeMap<Ipv4Addr, VantagePoint> = deployment
             .vantages
             .iter()
             .map(|v| (v.ip, v.clone()))
             .collect();
-        let mut events = Vec::new();
-        let mut by_dst: BTreeMap<Ipv4Addr, Vec<usize>> = BTreeMap::new();
-        for cap in captures {
-            for e in &cap.events {
-                let (verdict, fingerprint) = classify_event(e, &rules);
-                by_dst.entry(e.dst).or_default().push(events.len());
-                events.push(ClassifiedEvent {
-                    event: e.clone(),
-                    verdict,
-                    fingerprint,
-                });
-            }
-        }
-        Dataset {
-            events,
+        let mut ds = Dataset {
+            table: EventTable::new(),
+            verdicts: Vec::new(),
+            fingerprints: Vec::new(),
+            interner: Interner::new(),
             vantage_by_ip,
-            by_dst,
+            by_dst: BTreeMap::new(),
+        };
+        let mut memo: ClassifyMemo = HashMap::new();
+        // Captures of one deployment share an interner; cache the remap by
+        // source-interner identity so it is computed once, not per capture.
+        let mut cached: Option<(*const (), Remap)> = None;
+        for cap in captures {
+            let src_interner = cap.interner();
+            let key = std::rc::Rc::as_ptr(&src_interner) as *const ();
+            let remap = match &cached {
+                Some((k, remap)) if *k == key => remap.clone(),
+                _ => {
+                    let remap = ds.interner.remap_from(&src_interner.borrow());
+                    cached = Some((key, remap.clone()));
+                    remap
+                }
+            };
+            ds.append_capture(cap.table(), &remap, rules, &mut memo);
         }
+        ds
     }
 
     /// An empty dataset — the identity element for [`Dataset::absorb`].
     pub fn empty() -> Self {
         Dataset {
-            events: Vec::new(),
+            table: EventTable::new(),
+            verdicts: Vec::new(),
+            fingerprints: Vec::new(),
+            interner: Interner::new(),
             vantage_by_ip: BTreeMap::new(),
             by_dst: BTreeMap::new(),
+        }
+    }
+
+    /// Append one capture's rows: remap ids into our space, classify with
+    /// the per-distinct memo, index by destination.
+    fn append_capture(
+        &mut self,
+        table: &EventTable,
+        remap: &Remap,
+        rules: &RuleSet,
+        memo: &mut ClassifyMemo,
+    ) {
+        let interner = &self.interner;
+        let verdicts = &mut self.verdicts;
+        let fingerprints = &mut self.fingerprints;
+        let base = self.table.len();
+        for (i, &dst) in table.dsts().iter().enumerate() {
+            self.by_dst.entry(dst).or_default().push(base + i);
+        }
+        self.table
+            .extend_remapped(table, |observed| remap_observed(observed, remap));
+        // Classify from the remapped columns (observed + port walk together).
+        let observed = &self.table.observed()[base..];
+        let ports = &self.table.dst_ports()[base..];
+        for (&observed, &port) in observed.iter().zip(ports) {
+            let (verdict, fingerprint) = classify_interned(observed, port, interner, rules, memo);
+            verdicts.push(verdict);
+            fingerprints.push(fingerprint);
         }
     }
 
     /// Fold another dataset into this one — the fleet merge step.
     ///
     /// `other`'s events are appended after `self`'s (its per-destination
-    /// indices are rebased), so folding per-run datasets in stream-id order
-    /// yields the same merged dataset for any worker-thread count. Vantage
-    /// metadata is unioned; identical IPs must describe identical vantages
-    /// (always true for runs built from [`Deployment::standard`]).
+    /// indices are rebased) and its interned ids are remapped into `self`'s
+    /// id space by re-interning `other`'s distinct values in *their*
+    /// insertion order. Folding per-run datasets in stream-id order
+    /// therefore yields the same merged dataset — same ids, same bytes —
+    /// for any worker-thread count. Vantage metadata is unioned; identical
+    /// IPs must describe identical vantages (always true for runs built
+    /// from [`Deployment::standard`]).
     pub fn absorb(&mut self, other: Dataset) {
-        let base = self.events.len();
+        let base = self.table.len();
         for (dst, idxs) in other.by_dst {
             self.by_dst
                 .entry(dst)
                 .or_default()
                 .extend(idxs.into_iter().map(|i| i + base));
         }
-        self.events.extend(other.events);
+        let remap = self.interner.remap_from(&other.interner);
+        self.table
+            .extend_remapped(&other.table, |o| remap_observed(o, &remap));
+        // Verdicts/fingerprints are pure functions of (bytes, port) and
+        // bytes survive remapping unchanged — copy them straight over.
+        self.verdicts.extend(other.verdicts);
+        self.fingerprints.extend(other.fingerprints);
         self.vantage_by_ip.extend(other.vantage_by_ip);
     }
 
-    /// All classified events.
-    pub fn events(&self) -> &[ClassifiedEvent] {
-        &self.events
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the dataset holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// The interner every event id resolves against.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// The columnar event store.
+    pub fn table(&self) -> &EventTable {
+        &self.table
+    }
+
+    /// Event `i` with its classification.
+    pub fn event(&self, i: usize) -> ClassifiedEvent<'_> {
+        ClassifiedEvent {
+            event: self.table.get(i),
+            verdict: self.verdicts[i],
+            fingerprint: self.fingerprints[i],
+            interner: &self.interner,
+        }
+    }
+
+    /// All classified events, in capture order.
+    pub fn events(&self) -> impl Iterator<Item = ClassifiedEvent<'_>> {
+        (0..self.len()).map(move |i| self.event(i))
     }
 
     /// Events destined to one vantage IP.
-    pub fn events_at(&self, ip: Ipv4Addr) -> Vec<&ClassifiedEvent> {
+    pub fn events_at(&self, ip: Ipv4Addr) -> Vec<ClassifiedEvent<'_>> {
         self.by_dst
             .get(&ip)
-            .map(|idxs| idxs.iter().map(|&i| &self.events[i]).collect())
+            .map(|idxs| idxs.iter().map(|&i| self.event(i)).collect())
             .unwrap_or_default()
     }
 
     /// Events at one vantage IP within a slice.
-    pub fn events_at_in(&self, ip: Ipv4Addr, slice: TrafficSlice) -> Vec<&ClassifiedEvent> {
+    pub fn events_at_in(&self, ip: Ipv4Addr, slice: TrafficSlice) -> Vec<ClassifiedEvent<'_>> {
         self.events_at(ip)
             .into_iter()
             .filter(|e| e.in_slice(slice))
@@ -164,7 +311,7 @@ impl Dataset {
         &self,
         ips: &[Ipv4Addr],
         slice: TrafficSlice,
-    ) -> Vec<&ClassifiedEvent> {
+    ) -> Vec<ClassifiedEvent<'_>> {
         let mut out = Vec::new();
         for &ip in ips {
             out.extend(self.events_at_in(ip, slice));
@@ -227,15 +374,20 @@ impl Dataset {
             w,
             "time,src,src_asn,dst,dst_port,kind,verdict,fingerprint,username,password,payload_hex"
         )?;
-        for ce in &self.events {
+        for ce in self.events() {
             let e = &ce.event;
-            let (kind, user, pass, payload) = match &e.observed {
+            let (kind, user, pass, payload) = match e.observed {
                 Observed::Syn => ("syn", "", "", String::new()),
                 Observed::Handshake => ("handshake", "", "", String::new()),
-                Observed::Payload(p) => ("payload", "", "", hex(p)),
+                Observed::Payload(p) => ("payload", "", "", hex(self.interner.payload(p))),
                 Observed::Credentials {
                     username, password, ..
-                } => ("credentials", username.as_str(), password.as_str(), String::new()),
+                } => (
+                    "credentials",
+                    self.interner.cred(username),
+                    self.interner.cred(password),
+                    String::new(),
+                ),
             };
             writeln!(
                 w,
@@ -268,21 +420,22 @@ impl Dataset {
     /// data, not harvested application state.
     pub fn write_pcap<W: Write>(&self, w: W, epoch: u32) -> std::io::Result<()> {
         use cw_netsim::pcap::PcapWriter;
+        const TELNET_NEGOTIATION: &[u8] = &[0xFF, 0xFD, 0x01, 0xFF, 0xFD, 0x03];
         let mut pcap = PcapWriter::new(w, epoch)?;
-        for ce in &self.events {
+        for ce in self.events() {
             let e = &ce.event;
             // Deterministic ephemeral source port derived from the flow.
             let src_port = 32_768 + (cw_netsim::rng::fnv1a(&e.src.octets()) % 28_000) as u16;
-            let (payload, syn_only): (Vec<u8>, bool) = match &e.observed {
-                Observed::Syn => (Vec::new(), true),
-                Observed::Handshake => (Vec::new(), false),
-                Observed::Payload(p) => (p.clone(), false),
+            let (payload, syn_only): (&[u8], bool) = match e.observed {
+                Observed::Syn => (&[], true),
+                Observed::Handshake => (&[], false),
+                Observed::Payload(p) => (self.interner.payload(p), false),
                 Observed::Credentials { service, .. } => match service {
-                    LoginService::Ssh => (b"SSH-2.0-Go\r\n".to_vec(), false),
-                    LoginService::Telnet => (vec![0xFF, 0xFD, 0x01, 0xFF, 0xFD, 0x03], false),
+                    LoginService::Ssh => (cw_netsim::flow::SSH_CLIENT_BANNER, false),
+                    LoginService::Telnet => (TELNET_NEGOTIATION, false),
                 },
             };
-            pcap.write_tcp(e.time, e.src, src_port, e.dst, e.dst_port, &payload, syn_only)?;
+            pcap.write_tcp(e.time, e.src, src_port, e.dst, e.dst_port, payload, syn_only)?;
         }
         pcap.finish()?;
         Ok(())
@@ -290,7 +443,7 @@ impl Dataset {
 
     /// Write the dataset as JSON Lines.
     pub fn write_jsonl<W: Write>(&self, mut w: W) -> std::io::Result<()> {
-        for ce in &self.events {
+        for ce in self.events() {
             let e = &ce.event;
             let mut obj = format!(
                 "{{\"time\":{},\"src\":\"{}\",\"src_asn\":{},\"dst\":\"{}\",\"dst_port\":{},\"verdict\":\"{}\"",
@@ -304,19 +457,22 @@ impl Dataset {
                     Verdict::Scanner => "scanner",
                 }
             );
-            match &e.observed {
+            match e.observed {
                 Observed::Syn => obj.push_str(",\"kind\":\"syn\""),
                 Observed::Handshake => obj.push_str(",\"kind\":\"handshake\""),
                 Observed::Payload(p) => {
-                    obj.push_str(&format!(",\"kind\":\"payload\",\"payload_hex\":\"{}\"", hex(p)));
+                    obj.push_str(&format!(
+                        ",\"kind\":\"payload\",\"payload_hex\":\"{}\"",
+                        hex(self.interner.payload(p))
+                    ));
                 }
                 Observed::Credentials {
                     username, password, ..
                 } => {
                     obj.push_str(&format!(
                         ",\"kind\":\"credentials\",\"username\":{},\"password\":{}",
-                        json_string(username),
-                        json_string(password)
+                        json_string(self.interner.cred(username)),
+                        json_string(self.interner.cred(password))
                     ));
                 }
             }
@@ -330,16 +486,73 @@ impl Dataset {
     }
 }
 
-/// Classify one capture event per §3.2.
-pub fn classify_event(e: &ScanEvent, rules: &RuleSet) -> (Verdict, Option<ProtocolId>) {
-    match &e.observed {
+fn remap_observed(o: Observed, remap: &Remap) -> Observed {
+    match o {
+        Observed::Syn => Observed::Syn,
+        Observed::Handshake => Observed::Handshake,
+        Observed::Payload(p) => Observed::Payload(remap.payload(p)),
+        Observed::Credentials {
+            service,
+            username,
+            password,
+        } => Observed::Credentials {
+            service,
+            username: remap.cred(username),
+            password: remap.cred(password),
+        },
+    }
+}
+
+/// Classify one interned observation per §3.2, memoized per distinct
+/// `(payload, port)` pair.
+fn classify_interned(
+    observed: Observed,
+    dst_port: u16,
+    interner: &Interner,
+    rules: &RuleSet,
+    memo: &mut ClassifyMemo,
+) -> (Verdict, Option<ProtocolId>) {
+    match observed {
+        Observed::Syn | Observed::Handshake => (Verdict::Scanner, None),
+        Observed::Payload(p) => *memo.entry((p, dst_port)).or_insert_with(|| {
+            let bytes = interner.payload(p);
+            let verdict = if is_malicious_payload(bytes, dst_port, rules) {
+                Verdict::Attacker
+            } else {
+                Verdict::Scanner
+            };
+            (verdict, cw_protocols::fingerprint(bytes))
+        }),
+        Observed::Credentials { service, .. } => {
+            let fp = match service {
+                LoginService::Ssh => Some(ProtocolId::Ssh),
+                LoginService::Telnet => Some(ProtocolId::Telnet),
+            };
+            (Verdict::Attacker, fp)
+        }
+    }
+}
+
+/// Classify one capture event per §3.2, resolving ids via `interner`.
+///
+/// This is the unmemoized reference path; [`Dataset::from_captures`] uses
+/// the per-distinct memo internally and must agree with this function on
+/// every event (the equivalence tests enforce it).
+pub fn classify_event(
+    e: &ScanEvent,
+    interner: &Interner,
+    rules: &RuleSet,
+) -> (Verdict, Option<ProtocolId>) {
+    match e.observed {
         Observed::Syn | Observed::Handshake => (Verdict::Scanner, None),
         Observed::Payload(p) => {
-            let intent = ConnectionIntent::Payload(p.clone());
-            (
-                classify_intent(&intent, e.dst_port, rules),
-                cw_protocols::fingerprint(p),
-            )
+            let bytes = interner.payload(p);
+            let verdict = if is_malicious_payload(bytes, e.dst_port, rules) {
+                Verdict::Attacker
+            } else {
+                Verdict::Scanner
+            };
+            (verdict, cw_protocols::fingerprint(bytes))
         }
         Observed::Credentials { service, .. } => {
             let fp = match service {
@@ -393,45 +606,65 @@ mod tests {
     use cw_netsim::asn::Asn;
     use cw_netsim::time::SimTime;
 
-    fn mk_event(dst_port: u16, observed: Observed) -> ScanEvent {
-        ScanEvent {
-            time: SimTime(60),
-            src: Ipv4Addr::new(100, 0, 0, 1),
-            src_asn: Asn(4134),
-            dst: Ipv4Addr::new(20, 10, 0, 0),
-            dst_port,
-            observed,
-        }
+    /// Test-side raw observation (bytes, pre-interning).
+    enum Raw {
+        Syn,
+        Handshake,
+        Payload(Vec<u8>),
+        Creds(LoginService, &'static str, &'static str),
     }
 
-    fn mk_dataset(events: Vec<ScanEvent>) -> Dataset {
-        let mut cap = Capture::new("test");
-        for e in events {
-            cap.record(e);
+    struct Builder {
+        cap: Capture,
+    }
+
+    impl Builder {
+        fn new() -> Self {
+            Builder {
+                cap: Capture::new("test"),
+            }
         }
-        let deployment = Deployment::standard();
-        Dataset::from_captures(&[&cap], &deployment)
+
+        fn push_from(&mut self, src: Ipv4Addr, asn: Asn, dst_port: u16, raw: Raw) {
+            let observed = match raw {
+                Raw::Syn => Observed::Syn,
+                Raw::Handshake => Observed::Handshake,
+                Raw::Payload(p) => Observed::Payload(self.cap.intern_payload(&p)),
+                Raw::Creds(service, u, p) => Observed::Credentials {
+                    service,
+                    username: self.cap.intern_cred(u),
+                    password: self.cap.intern_cred(p),
+                },
+            };
+            self.cap.record(ScanEvent {
+                time: SimTime(60),
+                src,
+                src_asn: asn,
+                dst: Ipv4Addr::new(20, 10, 0, 0),
+                dst_port,
+                observed,
+            });
+        }
+
+        fn push(&mut self, dst_port: u16, raw: Raw) {
+            self.push_from(Ipv4Addr::new(100, 0, 0, 1), Asn(4134), dst_port, raw);
+        }
+
+        fn build(self) -> Dataset {
+            let deployment = Deployment::standard();
+            Dataset::from_captures(&[&self.cap], &deployment)
+        }
     }
 
     #[test]
     fn classification_is_applied() {
-        let ds = mk_dataset(vec![
-            mk_event(
-                22,
-                Observed::Credentials {
-                    service: LoginService::Ssh,
-                    username: "root".into(),
-                    password: "123456".into(),
-                },
-            ),
-            mk_event(80, Observed::Payload(cw_scanners::exploits::log4shell("x"))),
-            mk_event(
-                80,
-                Observed::Payload(cw_scanners::exploits::benign_get("zgrab")),
-            ),
-            mk_event(443, Observed::Handshake),
-        ]);
-        let verdicts: Vec<Verdict> = ds.events().iter().map(|e| e.verdict).collect();
+        let mut b = Builder::new();
+        b.push(22, Raw::Creds(LoginService::Ssh, "root", "123456"));
+        b.push(80, Raw::Payload(cw_scanners::exploits::log4shell("x")));
+        b.push(80, Raw::Payload(cw_scanners::exploits::benign_get("zgrab")));
+        b.push(443, Raw::Handshake);
+        let ds = b.build();
+        let verdicts: Vec<Verdict> = ds.events().map(|e| e.verdict).collect();
         assert_eq!(
             verdicts,
             vec![
@@ -444,19 +677,36 @@ mod tests {
     }
 
     #[test]
+    fn memoized_build_matches_reference_classification() {
+        let mut b = Builder::new();
+        // Duplicate payloads on the same and different ports exercise the
+        // memo's (id, port) key.
+        for _ in 0..3 {
+            b.push(80, Raw::Payload(cw_scanners::exploits::log4shell("x")));
+            b.push(80, Raw::Payload(cw_scanners::exploits::benign_get("zgrab")));
+            b.push(8080, Raw::Payload(cw_scanners::exploits::benign_get("zgrab")));
+            b.push(22, Raw::Creds(LoginService::Ssh, "root", "root"));
+            b.push(443, Raw::Syn);
+        }
+        let ds = b.build();
+        let rules = RuleSet::builtin_cached();
+        for ce in ds.events() {
+            let (v, fp) = classify_event(&ce.event, ds.interner(), rules);
+            assert_eq!((v, fp), (ce.verdict, ce.fingerprint));
+        }
+    }
+
+    #[test]
     fn slices_select_correctly() {
-        let ds = mk_dataset(vec![
-            mk_event(22, Observed::Handshake),
-            mk_event(23, Observed::Handshake),
-            mk_event(
-                8080,
-                Observed::Payload(cw_scanners::exploits::benign_get("x")),
-            ),
-            mk_event(
-                8080,
-                Observed::Payload(cw_protocols::tls::build_client_hello(1, None)),
-            ),
-        ]);
+        let mut b = Builder::new();
+        b.push(22, Raw::Handshake);
+        b.push(23, Raw::Handshake);
+        b.push(8080, Raw::Payload(cw_scanners::exploits::benign_get("x")));
+        b.push(
+            8080,
+            Raw::Payload(cw_protocols::tls::build_client_hello(1, None)),
+        );
+        let ds = b.build();
         let ip = Ipv4Addr::new(20, 10, 0, 0);
         assert_eq!(ds.events_at_in(ip, TrafficSlice::SshPort22).len(), 1);
         assert_eq!(ds.events_at_in(ip, TrafficSlice::TelnetPort23).len(), 1);
@@ -468,19 +718,15 @@ mod tests {
 
     #[test]
     fn source_sets_and_unique_counts() {
-        let mut e1 = mk_event(22, Observed::Handshake);
-        e1.src = Ipv4Addr::new(100, 0, 0, 1);
-        let mut e2 = mk_event(
+        let mut b = Builder::new();
+        b.push_from(Ipv4Addr::new(100, 0, 0, 1), Asn(4134), 22, Raw::Handshake);
+        b.push_from(
+            Ipv4Addr::new(100, 0, 0, 2),
+            Asn(174),
             22,
-            Observed::Credentials {
-                service: LoginService::Ssh,
-                username: "root".into(),
-                password: "root".into(),
-            },
+            Raw::Creds(LoginService::Ssh, "root", "root"),
         );
-        e2.src = Ipv4Addr::new(100, 0, 0, 2);
-        e2.src_asn = Asn(174);
-        let ds = mk_dataset(vec![e1, e2]);
+        let ds = b.build();
         let ip = Ipv4Addr::new(20, 10, 0, 0);
         assert_eq!(ds.sources_on_port(&[ip], 22).len(), 2);
         assert_eq!(ds.malicious_sources_on_port(&[ip], 22).len(), 1);
@@ -489,17 +735,10 @@ mod tests {
 
     #[test]
     fn csv_and_jsonl_export() {
-        let ds = mk_dataset(vec![
-            mk_event(
-                23,
-                Observed::Credentials {
-                    service: LoginService::Telnet,
-                    username: "ad,min".into(),
-                    password: "p\"w".into(),
-                },
-            ),
-            mk_event(80, Observed::Payload(b"GET / HTTP/1.1\r\n\r\n".to_vec())),
-        ]);
+        let mut b = Builder::new();
+        b.push(23, Raw::Creds(LoginService::Telnet, "ad,min", "p\"w"));
+        b.push(80, Raw::Payload(b"GET / HTTP/1.1\r\n\r\n".to_vec()));
+        let ds = b.build();
         let mut csv = Vec::new();
         ds.write_csv(&mut csv).unwrap();
         let csv = String::from_utf8(csv).unwrap();
@@ -517,18 +756,11 @@ mod tests {
 
     #[test]
     fn pcap_export_is_wellformed() {
-        let ds = mk_dataset(vec![
-            mk_event(22, Observed::Syn),
-            mk_event(80, Observed::Payload(b"GET / HTTP/1.1\r\n\r\n".to_vec())),
-            mk_event(
-                23,
-                Observed::Credentials {
-                    service: LoginService::Telnet,
-                    username: "root".into(),
-                    password: "root".into(),
-                },
-            ),
-        ]);
+        let mut b = Builder::new();
+        b.push(22, Raw::Syn);
+        b.push(80, Raw::Payload(b"GET / HTTP/1.1\r\n\r\n".to_vec()));
+        b.push(23, Raw::Creds(LoginService::Telnet, "root", "root"));
+        let ds = b.build();
         let mut buf = Vec::new();
         ds.write_pcap(&mut buf, 1_625_097_600).unwrap();
         // Global header + 3 records.
@@ -545,8 +777,43 @@ mod tests {
     }
 
     #[test]
+    fn absorb_remaps_ids_across_interner_spaces() {
+        let deployment = Deployment::standard();
+        // Two captures with *private* interners recording the same payload:
+        // locally it gets different surroundings, so ids must be remapped.
+        let mut ca = Capture::new("a");
+        let pa = ca.intern_payload(b"AAAA");
+        let shared = ca.intern_payload(b"GET / HTTP/1.1\r\n\r\n");
+        let mk = |port: u16, observed: Observed| ScanEvent {
+            time: SimTime(1),
+            src: Ipv4Addr::new(100, 0, 0, 9),
+            src_asn: Asn(1),
+            dst: Ipv4Addr::new(20, 10, 0, 0),
+            dst_port: port,
+            observed,
+        };
+        ca.record(mk(80, Observed::Payload(pa)));
+        ca.record(mk(80, Observed::Payload(shared)));
+        let mut cb = Capture::new("b");
+        let pb = cb.intern_payload(b"GET / HTTP/1.1\r\n\r\n"); // id 0 locally
+        cb.record(mk(8080, Observed::Payload(pb)));
+        let mut da = Dataset::from_captures(&[&ca], &deployment);
+        let db = Dataset::from_captures(&[&cb], &deployment);
+        da.absorb(db);
+        assert_eq!(da.len(), 3);
+        // Events 1 and 2 carry the same bytes — after remapping they must
+        // share one id even though their local ids differed (1 vs 0).
+        assert_eq!(da.event(1).payload_bytes(), da.event(2).payload_bytes());
+        assert_eq!(
+            da.event(1).event.observed.payload(),
+            da.event(2).event.observed.payload()
+        );
+        assert_eq!(da.event(0).payload_bytes(), Some(b"AAAA".as_slice()));
+    }
+
+    #[test]
     fn vantage_lookup() {
-        let ds = mk_dataset(vec![]);
+        let ds = Builder::new().build();
         let v = ds.vantage(Ipv4Addr::new(20, 10, 0, 0)).unwrap();
         assert!(v.id.starts_with("greynoise/aws/"));
         assert!(ds.vantage(Ipv4Addr::new(9, 9, 9, 9)).is_none());

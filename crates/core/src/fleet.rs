@@ -174,7 +174,7 @@ pub struct Replicates {
 /// let parallel = fleet::run_replicates(base, 3, 3);
 /// assert_eq!(serial.seeds, parallel.seeds);
 /// assert_eq!(serial.stats, parallel.stats);
-/// assert_eq!(serial.dataset.events().len(), parallel.dataset.events().len());
+/// assert_eq!(serial.dataset.len(), parallel.dataset.len());
 /// ```
 pub fn run_replicates(base: ScenarioConfig, n: usize, threads: usize) -> Replicates {
     let seeds: Vec<u64> = (0..n as u64).map(|i| fork_seed(base.seed, i)).collect();
@@ -228,7 +228,7 @@ mod tests {
         let b = run_replicates(base, 3, 2);
         assert_eq!(a.seeds, b.seeds);
         assert_eq!(a.stats, b.stats);
-        assert_eq!(a.dataset.events().len(), b.dataset.events().len());
+        assert_eq!(a.dataset.len(), b.dataset.len());
         // Distinct forked seeds actually produce distinct worlds.
         assert!(a.seeds.iter().collect::<std::collections::BTreeSet<_>>().len() == 3);
     }

@@ -15,7 +15,7 @@
 //! listings. Censys/Shodan's own traffic is excluded from all statistics,
 //! exactly as in the paper.
 
-use cw_detection::{classify_intent, RuleSet, Verdict};
+use cw_detection::{RuleSet, Verdict};
 use cw_honeypot::capture::{Capture, Observed};
 use cw_honeypot::deployment::Deployment;
 use cw_honeypot::framework::{HoneypotListener, Persona, PortPolicy};
@@ -404,7 +404,7 @@ pub fn run(config: &LeakConfig) -> LeakOutcome {
     engine.run(SimTime::ZERO + config.horizon);
 
     // --- Analysis -----------------------------------------------------------
-    let rules = RuleSet::builtin();
+    let rules = RuleSet::builtin_cached();
     let hours = config.horizon.hours() as usize;
     let excluded: std::collections::BTreeSet<Ipv4Addr> =
         censys_srcs.iter().chain(&shodan_srcs).copied().collect();
@@ -430,6 +430,14 @@ pub fn run(config: &LeakConfig) -> LeakOutcome {
                 all[h] += 1.0 / n_ips;
             }
         }
+        let interner_rc = cap.interner();
+        let interner = interner_rc.borrow();
+        // Per-distinct verdict memo: payloads repeat across events, so the
+        // rule matcher runs once per distinct (payload id, port) pair.
+        let mut verdict_memo: std::collections::HashMap<
+            (cw_netsim::intern::PayloadId, u16),
+            Verdict,
+        > = std::collections::HashMap::new();
         for svc in LeakService::ALL {
             let mal = hourly_malicious
                 .entry((fleet.group, svc))
@@ -438,13 +446,21 @@ pub fn run(config: &LeakConfig) -> LeakOutcome {
                 if excluded.contains(&e.src) {
                     continue;
                 }
-                let verdict = match &e.observed {
+                let verdict = match e.observed {
                     Observed::Credentials { .. } => Verdict::Attacker,
-                    Observed::Payload(p) => classify_intent(
-                        &ConnectionIntent::Payload(p.clone()),
-                        e.dst_port,
-                        &rules,
-                    ),
+                    Observed::Payload(p) => {
+                        *verdict_memo.entry((p, e.dst_port)).or_insert_with(|| {
+                            if cw_detection::is_malicious_payload(
+                                interner.payload(p),
+                                e.dst_port,
+                                rules,
+                            ) {
+                                Verdict::Attacker
+                            } else {
+                                Verdict::Scanner
+                            }
+                        })
+                    }
                     _ => Verdict::Scanner,
                 };
                 if verdict == Verdict::Attacker {
@@ -456,8 +472,8 @@ pub fn run(config: &LeakConfig) -> LeakOutcome {
         // Unique SSH passwords per group.
         let set = ssh_passwords.entry(fleet.group).or_default();
         for e in cap.events_on_port(22) {
-            if let Observed::Credentials { password, .. } = &e.observed {
-                set.insert(password.clone());
+            if let Observed::Credentials { password, .. } = e.observed {
+                set.insert(interner.cred(password).to_string());
             }
         }
     }

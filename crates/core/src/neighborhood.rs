@@ -99,7 +99,7 @@ pub fn analyze_cell(
         if ips.len() < 2 {
             continue;
         }
-        let groups: Vec<Vec<&crate::dataset::ClassifiedEvent>> = ips
+        let groups: Vec<Vec<crate::dataset::ClassifiedEvent<'_>>> = ips
             .iter()
             .map(|&ip| dataset.events_at_in(ip, slice))
             .collect();

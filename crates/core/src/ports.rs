@@ -195,22 +195,27 @@ pub fn composition_stats(dataset: &Dataset, deployment: &Deployment) -> Composit
     };
 
     // Distinct normalized HTTP payloads anywhere, labeled by the ruleset.
-    let rules = cw_detection::RuleSet::builtin();
-    let mut distinct: BTreeMap<String, (Vec<u8>, u16)> = BTreeMap::new();
+    // Interned ids make the dedup cheap: normalization and key rendering
+    // run once per distinct payload id, not once per event.
+    let rules = cw_detection::RuleSet::builtin_cached();
+    let interner = dataset.interner();
+    let mut seen_ids: std::collections::HashSet<cw_netsim::intern::PayloadId> =
+        std::collections::HashSet::new();
+    let mut distinct: BTreeMap<String, (cw_netsim::intern::PayloadId, u16)> = BTreeMap::new();
     for e in dataset.events() {
         if e.fingerprint == Some(ProtocolId::Http) {
-            if let Observed::Payload(p) = &e.event.observed {
-                let normalized = cw_protocols::http::normalize(p);
-                let key = crate::axes::payload_key(&normalized);
-                distinct
-                    .entry(key)
-                    .or_insert_with(|| (p.clone(), e.event.dst_port));
+            if let Observed::Payload(p) = e.event.observed {
+                if seen_ids.insert(p) {
+                    let normalized = cw_protocols::http::normalize(interner.payload(p));
+                    let key = crate::axes::payload_key(&normalized);
+                    distinct.entry(key).or_insert((p, e.event.dst_port));
+                }
             }
         }
     }
     let malicious_distinct = distinct
         .values()
-        .filter(|(p, port)| rules.is_malicious(p, *port))
+        .filter(|(p, port)| rules.is_malicious(interner.payload(*p), *port))
         .count();
     let distinct_http_malicious_pct = if distinct.is_empty() {
         0.0

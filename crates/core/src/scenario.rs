@@ -132,7 +132,7 @@ mod tests {
     fn fast_scenario_produces_traffic_everywhere() {
         let s = Scenario::run(ScenarioConfig::fast(ScenarioYear::Y2021).with_seed(11));
         assert!(s.stats.flows_delivered > 5_000, "{:?}", s.stats);
-        assert!(!s.dataset.events().is_empty());
+        assert!(!s.dataset.is_empty());
         let tel = s.telescope.borrow();
         assert!(tel.total_packets() > 1_000);
         assert!(tel.unique_source_count() > 100);
@@ -144,7 +144,7 @@ mod tests {
         let a = Scenario::run(cfg);
         let b = Scenario::run(cfg);
         assert_eq!(a.stats, b.stats);
-        assert_eq!(a.dataset.events().len(), b.dataset.events().len());
+        assert_eq!(a.dataset.len(), b.dataset.len());
         assert_eq!(
             a.telescope.borrow().total_packets(),
             b.telescope.borrow().total_packets()

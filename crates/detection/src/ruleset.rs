@@ -60,6 +60,16 @@ impl RuleSet {
         Self::from_source(BUILTIN_RULES).expect("builtin ruleset must parse")
     }
 
+    /// The built-in rule set, compiled once per process and shared.
+    ///
+    /// [`RuleSet::builtin`] re-parses the rule source on every call; hot
+    /// paths (dataset builds across fleet workers) should borrow this
+    /// cached instance instead.
+    pub fn builtin_cached() -> &'static RuleSet {
+        static BUILTIN: std::sync::OnceLock<RuleSet> = std::sync::OnceLock::new();
+        BUILTIN.get_or_init(RuleSet::builtin)
+    }
+
     /// Compile a rule set from textual source (one rule per non-empty line;
     /// `#` lines are comments).
     pub fn from_source(source: &str) -> Result<Self, crate::parse::ParseError> {

@@ -1,104 +1,274 @@
-//! Scan-event records and capture stores.
+//! Capture storage: what a vantage point records, in columnar form.
 //!
-//! A [`ScanEvent`] is what a collection method managed to observe for one
-//! connection — which varies by instrument (§3.1): telescopes record only
-//! the first packet, Honeytrap the first payload, Cowrie the attempted
-//! credentials. Classification into scanner/attacker happens later, in the
-//! analysis pipeline, exactly as the paper classifies offline.
+//! The paper's §3.1 observation model distinguishes collectors by how much
+//! of a flow they see: a telescope records bare SYNs, Honeytrap records the
+//! handshake plus the first client payload, Cowrie harvests interactive
+//! credentials. [`Observed`] encodes that per-event outcome. Classification
+//! into scanner/attacker happens later, in the analysis pipeline, exactly
+//! as the paper classifies offline.
+//!
+//! Two representation choices keep this layer cheap at scale:
+//!
+//! - **Interning** — payload blobs and credential strings live once in a
+//!   shared [`Interner`]; events carry 4-byte
+//!   [`PayloadId`]/[`CredId`] handles instead of owned `Vec<u8>`/`String`s,
+//!   so recording, cloning, and merging never copy blob bytes.
+//! - **Columnar storage** — [`EventTable`] is a struct-of-arrays: one
+//!   parallel column per event field. Scans that touch a single field
+//!   (port filters, time buckets, group-bys) walk a dense column instead
+//!   of striding over wide rows.
+//!
+//! [`ScanEvent`] remains the row-shaped view: `Copy`, assembled on demand
+//! by [`EventTable::get`] and the iterators.
 
 use cw_netsim::asn::Asn;
 use cw_netsim::flow::LoginService;
+use cw_netsim::intern::{CredId, Interner, PayloadId};
 use cw_netsim::time::SimTime;
+use std::cell::RefCell;
 use std::net::Ipv4Addr;
+use std::rc::Rc;
 
 /// What the instrument observed of the connection.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Payload bytes and credential strings are interned: resolve the ids
+/// against the capture's (or dataset's) interner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Observed {
     /// First packet only (no L4 handshake): telescope-style.
     Syn,
     /// Handshake completed but the client sent nothing first.
     Handshake,
-    /// First client payload.
-    Payload(Vec<u8>),
+    /// First client payload (interned).
+    Payload(PayloadId),
     /// Interactive login attempt harvested by a Cowrie-style service.
     Credentials {
         /// Which service dialect the client spoke.
         service: LoginService,
-        /// Attempted username.
-        username: String,
-        /// Attempted password.
-        password: String,
+        /// Attempted username (interned).
+        username: CredId,
+        /// Attempted password (interned).
+        password: CredId,
     },
 }
 
 impl Observed {
-    /// The payload bytes, if this observation carries any.
-    pub fn payload(&self) -> Option<&[u8]> {
+    /// The recorded payload id, if this observation carries one.
+    pub fn payload(&self) -> Option<PayloadId> {
         match self {
-            Observed::Payload(p) => Some(p),
+            Observed::Payload(p) => Some(*p),
             _ => None,
         }
     }
 }
 
-/// One observed connection at one vantage IP.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// One recorded observation (row view over the columnar [`EventTable`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScanEvent {
-    /// Observation time.
+    /// When the flow arrived.
     pub time: SimTime,
-    /// Source (scanner) address.
+    /// Source address.
     pub src: Ipv4Addr,
     /// Source autonomous system.
     pub src_asn: Asn,
-    /// Destination (vantage) address.
+    /// Destination address (which of our IPs was hit).
     pub dst: Ipv4Addr,
-    /// Destination port.
+    /// Destination TCP port.
     pub dst_port: u16,
-    /// What was observed.
+    /// What the collector saw.
     pub observed: Observed,
 }
 
-/// An append-only store of events for one instrument.
+/// Struct-of-arrays event store: one dense column per [`ScanEvent`] field.
+///
+/// All columns always have identical length; index `i` across the columns
+/// is row `i`.
 #[derive(Debug, Clone, Default)]
-pub struct Capture {
-    /// Instrument name (e.g. `"greynoise/aws/US-OR"`).
-    pub vantage: String,
-    /// Observed events in arrival order.
-    pub events: Vec<ScanEvent>,
+pub struct EventTable {
+    times: Vec<SimTime>,
+    srcs: Vec<Ipv4Addr>,
+    src_asns: Vec<Asn>,
+    dsts: Vec<Ipv4Addr>,
+    dst_ports: Vec<u16>,
+    observed: Vec<Observed>,
 }
 
-impl Capture {
-    /// An empty capture for the named instrument.
-    pub fn new(vantage: &str) -> Self {
-        Capture {
-            vantage: vantage.to_string(),
-            events: Vec::new(),
+impl EventTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        EventTable::default()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Append one event as a new row.
+    pub fn push(&mut self, e: ScanEvent) {
+        self.times.push(e.time);
+        self.srcs.push(e.src);
+        self.src_asns.push(e.src_asn);
+        self.dsts.push(e.dst);
+        self.dst_ports.push(e.dst_port);
+        self.observed.push(e.observed);
+    }
+
+    /// Reassemble row `i` into its row view.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> ScanEvent {
+        ScanEvent {
+            time: self.times[i],
+            src: self.srcs[i],
+            src_asn: self.src_asns[i],
+            dst: self.dsts[i],
+            dst_port: self.dst_ports[i],
+            observed: self.observed[i],
         }
     }
 
-    /// Append an event.
-    pub fn record(&mut self, event: ScanEvent) {
-        self.events.push(event);
+    /// Iterate rows in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = ScanEvent> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// The destination-address column (dense; one entry per row).
+    pub fn dsts(&self) -> &[Ipv4Addr] {
+        &self.dsts
+    }
+
+    /// The destination-port column.
+    pub fn dst_ports(&self) -> &[u16] {
+        &self.dst_ports
+    }
+
+    /// The observation column.
+    pub fn observed(&self) -> &[Observed] {
+        &self.observed
+    }
+
+    /// Append all rows of `other`, translating interned ids through `f`.
+    ///
+    /// Used by the dataset merge path: `f` remaps ids from the source
+    /// interner's space into the destination's.
+    pub fn extend_remapped(&mut self, other: &EventTable, mut f: impl FnMut(Observed) -> Observed) {
+        self.times.extend_from_slice(&other.times);
+        self.srcs.extend_from_slice(&other.srcs);
+        self.src_asns.extend_from_slice(&other.src_asns);
+        self.dsts.extend_from_slice(&other.dsts);
+        self.dst_ports.extend_from_slice(&other.dst_ports);
+        self.observed.extend(other.observed.iter().map(|&o| f(o)));
+    }
+}
+
+/// Everything one vantage point recorded, plus the interner its ids
+/// resolve against.
+///
+/// Cloning a `Capture` shares the interner handle (ids stay valid in both
+/// clones); the event table itself is copied.
+#[derive(Debug, Clone)]
+pub struct Capture {
+    /// Label of the vantage point that recorded these events.
+    pub vantage: String,
+    table: EventTable,
+    interner: Rc<RefCell<Interner>>,
+}
+
+impl Default for Capture {
+    fn default() -> Self {
+        Capture::new("")
+    }
+}
+
+impl Capture {
+    /// An empty capture with its own fresh interner.
+    pub fn new(vantage: impl Into<String>) -> Self {
+        Capture {
+            vantage: vantage.into(),
+            table: EventTable::new(),
+            interner: Interner::shared(),
+        }
+    }
+
+    /// Swap in a shared interner (deployment-wide sharing: every listener
+    /// records into the same id space, so the dataset build remaps once).
+    pub fn with_interner(mut self, interner: Rc<RefCell<Interner>>) -> Self {
+        self.interner = interner;
+        self
+    }
+
+    /// Handle to the interner this capture's ids resolve against.
+    pub fn interner(&self) -> Rc<RefCell<Interner>> {
+        Rc::clone(&self.interner)
+    }
+
+    /// Intern a payload blob into this capture's id space.
+    pub fn intern_payload(&self, bytes: &[u8]) -> PayloadId {
+        self.interner.borrow_mut().intern_payload(bytes)
+    }
+
+    /// Intern a credential string into this capture's id space.
+    pub fn intern_cred(&self, s: &str) -> CredId {
+        self.interner.borrow_mut().intern_cred(s)
+    }
+
+    /// Append one event.
+    pub fn record(&mut self, e: ScanEvent) {
+        self.table.push(e);
     }
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.table.len()
     }
 
-    /// True when nothing was recorded.
+    /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.table.is_empty()
     }
 
-    /// Events destined to one vantage IP (a single honeypot).
-    pub fn events_for_ip(&self, ip: Ipv4Addr) -> impl Iterator<Item = &ScanEvent> {
-        self.events.iter().filter(move |e| e.dst == ip)
+    /// The columnar event store.
+    pub fn table(&self) -> &EventTable {
+        &self.table
     }
 
-    /// Events on one destination port.
-    pub fn events_on_port(&self, port: u16) -> impl Iterator<Item = &ScanEvent> {
-        self.events.iter().filter(move |e| e.dst_port == port)
+    /// Row `i` as a row view.
+    pub fn event(&self, i: usize) -> ScanEvent {
+        self.table.get(i)
+    }
+
+    /// Iterate all events in recording order.
+    pub fn events(&self) -> impl Iterator<Item = ScanEvent> + '_ {
+        self.table.iter()
+    }
+
+    /// Events whose destination is `ip`.
+    pub fn events_for_ip(&self, ip: Ipv4Addr) -> impl Iterator<Item = ScanEvent> + '_ {
+        let table = &self.table;
+        table
+            .dsts()
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &dst)| dst == ip)
+            .map(move |(i, _)| table.get(i))
+    }
+
+    /// Events whose destination port is `port`.
+    pub fn events_on_port(&self, port: u16) -> impl Iterator<Item = ScanEvent> + '_ {
+        let table = &self.table;
+        table
+            .dst_ports()
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &p)| p == port)
+            .map(move |(i, _)| table.get(i))
     }
 }
 
@@ -106,39 +276,83 @@ impl Capture {
 mod tests {
     use super::*;
 
-    fn event(dst_last: u8, port: u16) -> ScanEvent {
+    fn ev(dst: Ipv4Addr, port: u16, observed: Observed) -> ScanEvent {
         ScanEvent {
-            time: SimTime(1),
-            src: Ipv4Addr::new(1, 2, 3, 4),
-            src_asn: Asn(1),
-            dst: Ipv4Addr::new(10, 0, 0, dst_last),
+            time: SimTime(0),
+            src: Ipv4Addr::new(198, 51, 100, 7),
+            src_asn: Asn(4134),
+            dst,
             dst_port: port,
-            observed: Observed::Handshake,
+            observed,
         }
     }
 
     #[test]
     fn record_and_filter() {
-        let mut c = Capture::new("test");
-        c.record(event(1, 22));
-        c.record(event(1, 80));
-        c.record(event(2, 22));
-        assert_eq!(c.len(), 3);
-        assert_eq!(c.events_for_ip(Ipv4Addr::new(10, 0, 0, 1)).count(), 2);
-        assert_eq!(c.events_on_port(22).count(), 2);
+        let mut cap = Capture::new("test");
+        let a = Ipv4Addr::new(10, 0, 0, 1);
+        let b = Ipv4Addr::new(10, 0, 0, 2);
+        cap.record(ev(a, 22, Observed::Syn));
+        cap.record(ev(b, 23, Observed::Handshake));
+        cap.record(ev(a, 80, Observed::Syn));
+        assert_eq!(cap.len(), 3);
+        assert_eq!(cap.events_for_ip(a).count(), 2);
+        assert_eq!(cap.events_on_port(23).count(), 1);
+        assert_eq!(cap.event(1).dst, b);
     }
 
     #[test]
     fn observed_payload_accessor() {
+        let cap = Capture::new("test");
+        let pid = cap.intern_payload(b"GET /");
+        assert_eq!(Observed::Payload(pid).payload(), Some(pid));
         assert_eq!(Observed::Syn.payload(), None);
-        assert_eq!(Observed::Handshake.payload(), None);
-        let p = Observed::Payload(b"abc".to_vec());
-        assert_eq!(p.payload(), Some(b"abc".as_slice()));
-        let c = Observed::Credentials {
-            service: LoginService::Ssh,
-            username: "u".into(),
-            password: "p".into(),
+        assert_eq!(cap.interner().borrow().payload(pid), b"GET /");
+    }
+
+    #[test]
+    fn table_round_trips_rows() {
+        let mut t = EventTable::new();
+        let e = ScanEvent {
+            time: SimTime(42),
+            src: Ipv4Addr::new(203, 0, 113, 5),
+            src_asn: Asn(174),
+            dst: Ipv4Addr::new(10, 1, 2, 3),
+            dst_port: 2323,
+            observed: Observed::Handshake,
         };
-        assert_eq!(c.payload(), None);
+        t.push(e);
+        assert_eq!(t.get(0), e);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![e]);
+    }
+
+    #[test]
+    fn shared_interner_spans_captures() {
+        let shared = Interner::shared();
+        let a = Capture::new("a").with_interner(Rc::clone(&shared));
+        let b = Capture::new("b").with_interner(Rc::clone(&shared));
+        let pa = a.intern_payload(b"\x03probe");
+        let pb = b.intern_payload(b"\x03probe");
+        assert_eq!(pa, pb);
+        assert_eq!(shared.borrow().payload_count(), 1);
+    }
+
+    #[test]
+    fn extend_remapped_applies_translation() {
+        let mut src = EventTable::new();
+        src.push(ScanEvent {
+            time: SimTime(1),
+            src: Ipv4Addr::new(1, 1, 1, 1),
+            src_asn: Asn(1),
+            dst: Ipv4Addr::new(2, 2, 2, 2),
+            dst_port: 80,
+            observed: Observed::Payload(PayloadId(0)),
+        });
+        let mut dst = EventTable::new();
+        dst.extend_remapped(&src, |o| match o {
+            Observed::Payload(_) => Observed::Payload(PayloadId(7)),
+            other => other,
+        });
+        assert_eq!(dst.get(0).observed, Observed::Payload(PayloadId(7)));
     }
 }

@@ -254,7 +254,12 @@ fn honeytrap_listener(name: &str, ips: Vec<Ipv4Addr>) -> HoneypotListener {
 
 impl Deployment {
     /// Build the full Table 1 fleet.
+    ///
+    /// All listeners record into one deployment-shared interner, so every
+    /// capture of the fleet lives in a single id space and the dataset
+    /// build pays one interner remap for the whole deployment.
     pub fn standard() -> Deployment {
+        let interner = cw_netsim::intern::Interner::shared();
         let mut topology = Topology::new();
         let mut honeypots: Vec<Rc<RefCell<HoneypotListener>>> = Vec::new();
         let mut vantages: Vec<VantagePoint> = Vec::new();
@@ -289,7 +294,8 @@ impl Deployment {
             let ips: Vec<Ipv4Addr> = block.iter().collect();
             let region = Region::us("OH");
             // All 256 IPs run the full sensor.
-            let hp = greynoise_listener("greynoise/he/US-OH", ips.clone(), ips.clone());
+            let hp = greynoise_listener("greynoise/he/US-OH", ips.clone(), ips.clone())
+                .with_interner(Rc::clone(&interner));
             honeypots.push(Rc::new(RefCell::new(hp)));
             for (i, ip) in ips.iter().enumerate() {
                 vantages.push(VantagePoint {
@@ -320,7 +326,8 @@ impl Deployment {
                 // 4 honeypot IPs; payload ports on the first 2.
                 let ips: Vec<Ipv4Addr> = (0..4).map(|i| block.nth(i)).collect();
                 let payload_ips = ips[..2].to_vec();
-                let hp = greynoise_listener(&name, ips.clone(), payload_ips);
+                let hp = greynoise_listener(&name, ips.clone(), payload_ips)
+                    .with_interner(Rc::clone(&interner));
                 honeypots.push(Rc::new(RefCell::new(hp)));
                 for (i, ip) in ips.iter().enumerate() {
                     vantages.push(VantagePoint {
@@ -373,7 +380,7 @@ impl Deployment {
             let block = AddressBlock::new(name, vec![cidr]);
             topology.add(block.clone());
             let ips: Vec<Ipv4Addr> = block.iter().collect();
-            let hp = honeytrap_listener(name, ips.clone());
+            let hp = honeytrap_listener(name, ips.clone()).with_interner(Rc::clone(&interner));
             honeypots.push(Rc::new(RefCell::new(hp)));
             for (i, ip) in ips.iter().enumerate() {
                 vantages.push(VantagePoint {

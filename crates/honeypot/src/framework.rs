@@ -143,6 +143,21 @@ impl HoneypotListener {
             .insert(src, allowed_ports.iter().copied().collect());
     }
 
+    /// Record into a deployment-shared interner instead of a private one
+    /// (builder style). All listeners of one deployment share an id space,
+    /// so the dataset build pays a single remap for the whole fleet.
+    pub fn with_interner(
+        self,
+        interner: Rc<RefCell<cw_netsim::intern::Interner>>,
+    ) -> Self {
+        let replaced = {
+            let cap = self.capture.borrow();
+            cap.clone().with_interner(interner)
+        };
+        *self.capture.borrow_mut() = replaced;
+        self
+    }
+
     /// Handle to the capture store (alive across the engine run).
     pub fn capture(&self) -> Rc<RefCell<Capture>> {
         Rc::clone(&self.capture)
@@ -184,32 +199,38 @@ impl Listener for HoneypotListener {
             }
         }
         let policy = self.policy_for(flow.dst_port);
-        let observed = match policy {
-            PortPolicy::Closed => return FlowOutcome::dark(),
-            PortPolicy::Interactive(service) => match &flow.intent {
-                ConnectionIntent::Login {
-                    service: client_service,
-                    username,
-                    password,
-                } if *client_service == service => {
-                    // Run the real Cowrie dialogue to harvest credentials.
-                    match cowrie::harvest(service, username, password) {
-                        Some(c) => Observed::Credentials {
-                            service,
-                            username: c.username,
-                            password: c.password,
-                        },
-                        None => Observed::Handshake,
+        // Intern at the record boundary: blob bytes stop here, events carry ids.
+        let observed = {
+            let capture = self.capture.borrow();
+            let interner = capture.interner();
+            let mut interner = interner.borrow_mut();
+            match policy {
+                PortPolicy::Closed => return FlowOutcome::dark(),
+                PortPolicy::Interactive(service) => match &flow.intent {
+                    ConnectionIntent::Login {
+                        service: client_service,
+                        username,
+                        password,
+                    } if *client_service == service => {
+                        // Run the real Cowrie dialogue to harvest credentials.
+                        match cowrie::harvest(service, username, password) {
+                            Some(c) => Observed::Credentials {
+                                service,
+                                username: interner.intern_cred(&c.username),
+                                password: interner.intern_cred(&c.password),
+                            },
+                            None => Observed::Handshake,
+                        }
                     }
-                }
-                ConnectionIntent::Login { .. } => Observed::Handshake,
-                ConnectionIntent::Payload(p) => Observed::Payload(p.clone()),
-                ConnectionIntent::ProbeOnly => Observed::Handshake,
-            },
-            PortPolicy::FirstPayload => match flow.intent.first_payload_bytes() {
-                Some(p) => Observed::Payload(p),
-                None => Observed::Handshake,
-            },
+                    ConnectionIntent::Login { .. } => Observed::Handshake,
+                    ConnectionIntent::Payload(p) => Observed::Payload(interner.intern_payload(p)),
+                    ConnectionIntent::ProbeOnly => Observed::Handshake,
+                },
+                PortPolicy::FirstPayload => match flow.intent.first_payload_id(&mut interner) {
+                    Some(p) => Observed::Payload(p),
+                    None => Observed::Handshake,
+                },
+            }
         };
         self.capture.borrow_mut().record(ScanEvent {
             time: flow.time,
@@ -289,12 +310,14 @@ mod tests {
         assert!(out.reply.unwrap().banner.starts_with(b"SSH-2.0-"));
         let cap = cap.borrow();
         assert_eq!(cap.len(), 1);
-        match &cap.events[0].observed {
+        let interner = cap.interner();
+        let interner = interner.borrow();
+        match cap.event(0).observed {
             Observed::Credentials {
                 username, password, ..
             } => {
-                assert_eq!(username, "root");
-                assert_eq!(password, "admin");
+                assert_eq!(interner.cred(username), "root");
+                assert_eq!(interner.cred(password), "admin");
             }
             other => panic!("expected credentials, got {other:?}"),
         }
@@ -311,9 +334,10 @@ mod tests {
             ConnectionIntent::Payload(b"GET / HTTP/1.1\r\n\r\n".to_vec()),
         ));
         let cap = cap.borrow();
+        let pid = cap.event(0).observed.payload().expect("payload recorded");
         assert_eq!(
-            cap.events[0].observed.payload(),
-            Some(b"GET / HTTP/1.1\r\n\r\n".as_slice())
+            cap.interner().borrow().payload(pid),
+            b"GET / HTTP/1.1\r\n\r\n"
         );
     }
 
@@ -376,7 +400,7 @@ mod tests {
                 password: "b".into(),
             },
         ));
-        assert_eq!(cap.borrow().events[0].observed, Observed::Handshake);
+        assert_eq!(cap.borrow().event(0).observed, Observed::Handshake);
     }
 
     #[test]
@@ -401,8 +425,10 @@ mod tests {
             },
         ));
         let cap = cap.borrow();
-        match &cap.events[0].observed {
-            Observed::Payload(p) => assert!(p.starts_with(b"SSH-")),
+        match cap.event(0).observed {
+            Observed::Payload(p) => {
+                assert!(cap.interner().borrow().payload(p).starts_with(b"SSH-"))
+            }
             other => panic!("expected payload, got {other:?}"),
         }
     }

@@ -8,8 +8,13 @@
 //! decides what it can observe.
 
 use crate::asn::Asn;
+use crate::intern::{Interner, PayloadId};
 use crate::time::SimTime;
 use std::net::Ipv4Addr;
+
+/// The SSH client version banner a first-payload collector records from an
+/// interactive SSH login attempt (sent immediately after the TCP handshake).
+pub const SSH_CLIENT_BANNER: &[u8] = b"SSH-2.0-Go\r\n";
 
 /// Which login-prompting service an interactive attempt is aimed at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -61,8 +66,21 @@ impl ConnectionIntent {
             ConnectionIntent::Login { service, .. } => match service {
                 // SSH clients send their version banner immediately after
                 // the TCP handshake, so a first-payload collector sees it.
-                LoginService::Ssh => Some(b"SSH-2.0-Go\r\n".to_vec()),
+                LoginService::Ssh => Some(SSH_CLIENT_BANNER.to_vec()),
                 // Telnet is server-first: a silent collector records nothing.
+                LoginService::Telnet => None,
+            },
+        }
+    }
+
+    /// Like [`ConnectionIntent::first_payload_bytes`], but interning the
+    /// bytes instead of cloning them — the record-path fast lane.
+    pub fn first_payload_id(&self, interner: &mut Interner) -> Option<PayloadId> {
+        match self {
+            ConnectionIntent::ProbeOnly => None,
+            ConnectionIntent::Payload(p) => Some(interner.intern_payload(p)),
+            ConnectionIntent::Login { service, .. } => match service {
+                LoginService::Ssh => Some(interner.intern_payload(SSH_CLIENT_BANNER)),
                 LoginService::Telnet => None,
             },
         }
@@ -156,6 +174,34 @@ mod tests {
             intent.first_payload_bytes().unwrap(),
             b"GET / HTTP/1.1\r\n\r\n".to_vec()
         );
+    }
+
+    #[test]
+    fn first_payload_id_matches_first_payload_bytes() {
+        let mut interner = Interner::new();
+        let intents = [
+            ConnectionIntent::ProbeOnly,
+            ConnectionIntent::Payload(b"GET / HTTP/1.1\r\n\r\n".to_vec()),
+            ConnectionIntent::Login {
+                service: LoginService::Ssh,
+                username: "root".into(),
+                password: "admin".into(),
+            },
+            ConnectionIntent::Login {
+                service: LoginService::Telnet,
+                username: "root".into(),
+                password: "root".into(),
+            },
+        ];
+        for intent in &intents {
+            let id = intent.first_payload_id(&mut interner);
+            let bytes = intent.first_payload_bytes();
+            assert_eq!(
+                id.map(|i| interner.payload(i).to_vec()),
+                bytes,
+                "intent {intent:?}"
+            );
+        }
     }
 
     #[test]

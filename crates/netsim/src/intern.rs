@@ -1,0 +1,304 @@
+//! Interned payload and credential storage shared across the capture →
+//! analysis pipeline.
+//!
+//! Scanning traffic replays a small dictionary of byte blobs millions of
+//! times (§3.2 classifies and §3.3 extracts top-3 values over *distinct*
+//! payloads and credentials, not raw events). An [`Interner`] stores each
+//! distinct value once in an append-only arena and hands out dense
+//! [`PayloadId`]/[`CredId`] handles, so events carry 4-byte IDs instead of
+//! owned `Vec<u8>`/`String`s and downstream work (rule matching, LZR
+//! fingerprinting, group-by counting) runs once per distinct value.
+//!
+//! # Determinism
+//!
+//! IDs are assigned in insertion order: the first distinct value interned
+//! gets id 0, the next id 1, and so on. Re-interning an already-known value
+//! returns its existing id. Because the simulation delivers events in a
+//! deterministic order, the arena contents — and therefore every id — are
+//! a pure function of the event stream, independent of hash-map iteration
+//! order (the lookup table is only an accelerator; ids come from the
+//! arena's `Vec` length).
+//!
+//! # Cross-worker remapping
+//!
+//! Fleet workers build worker-local interners. When per-run datasets merge
+//! (`Dataset::absorb`, in stream-id order), the absorbing side re-interns
+//! the other arena's distinct values *in that arena's insertion order* via
+//! [`Interner::remap_from`], producing an old-id → new-id table applied to
+//! the incoming events. Merged ids are therefore identical for any
+//! worker-thread count — the byte-identity contract of the fleet runner.
+
+use crate::rng::fnv1a;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Handle to one distinct payload blob in an [`Interner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PayloadId(pub u32);
+
+impl PayloadId {
+    /// The arena index of this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Handle to one distinct credential string (a username *or* a password)
+/// in an [`Interner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CredId(pub u32);
+
+impl CredId {
+    /// The arena index of this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Append-only arena of distinct values with O(1) amortized hash lookup.
+///
+/// Values are stored once; the side table maps an FNV-1a digest to the
+/// (rarely >1) arena indices carrying that digest, so lookups compare the
+/// actual bytes and hash collisions stay correct.
+#[derive(Debug)]
+struct Arena<T: ?Sized + ToOwned> {
+    values: Vec<T::Owned>,
+    by_hash: HashMap<u64, Vec<u32>>,
+}
+
+impl<T: ?Sized + ToOwned> Default for Arena<T> {
+    fn default() -> Self {
+        Arena {
+            values: Vec::new(),
+            by_hash: HashMap::new(),
+        }
+    }
+}
+
+impl<T: ?Sized + ToOwned> Clone for Arena<T>
+where
+    T::Owned: Clone,
+{
+    fn clone(&self) -> Self {
+        Arena {
+            values: self.values.clone(),
+            by_hash: self.by_hash.clone(),
+        }
+    }
+}
+
+impl<T> Arena<T>
+where
+    T: ?Sized + ToOwned + PartialEq,
+    T::Owned: std::borrow::Borrow<T>,
+{
+    fn intern(&mut self, value: &T, hash: u64) -> u32 {
+        use std::borrow::Borrow;
+        let candidates = self.by_hash.entry(hash).or_default();
+        for &idx in candidates.iter() {
+            if self.values[idx as usize].borrow() == value {
+                return idx;
+            }
+        }
+        let idx = u32::try_from(self.values.len()).expect("interner arena overflow");
+        candidates.push(idx);
+        self.values.push(value.to_owned());
+        idx
+    }
+}
+
+/// The shared intern tables for payload blobs and credential strings.
+///
+/// See the [module docs](self) for the id-determinism and remapping rules.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    payloads: Arena<[u8]>,
+    creds: Arena<str>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// A fresh interner behind the shared handle every capture-side user
+    /// (honeypot listeners, captures) clones.
+    pub fn shared() -> Rc<RefCell<Interner>> {
+        Rc::new(RefCell::new(Interner::new()))
+    }
+
+    /// Intern a payload blob, returning its stable id.
+    pub fn intern_payload(&mut self, bytes: &[u8]) -> PayloadId {
+        PayloadId(self.payloads.intern(bytes, fnv1a(bytes)))
+    }
+
+    /// Intern a credential string, returning its stable id.
+    pub fn intern_cred(&mut self, s: &str) -> CredId {
+        CredId(self.creds.intern(s, fnv1a(s.as_bytes())))
+    }
+
+    /// Resolve a payload id to its bytes.
+    ///
+    /// # Panics
+    /// Panics if the id was minted by a different interner and is out of
+    /// range here — resolve ids only against the interner (or remapped
+    /// snapshot) that produced them.
+    pub fn payload(&self, id: PayloadId) -> &[u8] {
+        &self.payloads.values[id.index()]
+    }
+
+    /// Resolve a credential id to its string.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range (see [`Interner::payload`]).
+    pub fn cred(&self, id: CredId) -> &str {
+        &self.creds.values[id.index()]
+    }
+
+    /// Number of distinct payloads.
+    pub fn payload_count(&self) -> usize {
+        self.payloads.values.len()
+    }
+
+    /// Number of distinct credential strings.
+    pub fn cred_count(&self) -> usize {
+        self.creds.values.len()
+    }
+
+    /// Absorb another interner's distinct values (in *its* insertion
+    /// order) and return the old-id → new-id tables. This is the fleet
+    /// merge step: apply the returned [`Remap`] to every event imported
+    /// from `other`'s id space.
+    pub fn remap_from(&mut self, other: &Interner) -> Remap {
+        Remap {
+            payloads: other
+                .payloads
+                .values
+                .iter()
+                .map(|p| self.intern_payload(p).0)
+                .collect(),
+            creds: other
+                .creds
+                .values
+                .iter()
+                .map(|c| self.intern_cred(c).0)
+                .collect(),
+        }
+    }
+}
+
+/// Old-id → new-id translation tables produced by [`Interner::remap_from`].
+#[derive(Debug, Clone, Default)]
+pub struct Remap {
+    payloads: Vec<u32>,
+    creds: Vec<u32>,
+}
+
+impl Remap {
+    /// The identity remap for ids that are already in the target space.
+    pub fn identity() -> Self {
+        Remap::default()
+    }
+
+    /// Translate a payload id from the source interner's space.
+    pub fn payload(&self, id: PayloadId) -> PayloadId {
+        match self.payloads.get(id.index()) {
+            Some(&new) => PayloadId(new),
+            None => id, // identity remap
+        }
+    }
+
+    /// Translate a credential id from the source interner's space.
+    pub fn cred(&self, id: CredId) -> CredId {
+        match self.creds.get(id.index()) {
+            Some(&new) => CredId(new),
+            None => id, // identity remap
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_in_insertion_order() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern_payload(b"alpha"), PayloadId(0));
+        assert_eq!(i.intern_payload(b"beta"), PayloadId(1));
+        assert_eq!(i.intern_payload(b"alpha"), PayloadId(0));
+        assert_eq!(i.intern_payload(b"gamma"), PayloadId(2));
+        assert_eq!(i.payload_count(), 3);
+        assert_eq!(i.payload(PayloadId(1)), b"beta");
+    }
+
+    #[test]
+    fn creds_and_payloads_are_independent_spaces() {
+        let mut i = Interner::new();
+        let p = i.intern_payload(b"root");
+        let c = i.intern_cred("root");
+        assert_eq!(p.0, 0);
+        assert_eq!(c.0, 0);
+        assert_eq!(i.cred(c), "root");
+        assert_eq!(i.payload(p), b"root");
+    }
+
+    #[test]
+    fn empty_values_intern_fine() {
+        let mut i = Interner::new();
+        let a = i.intern_payload(b"");
+        let b = i.intern_payload(b"");
+        assert_eq!(a, b);
+        assert_eq!(i.payload(a), b"");
+        let c = i.intern_cred("");
+        assert_eq!(i.cred(c), "");
+    }
+
+    #[test]
+    fn remap_translates_into_the_target_space() {
+        let mut a = Interner::new();
+        a.intern_payload(b"x");
+        a.intern_cred("u1");
+        let mut b = Interner::new();
+        let bx = b.intern_payload(b"y");
+        let by = b.intern_payload(b"x");
+        let bu = b.intern_cred("u2");
+        let remap = a.remap_from(&b);
+        // b's "y" is new to a (gets id 1); b's "x" already exists (id 0).
+        assert_eq!(remap.payload(bx), PayloadId(1));
+        assert_eq!(remap.payload(by), PayloadId(0));
+        assert_eq!(remap.cred(bu), CredId(1));
+        assert_eq!(a.payload_count(), 2);
+        assert_eq!(a.payload(PayloadId(1)), b"y");
+    }
+
+    #[test]
+    fn merge_order_determines_ids_not_thread_interleaving() {
+        // Two worker-local interners merged in stream order must yield the
+        // same target ids no matter how the workers were scheduled.
+        let build = |vals: &[&[u8]]| {
+            let mut i = Interner::new();
+            for v in vals {
+                i.intern_payload(v);
+            }
+            i
+        };
+        let w0 = build(&[b"a", b"b"]);
+        let w1 = build(&[b"b", b"c"]);
+        let mut merged = Interner::new();
+        merged.remap_from(&w0);
+        merged.remap_from(&w1);
+        assert_eq!(merged.payload(PayloadId(0)), b"a");
+        assert_eq!(merged.payload(PayloadId(1)), b"b");
+        assert_eq!(merged.payload(PayloadId(2)), b"c");
+    }
+
+    #[test]
+    fn identity_remap_is_a_noop() {
+        let r = Remap::identity();
+        assert_eq!(r.payload(PayloadId(7)), PayloadId(7));
+        assert_eq!(r.cred(CredId(3)), CredId(3));
+    }
+}

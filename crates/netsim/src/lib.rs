@@ -18,6 +18,9 @@
 //! - [`geo`] — continents, countries, and the provider regions of Table 1;
 //! - [`flow`] — the unit of observed traffic (a connection attempt with an
 //!   intent: probe, first payload, or an interactive login);
+//! - [`intern`] — the shared payload/credential interner: distinct byte
+//!   blobs are stored once and events carry dense [`intern::PayloadId`] /
+//!   [`intern::CredId`] handles with deterministic insertion-order ids;
 //! - [`topology`] — the simulated address plan (telescope /24s, cloud
 //!   blocks, education /26s);
 //! - [`engine`] — the discrete-event loop that wakes scanner agents and
@@ -39,6 +42,7 @@ pub mod asn;
 pub mod engine;
 pub mod flow;
 pub mod geo;
+pub mod intern;
 pub mod ip;
 pub mod pcap;
 pub mod rng;
@@ -49,6 +53,7 @@ pub use asn::{AsCategory, AsInfo, AsRegistry, Asn};
 pub use engine::{Agent, AgentId, Engine, FlowOutcome, Listener, Network, RunStats, ServiceReply};
 pub use flow::{ConnectionIntent, Flow, FlowSpec, LoginService};
 pub use geo::{Continent, Region};
+pub use intern::{CredId, Interner, PayloadId};
 pub use ip::{Cidr, IpExt};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -184,14 +184,12 @@ mod tests {
         // The honeypot saw only the banner grab — never a credential.
         let hp_cap = hp_cap.borrow();
         assert!(hp_cap
-            .events
-            .iter()
+            .events()
             .all(|e| !matches!(e.observed, cw_honeypot::capture::Observed::Credentials { .. })));
         // The "real" server got attacked.
         let real_cap = real_cap.borrow();
         assert!(real_cap
-            .events
-            .iter()
+            .events()
             .any(|e| matches!(e.observed, cw_honeypot::capture::Observed::Credentials { .. })));
     }
 

@@ -131,8 +131,10 @@ mod tests {
         assert_eq!(cap.events_for_ip(unlisted).count(), 2);
         // And the probe is the nmap fingerprint.
         let e = cap.events_for_ip(unlisted).next().unwrap();
-        assert!(String::from_utf8_lossy(e.observed.payload().unwrap())
-            .contains("Trinity.txt.bak"));
+        let pid = e.observed.payload().unwrap();
+        let interner_rc = cap.interner();
+        let interner = interner_rc.borrow();
+        assert!(String::from_utf8_lossy(interner.payload(pid)).contains("Trinity.txt.bak"));
     }
 
     #[test]

@@ -83,7 +83,7 @@ fn main() {
         .capture();
     let capture = capture.borrow();
     let (mut prime_hits, mut other_hits) = (0u64, 0u64);
-    for e in &capture.events {
+    for e in capture.events() {
         if is_prime(e.dst.octets()[3]) {
             prime_hits += 1;
         } else {

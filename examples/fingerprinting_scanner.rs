@@ -65,9 +65,9 @@ fn main() {
     for hp in &deployment.honeypots {
         let cap = hp.borrow().capture();
         let cap = cap.borrow();
-        for e in &cap.events {
+        for e in cap.events() {
             let careful = e.src == Ipv4Addr::new(100, 61, 0, 1);
-            match &e.observed {
+            match e.observed {
                 Observed::Credentials { .. } => {
                     if careful {
                         creds_careful += 1;

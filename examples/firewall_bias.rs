@@ -73,18 +73,24 @@ fn attack_both(engine: &mut Engine, targets_a: &[Ipv4Addr], targets_b: &[Ipv4Add
 
 fn measured_malicious_pct(cap: &cloud_watching::honeypot::capture::Capture) -> (usize, f64) {
     let rules = RuleSet::builtin();
+    let interner_rc = cap.interner();
+    let interner = interner_rc.borrow();
     let mut attackers = 0usize;
     let mut total = 0usize;
-    for e in &cap.events {
+    for e in cap.events() {
         total += 1;
-        let verdict = match &e.observed {
+        let verdict = match e.observed {
             cloud_watching::honeypot::capture::Observed::Credentials { .. } => Verdict::Attacker,
             cloud_watching::honeypot::capture::Observed::Payload(p) => {
-                cloud_watching::detection::classify_intent(
-                    &ConnectionIntent::Payload(p.clone()),
+                if cloud_watching::detection::is_malicious_payload(
+                    interner.payload(p),
                     e.dst_port,
                     &rules,
-                )
+                ) {
+                    Verdict::Attacker
+                } else {
+                    Verdict::Scanner
+                }
             }
             _ => Verdict::Scanner,
         };

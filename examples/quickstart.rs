@@ -17,7 +17,7 @@ fn main() {
     println!(
         "simulated week: {} flows delivered, {} honeypot events, {} telescope packets",
         scenario.stats.flows_delivered,
-        scenario.dataset.events().len(),
+        scenario.dataset.len(),
         scenario.telescope.borrow().total_packets(),
     );
 

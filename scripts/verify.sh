@@ -1,8 +1,8 @@
 #!/bin/sh
 # Full verification gate for the cloud-watching workspace:
-#   build, tests, doc build (warnings are errors), doctests, and the fleet
-#   determinism check (CW_THREADS=8 stdout must be byte-identical to
-#   CW_THREADS=1).
+#   build, lints (clippy warnings are errors), tests, doc build (warnings
+#   are errors), doctests, and the fleet determinism check (CW_THREADS=8
+#   stdout must be byte-identical to CW_THREADS=1).
 # Usage: scripts/verify.sh [scale]   (default scale 0.05 for a quick run)
 set -eu
 
@@ -11,6 +11,9 @@ scale="${1:-0.05}"
 
 echo "==> cargo build --release"
 cargo build --release
+
+echo "==> cargo clippy --workspace --all-targets (warnings are errors)"
+cargo clippy --workspace --all-targets --quiet -- -D warnings
 
 echo "==> cargo test -q"
 cargo test -q

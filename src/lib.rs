@@ -27,7 +27,7 @@
 //! let scenario = Scenario::run(
 //!     ScenarioConfig::fast(ScenarioYear::Y2021).with_scale(0.02),
 //! );
-//! assert!(scenario.dataset.events().len() > 0);
+//! assert!(scenario.dataset.len() > 0);
 //! ```
 
 #![forbid(unsafe_code)]

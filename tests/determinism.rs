@@ -22,9 +22,9 @@ fn same_seed_same_world() {
     let a = run(42);
     let b = run(42);
     assert_eq!(a.stats, b.stats);
-    assert_eq!(a.dataset.events().len(), b.dataset.events().len());
+    assert_eq!(a.dataset.len(), b.dataset.len());
     // Event streams identical, not just counts.
-    for (ea, eb) in a.dataset.events().iter().zip(b.dataset.events()) {
+    for (ea, eb) in a.dataset.events().zip(b.dataset.events()) {
         assert_eq!(ea.event, eb.event);
         assert_eq!(ea.verdict, eb.verdict);
     }
@@ -56,8 +56,8 @@ fn different_seeds_different_worlds() {
     let a = run(1);
     let b = run(2);
     assert_ne!(
-        a.dataset.events().len(),
-        b.dataset.events().len(),
+        a.dataset.len(),
+        b.dataset.len(),
         "different seeds should perturb the event count"
     );
 }
@@ -73,11 +73,11 @@ fn fleet_replicates_invariant_under_thread_count() {
         assert_eq!(baseline.seeds, merged.seeds);
         assert_eq!(baseline.stats, merged.stats, "threads={threads}");
         assert_eq!(
-            baseline.dataset.events().len(),
-            merged.dataset.events().len(),
+            baseline.dataset.len(),
+            merged.dataset.len(),
             "threads={threads}"
         );
-        for (a, b) in baseline.dataset.events().iter().zip(merged.dataset.events()) {
+        for (a, b) in baseline.dataset.events().zip(merged.dataset.events()) {
             assert_eq!(a.event, b.event);
             assert_eq!(a.verdict, b.verdict);
         }

@@ -191,6 +191,6 @@ fn dataset_export_round_trips_through_csv_header() {
             lines.next().unwrap(),
             "time,src,src_asn,dst,dst_port,kind,verdict,fingerprint,username,password,payload_hex"
         );
-        assert_eq!(text.lines().count() - 1, s.dataset.events().len());
+        assert_eq!(text.lines().count() - 1, s.dataset.len());
     });
 }
