@@ -3,9 +3,11 @@
 //! Runs the 2021 scenario, times the engine phase and the
 //! classification+dataset-build phase separately, and writes
 //! `BENCH_scenario.json` into the current directory so successive PRs can
-//! record before/after numbers. Fleet wall time is measured at worker
-//! thread counts 1 and 8 (`run_replicates`, so the thread axis exercises
-//! the merge path too).
+//! record before/after numbers. Fleet wall time is measured at requested
+//! thread counts 1 and 8 (`run_replicates_timed`, so the thread axis
+//! exercises the merge path too), with per-worker wall clocks and the
+//! machine's hardware parallelism recorded alongside — on a small box the
+//! fleet caps its workers at the hardware, and the numbers show why.
 
 use cw_bench::{parse_args, run_config};
 use cw_core::dataset::Dataset;
@@ -67,19 +69,29 @@ fn main() {
         distinct_payloads as f64 / payload_events as f64
     };
 
-    // Phase 3: fleet wall time at 1 and 8 workers (4 replicates).
+    // Phase 3: fleet wall time at requested thread counts 1 and 8
+    // (4 replicates), with per-worker breakdowns.
     let base = config;
-    let mut fleet_secs = Vec::new();
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut fleet_runs = Vec::new();
     for threads in [1usize, 8] {
         let t = Instant::now();
-        let merged = fleet::run_replicates(base, 4, threads);
+        let (merged, timings) = fleet::run_replicates_timed(base, 4, threads);
         let dt = t.elapsed().as_secs_f64();
+        let per_worker = timings
+            .iter()
+            .map(|w| format!("w{}: {} jobs {:.2}s", w.worker, w.jobs, w.busy_secs))
+            .collect::<Vec<_>>()
+            .join(", ");
         eprintln!(
-            "[bench] fleet 4 replicates @ {threads} threads: {:.2}s ({} events)",
+            "[bench] fleet 4 replicates @ {threads} threads ({} workers): {:.2}s ({} events) [{per_worker}]",
+            timings.len(),
             dt,
             merged.dataset.len()
         );
-        fleet_secs.push((threads, dt));
+        fleet_runs.push((threads, dt, timings));
     }
 
     let json = format!(
@@ -93,6 +105,7 @@ fn main() {
             "  \"scenario_wall_secs\": {:.4},\n",
             "  \"dataset_build_secs\": {:.4},\n",
             "  \"classification_events_per_sec\": {:.1},\n",
+            "  \"hardware_threads\": {},\n",
             "  \"fleet\": [{}]\n",
             "}}\n"
         ),
@@ -106,9 +119,25 @@ fn main() {
         scenario_secs,
         build_secs,
         events_per_sec,
-        fleet_secs
+        hardware_threads,
+        fleet_runs
             .iter()
-            .map(|(t, s)| format!("{{\"threads\": {t}, \"wall_secs\": {s:.4}}}"))
+            .map(|(t, s, timings)| {
+                let workers = timings
+                    .iter()
+                    .map(|w| {
+                        format!(
+                            "{{\"worker\": {}, \"jobs\": {}, \"busy_secs\": {:.4}}}",
+                            w.worker, w.jobs, w.busy_secs
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "{{\"threads\": {t}, \"workers\": {}, \"wall_secs\": {s:.4}, \"per_worker\": [{workers}]}}",
+                    timings.len()
+                )
+            })
             .collect::<Vec<_>>()
             .join(", ")
     );

@@ -125,6 +125,36 @@ pub fn compare_groups(
     compare_freqs(kind, &freqs, alpha, family_size)
 }
 
+/// Null-model hook: split events into `k` equal-size groups by a random
+/// label permutation and extract each group's frequencies for `kind`.
+///
+/// Under this relabeling the groups are exchangeable by construction — any
+/// vantage signal is destroyed, only sampling noise remains — so a
+/// comparison run on the result is a draw from the pipeline's *null*
+/// distribution. The calibration harness (`cw-verify`) repeats this with
+/// fresh permutations and checks the resulting p-values are approximately
+/// uniform: the machinery must not manufacture significance from
+/// exchangeable inputs.
+///
+/// Group sizes differ by at most one (event `i` of the shuffled order goes
+/// to group `i % k`). The permutation is drawn from `rng`, so the caller
+/// controls reproducibility.
+pub fn permuted_label_freqs(
+    kind: CharKind,
+    events: &[ClassifiedEvent<'_>],
+    k: usize,
+    rng: &mut cw_netsim::rng::SimRng,
+) -> Vec<BTreeMap<String, u64>> {
+    assert!(k >= 2, "a comparison needs at least two groups");
+    let mut order: Vec<usize> = (0..events.len()).collect();
+    rng.shuffle(&mut order);
+    let mut groups: Vec<Vec<ClassifiedEvent<'_>>> = vec![Vec::new(); k];
+    for (pos, &idx) in order.iter().enumerate() {
+        groups[pos % k].push(events[idx]);
+    }
+    groups.iter().map(|g| kind.freqs(g)).collect()
+}
+
 /// §4.4 median filtering: combine per-honeypot frequency maps into one
 /// region-representative map by taking, per category, the median count
 /// across the region's honeypots. This damps single-honeypot anomalies

@@ -20,13 +20,19 @@
 //!    thread (the `ScenarioFactory` pattern — closures build the non-`Send`
 //!    scenario locally rather than sending it across threads).
 //! 3. **Merge in input order.** Workers own static shards (run *i* goes to
-//!    worker *i* mod *threads* — no work stealing), and results are
+//!    worker *i* mod *workers* — no work stealing), and results are
 //!    reassembled by input index before any folding. Aggregates like
 //!    [`Dataset::absorb`] / `RunStats::absorb` are applied in stream-id
 //!    order 0, 1, 2, …, never in completion order.
 //!
 //! Together: `threads = 1` and `threads = N` produce byte-identical output,
-//! so `--threads`/`CW_THREADS` is purely a wall-clock knob.
+//! so `--threads`/`CW_THREADS` is purely a wall-clock knob. That also makes
+//! it safe to *cap* the worker count at the machine's available parallelism
+//! (see [`map`]): requesting 8 workers on a 1-core box used to run ~15%
+//! *slower* than serial from pure oversubscription — context switching and
+//! cache thrash with zero latency to hide — while producing the same bytes.
+//! [`map_timed`] exposes per-worker wall clocks so that kind of contention
+//! is visible in bench output instead of inferred.
 //!
 //! # Example: thread count never changes results
 //!
@@ -71,16 +77,36 @@ pub fn resolve_threads(explicit: Option<usize>) -> usize {
         .max(1)
 }
 
+/// Wall-clock accounting for one fleet worker, as reported by
+/// [`map_timed`]. Timing is observability only — it never feeds back into
+/// scheduling, so recording it cannot perturb results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerTiming {
+    /// Worker (shard) index.
+    pub worker: usize,
+    /// Number of jobs the worker executed.
+    pub jobs: usize,
+    /// Wall time the worker spent on its shard, in seconds.
+    pub busy_secs: f64,
+}
+
 /// Run `job` over every spec on up to `threads` workers, returning results
 /// in input order.
 ///
 /// Sharding is static round-robin (spec *i* runs on worker *i* mod
-/// `threads`): there is no work stealing and no shared queue, so the
+/// *workers*): there is no work stealing and no shared queue, so the
 /// assignment of runs to threads is a pure function of the input — part of
 /// the determinism contract (although `job` must itself be deterministic
 /// for results to be reproducible). With `threads <= 1` (or a single spec)
 /// the fleet degrades to a plain serial loop on the calling thread with no
 /// thread machinery at all.
+///
+/// The worker count is additionally capped at the machine's available
+/// parallelism (but never below 2 once parallelism was requested):
+/// spawning more compute-bound workers than cores cannot finish any
+/// sooner — it only adds context-switch and cache-thrash cost. The cap is
+/// safe *because* of the contract: results are reassembled by input index,
+/// so the number of workers is unobservable in the output.
 ///
 /// `job` receives `(index, spec)` so per-run seeds can be derived from the
 /// stream id. Specs move into their worker; only `Send` results come back.
@@ -91,15 +117,40 @@ where
     T: Send,
     F: Fn(usize, S) -> T + Sync,
 {
+    map_timed(specs, threads, job).0
+}
+
+/// [`map`] plus per-worker wall-time accounting, so a bench harness can
+/// see where fleet time actually goes (e.g. oversubscription on a small
+/// machine shows up as every worker being slow, not one straggler).
+pub fn map_timed<S, T, F>(specs: Vec<S>, threads: usize, job: F) -> (Vec<T>, Vec<WorkerTiming>)
+where
+    S: Send,
+    T: Send,
+    F: Fn(usize, S) -> T + Sync,
+{
     let n = specs.len();
     if threads <= 1 || n <= 1 {
-        return specs
+        let start = std::time::Instant::now();
+        let out: Vec<T> = specs
             .into_iter()
             .enumerate()
             .map(|(i, s)| job(i, s))
             .collect();
+        let timing = WorkerTiming {
+            worker: 0,
+            jobs: n,
+            busy_secs: start.elapsed().as_secs_f64(),
+        };
+        return (out, vec![timing]);
     }
-    let workers = threads.min(n);
+    // Cap workers at the hardware (floor 2): an oversubscribed CPU-bound
+    // fleet is strictly slower than a right-sized one, and the input-order
+    // merge makes the cap invisible in the results.
+    let hardware = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let workers = threads.min(n).min(hardware.max(2));
     // Static shards: worker w owns specs w, w+workers, w+2*workers, …
     let mut shards: Vec<Vec<(usize, S)>> = (0..workers).map(|_| Vec::new()).collect();
     for (i, s) in specs.into_iter().enumerate() {
@@ -107,28 +158,42 @@ where
     }
     let job = &job;
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut timings = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let handles: Vec<_> = shards
             .into_iter()
-            .map(|shard| {
+            .enumerate()
+            .map(|(w, shard)| {
                 scope.spawn(move || {
-                    shard
+                    let start = std::time::Instant::now();
+                    let jobs = shard.len();
+                    let results = shard
                         .into_iter()
                         .map(|(i, s)| (i, job(i, s)))
-                        .collect::<Vec<(usize, T)>>()
+                        .collect::<Vec<(usize, T)>>();
+                    let timing = WorkerTiming {
+                        worker: w,
+                        jobs,
+                        busy_secs: start.elapsed().as_secs_f64(),
+                    };
+                    (results, timing)
                 })
             })
             .collect();
         for h in handles {
             // Re-raise worker panics on the caller.
-            for (i, t) in h.join().expect("fleet worker panicked") {
+            let (results, timing) = h.join().expect("fleet worker panicked");
+            timings.push(timing);
+            for (i, t) in results {
                 out[i] = Some(t);
             }
         }
     });
-    out.into_iter()
+    let out = out
+        .into_iter()
         .map(|t| t.expect("every shard index produced a result"))
-        .collect()
+        .collect();
+    (out, timings)
 }
 
 /// Run one full scenario per config across `threads` workers and fold each
@@ -177,20 +242,36 @@ pub struct Replicates {
 /// assert_eq!(serial.dataset.len(), parallel.dataset.len());
 /// ```
 pub fn run_replicates(base: ScenarioConfig, n: usize, threads: usize) -> Replicates {
+    run_replicates_timed(base, n, threads).0
+}
+
+/// [`run_replicates`] plus the fleet's per-worker wall times, for bench
+/// harnesses that need to see how replicate work spread over workers.
+pub fn run_replicates_timed(
+    base: ScenarioConfig,
+    n: usize,
+    threads: usize,
+) -> (Replicates, Vec<WorkerTiming>) {
     let seeds: Vec<u64> = (0..n as u64).map(|i| fork_seed(base.seed, i)).collect();
     let configs: Vec<ScenarioConfig> = seeds.iter().map(|&s| base.with_seed(s)).collect();
-    let folded = run_scenarios(configs, threads, |_, s| (s.dataset, s.stats));
+    let (folded, timings) = map_timed(configs, threads, |_, cfg| {
+        let s = Scenario::run(cfg);
+        (s.dataset, s.stats)
+    });
     let mut dataset = Dataset::empty();
     let mut stats = RunStats::default();
     for (ds, st) in folded {
         dataset.absorb(ds);
         stats.absorb(st);
     }
-    Replicates {
-        seeds,
-        dataset,
-        stats,
-    }
+    (
+        Replicates {
+            seeds,
+            dataset,
+            stats,
+        },
+        timings,
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,73 @@
+//! Crate-local property tests for the wire-format codecs: every builder's
+//! output survives its own recognizer/parser, and every parser tolerates
+//! arbitrary bytes without panicking. The root-level `tests/props.rs`
+//! exercises the same parsers through the full-crate facade; this file is
+//! the tighter loop that runs with `cargo test -p cw-protocols`.
+
+use cw_protocols::{http, ssh, telnet};
+use proptest::prelude::*;
+
+proptest! {
+    // SSH banners: any printable, space-free software token survives the
+    // build → recognize → extract round trip (RFC 4253 allows `-` inside
+    // the software version, so the token strategy includes it).
+    #[test]
+    fn ssh_banner_round_trip(software in "[!-~]{1,24}") {
+        let banner = ssh::build_banner(&software);
+        prop_assert!(ssh::is_ssh_banner(&banner));
+        prop_assert_eq!(ssh::software_of(&banner), Some(software));
+    }
+
+    // With a trailing comment the extractor must return only the token.
+    #[test]
+    fn ssh_software_stops_at_comment(software in "[!-~]{1,16}", comment in "[ -~]{0,16}") {
+        let banner = format!("SSH-2.0-{software} {comment}\r\n");
+        prop_assert_eq!(ssh::software_of(banner.as_bytes()), Some(software));
+    }
+
+    #[test]
+    fn ssh_parsers_never_panic(payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = ssh::is_ssh_banner(&payload);
+        let _ = ssh::software_of(&payload);
+    }
+
+    // Telnet: built negotiations are always recognized, and recognition
+    // never panics on arbitrary (including truncated) input.
+    #[test]
+    fn telnet_negotiation_round_trip(options in proptest::collection::vec(any::<u8>(), 1..8)) {
+        let wire = telnet::build_negotiation(&options);
+        prop_assert_eq!(wire.len(), options.len() * 3);
+        prop_assert!(telnet::is_telnet_negotiation(&wire));
+        // Every triple is IAC DO opt, in input order.
+        for (i, &opt) in options.iter().enumerate() {
+            prop_assert_eq!(&wire[i * 3..i * 3 + 3], &[telnet::IAC, telnet::DO, opt]);
+        }
+    }
+
+    #[test]
+    fn telnet_recognizer_never_panics(payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = telnet::is_telnet_negotiation(&payload);
+    }
+
+    // HTTP request line: method and URI survive build → parse, and the
+    // recognizer agrees with the parser on built requests.
+    #[test]
+    fn http_request_line_round_trip(
+        method in prop::sample::select(vec!["GET", "POST", "HEAD", "PUT", "DELETE"]),
+        path in "[!-~]{0,24}",
+    ) {
+        let uri = format!("/{path}");
+        let wire = http::HttpRequest::new(method, &uri).to_bytes();
+        prop_assert!(http::looks_like_http(&wire));
+        let parsed = http::HttpRequest::parse(&wire).expect("built request must parse");
+        prop_assert_eq!(parsed.method.as_str(), method);
+        prop_assert_eq!(parsed.uri, uri);
+    }
+
+    #[test]
+    fn http_parsers_never_panic(payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = http::looks_like_http(&payload);
+        let _ = http::HttpRequest::parse(&payload);
+        let _ = http::normalize(&payload);
+    }
+}

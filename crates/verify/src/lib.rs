@@ -1,0 +1,29 @@
+//! Correctness net for the measurement pipeline (`cw-verify`).
+//!
+//! Every empirical claim this reproduction makes — Tables 1–17, Figure 1,
+//! the Bonferroni-corrected chi-squared comparisons — flows through
+//! `cw-stats` and `cw-core`. This crate turns that pipeline into a
+//! self-checking system, in three layers:
+//!
+//! 1. [`oracle`] — independent reference implementations (different
+//!    series, closed forms, or brute-force enumeration) of every
+//!    statistical kernel, for 1e-9 agreement checks against `cw-stats`.
+//! 2. [`nullcal`] + [`metamorphic`] — behavioural invariants: the
+//!    comparison machinery must stay quiet on label-permuted
+//!    (exchangeable) inputs, and the dataset pipeline must be invariant
+//!    under event-order permutation, merge association, and thread count.
+//! 3. [`golden`] — a content-hashed manifest ([`sha256`]) of the 25
+//!    `out/*.txt` exhibits with a `CW_BLESS=1` re-bless flow, so no
+//!    refactor changes a published byte unnoticed.
+//!
+//! The workspace test layer (`tests/` at the root) drives all three; see
+//! `docs/TESTING.md` for how the tiers fit together.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod golden;
+pub mod metamorphic;
+pub mod nullcal;
+pub mod oracle;
+pub mod sha256;

@@ -1,0 +1,415 @@
+//! Independent reference implementations of the statistical kernels.
+//!
+//! Every function here recomputes a quantity that `cw-stats` also
+//! computes, **by a different route**: a different series, a different
+//! closed form, or brute-force enumeration. The oracle test suite asserts
+//! agreement (to 1e-9 or better for the continuous kernels, exactly for
+//! the combinatorial ones), so a regression in either implementation
+//! trips the net — the two routes share no code.
+//!
+//! Routes used:
+//!
+//! | quantity                | `cw-stats` route              | oracle route |
+//! |-------------------------|-------------------------------|--------------|
+//! | `ln Γ`                  | Lanczos (g=7)                 | Stirling–Bernoulli with argument shift |
+//! | `erf` / `erfc`          | incomplete-gamma identity     | Taylor series / Legendre continued fraction |
+//! | chi² survival           | `Q(df/2, x/2)` via NR §6.2    | finite Poisson sum (even df), erfc + recurrence (odd df) |
+//! | Kolmogorov survival     | alternating exponential series| Jacobi theta-transformed dual series |
+//! | Mann–Whitney U          | rank sums with midranks       | pairwise comparison counting; exact permutation enumeration |
+//! | two-sample KS statistic | sorted two-pointer sweep      | brute-force ECDF evaluation at every pooled point |
+//! | chi² statistic, V       | pruned-table accumulation     | direct Σ(O−E)²/E from raw marginals |
+
+/// `ln Γ(z)` by the Stirling–Bernoulli asymptotic series with an argument
+/// shift to `z ≥ 20` (independent of the Lanczos route in `cw-stats`).
+///
+/// At `z = 20` the first dropped term is `< 1e-17`, so the result is
+/// accurate to full `f64` precision for all `z > 0`.
+pub fn ln_gamma_ref(z: f64) -> f64 {
+    assert!(z > 0.0, "ln_gamma_ref requires z > 0, got {z}");
+    // Bernoulli coefficients B_{2n} / (2n (2n-1)).
+    const COEF: [f64; 7] = [
+        1.0 / 12.0,
+        -1.0 / 360.0,
+        1.0 / 1260.0,
+        -1.0 / 1680.0,
+        1.0 / 1188.0,
+        -691.0 / 360_360.0,
+        1.0 / 156.0,
+    ];
+    let mut shift = 0.0;
+    let mut z = z;
+    while z < 20.0 {
+        shift -= z.ln();
+        z += 1.0;
+    }
+    let mut tail = 0.0;
+    let z2 = z * z;
+    let mut zpow = z;
+    for c in COEF {
+        tail += c / zpow;
+        zpow *= z2;
+    }
+    shift + (z - 0.5) * z.ln() - z + 0.5 * (2.0 * std::f64::consts::PI).ln() + tail
+}
+
+/// `erf(x)` by its Maclaurin series — accurate to ~1e-14 for `|x| ≤ 2`
+/// (beyond that use [`erfc_ref`], which has no cancellation).
+pub fn erf_taylor(x: f64) -> f64 {
+    assert!(x.abs() <= 2.0 + 1e-12, "erf_taylor needs |x| <= 2, got {x}");
+    let mut term = x;
+    let mut sum = x;
+    let x2 = x * x;
+    for n in 1..200 {
+        let n = n as f64;
+        // term_n = (-1)^n x^{2n+1} / (n! (2n+1)); ratio from term_{n-1}.
+        term *= -x2 / n;
+        let add = term / (2.0 * n + 1.0);
+        sum += add;
+        if add.abs() < 1e-18 * sum.abs().max(1e-300) {
+            break;
+        }
+    }
+    sum * 2.0 / std::f64::consts::PI.sqrt()
+}
+
+/// `erfc(x)` for `x ≥ 2` by the Legendre continued fraction
+/// `erfc(x) = e^{-x²}/√π · 1/(x + (1/2)/(x + 1/(x + (3/2)/(x + …))))`,
+/// evaluated with modified Lentz — no cancellation in the upper tail.
+pub fn erfc_contfrac(x: f64) -> f64 {
+    assert!(x >= 2.0, "erfc_contfrac needs x >= 2, got {x}");
+    let tiny = 1e-300;
+    let mut f: f64 = tiny;
+    let mut c: f64 = f;
+    let mut d: f64 = 0.0;
+    // b_n = x for all n; a_1 = 1, a_n = (n-1)/2 for n >= 2.
+    for n in 1..500 {
+        let a = if n == 1 { 1.0 } else { (n as f64 - 1.0) / 2.0 };
+        let b = x;
+        d = b + a * d;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = b + a / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let delta = c * d;
+        f *= delta;
+        if (delta - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    (-x * x).exp() / std::f64::consts::PI.sqrt() * f
+}
+
+/// Reference `erfc(x)` over the whole line, routing to the series or the
+/// continued fraction by argument size.
+pub fn erfc_ref(x: f64) -> f64 {
+    if x >= 2.0 {
+        erfc_contfrac(x)
+    } else if x <= -2.0 {
+        2.0 - erfc_contfrac(-x)
+    } else {
+        1.0 - erf_taylor(x)
+    }
+}
+
+/// Reference `erf(x)`.
+pub fn erf_ref(x: f64) -> f64 {
+    if x.abs() <= 2.0 {
+        erf_taylor(x)
+    } else {
+        1.0 - erfc_ref(x)
+    }
+}
+
+/// Reference standard normal CDF `Φ(z)`.
+pub fn normal_cdf_ref(z: f64) -> f64 {
+    0.5 * erfc_ref(-z / std::f64::consts::SQRT_2)
+}
+
+/// Reference chi-squared survival function for **integer** degrees of
+/// freedom, by closed forms:
+///
+/// - even `df = 2k`: `Q = e^{-y} Σ_{j<k} y^j/j!` with `y = x/2` (a finite
+///   Poisson sum — exact up to rounding);
+/// - odd `df = 2k+1`: start from `Q(1/2, y) = erfc(√y)` and apply the
+///   recurrence `Q(a+1, y) = Q(a, y) + y^a e^{-y}/Γ(a+1)` k times.
+pub fn chi2_sf_ref(x: f64, df: u32) -> f64 {
+    assert!(df > 0, "chi2_sf_ref requires df > 0");
+    if x <= 0.0 {
+        return 1.0;
+    }
+    let y = x / 2.0;
+    if df.is_multiple_of(2) {
+        let k = df / 2;
+        let mut term = 1.0f64; // y^0 / 0!
+        let mut sum = 1.0f64;
+        for j in 1..k {
+            term *= y / j as f64;
+            sum += term;
+        }
+        ((-y).exp() * sum).clamp(0.0, 1.0)
+    } else {
+        let k = (df - 1) / 2;
+        let mut q = erfc_ref(y.sqrt());
+        let mut a = 0.5f64;
+        for _ in 0..k {
+            // Q(a+1, y) = Q(a, y) + y^a e^{-y} / Γ(a+1)
+            q += (a * y.ln() - y - ln_gamma_ref(a + 1.0)).exp();
+            a += 1.0;
+        }
+        q.clamp(0.0, 1.0)
+    }
+}
+
+/// Chi-squared upper quantile for integer `df`: the `x` with
+/// `chi2_sf_ref(x, df) = alpha`, found by bisection on the reference
+/// survival function to ~1e-12 absolute.
+pub fn chi2_quantile_ref(alpha: f64, df: u32) -> f64 {
+    assert!((0.0..1.0).contains(&alpha) && alpha > 0.0);
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    while chi2_sf_ref(hi, df) > alpha {
+        hi *= 2.0;
+        assert!(hi < 1e9, "quantile bracket failed");
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if chi2_sf_ref(mid, df) > alpha {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Reference Kolmogorov survival function by the Jacobi theta-transformed
+/// dual series: `1 − (√(2π)/λ) Σ_{j≥1} e^{−(2j−1)²π²/(8λ²)}`.
+///
+/// The dual series converges everywhere on `λ > 0` and is *fastest* for
+/// small `λ`, exactly where the primary alternating series (used by
+/// `cw-stats`) is slowest — so agreement between the two is a strong check.
+pub fn kolmogorov_sf_ref(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let pi = std::f64::consts::PI;
+    let c = pi * pi / (8.0 * lambda * lambda);
+    let mut sum = 0.0f64;
+    for j in 1..1000u32 {
+        let odd = (2 * j - 1) as f64;
+        let term = (-odd * odd * c).exp();
+        sum += term;
+        if term < 1e-18 * sum.max(1e-300) {
+            break;
+        }
+    }
+    let cdf = (2.0 * pi).sqrt() / lambda * sum;
+    (1.0 - cdf).clamp(0.0, 1.0)
+}
+
+/// Brute-force Mann–Whitney U for the first sample, straight from the
+/// definition: `U = #{(i,j): x_i > y_j} + ½·#{(i,j): x_i = y_j}`.
+pub fn mwu_u_pairwise(x: &[f64], y: &[f64]) -> f64 {
+    let mut u = 0.0;
+    for &a in x {
+        for &b in y {
+            if a > b {
+                u += 1.0;
+            } else if a == b {
+                u += 0.5;
+            }
+        }
+    }
+    u
+}
+
+/// Exact one-sided Mann–Whitney p-value `P(U ≥ u_obs)` under the
+/// permutation null, by enumerating all `C(n1+n2, n1)` group assignments
+/// of the pooled sample (ties included — the pooled values are fixed,
+/// only labels move). Exponential in the pooled size; intended for
+/// `n1 + n2 ≤ 16`.
+pub fn mwu_exact_p_greater(x: &[f64], y: &[f64]) -> f64 {
+    let pooled: Vec<f64> = x.iter().chain(y.iter()).copied().collect();
+    let n = pooled.len();
+    let n1 = x.len();
+    assert!(n <= 16, "exact enumeration limited to pooled n <= 16");
+    let u_obs = mwu_u_pairwise(x, y);
+    let mut total = 0u64;
+    let mut at_least = 0u64;
+    // Enumerate subsets of {0..n} of size n1 as the pseudo-x labels.
+    let mut idx: Vec<usize> = (0..n1).collect();
+    loop {
+        let px: Vec<f64> = idx.iter().map(|&i| pooled[i]).collect();
+        let mask: std::collections::BTreeSet<usize> = idx.iter().copied().collect();
+        let py: Vec<f64> = (0..n)
+            .filter(|i| !mask.contains(i))
+            .map(|i| pooled[i])
+            .collect();
+        total += 1;
+        if mwu_u_pairwise(&px, &py) >= u_obs - 1e-9 {
+            at_least += 1;
+        }
+        // Next lexicographic combination.
+        let mut i = n1;
+        loop {
+            if i == 0 {
+                return at_least as f64 / total as f64;
+            }
+            i -= 1;
+            if idx[i] != i + n - n1 {
+                break;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..n1 {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+/// Brute-force two-sample KS statistic: evaluate both ECDFs at every
+/// pooled sample point and take the largest absolute difference.
+pub fn ks_d_bruteforce(x: &[f64], y: &[f64]) -> f64 {
+    let ecdf = |s: &[f64], t: f64| s.iter().filter(|&&v| v <= t).count() as f64 / s.len() as f64;
+    x.iter()
+        .chain(y.iter())
+        .map(|&t| (ecdf(x, t) - ecdf(y, t)).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Brute-force Pearson chi-squared statistic from raw counts: compute
+/// marginals, expectations, and `Σ (O−E)²/E` directly, skipping cells in
+/// all-zero rows/columns (the §3.3 pruning). Returns `(statistic, df)` of
+/// the pruned table, or `None` when fewer than 2 non-zero rows/columns
+/// survive.
+pub fn chi2_stat_bruteforce(counts: &[Vec<u64>]) -> Option<(f64, usize)> {
+    let rows = counts.len();
+    let cols = counts.first().map(|r| r.len()).unwrap_or(0);
+    let row_tot: Vec<u64> = counts.iter().map(|r| r.iter().sum()).collect();
+    let mut col_tot = vec![0u64; cols];
+    for row in counts {
+        for (c, &v) in row.iter().enumerate() {
+            col_tot[c] += v;
+        }
+    }
+    let live_rows: Vec<usize> = (0..rows).filter(|&r| row_tot[r] > 0).collect();
+    let live_cols: Vec<usize> = (0..cols).filter(|&c| col_tot[c] > 0).collect();
+    if live_rows.len() < 2 || live_cols.len() < 2 {
+        return None;
+    }
+    let n: u64 = row_tot.iter().sum();
+    let mut stat = 0.0;
+    for &r in &live_rows {
+        for &c in &live_cols {
+            let e = row_tot[r] as f64 * col_tot[c] as f64 / n as f64;
+            let d = counts[r][c] as f64 - e;
+            stat += d * d / e;
+        }
+    }
+    Some((stat, (live_rows.len() - 1) * (live_cols.len() - 1)))
+}
+
+/// Brute-force Cramér's V from raw counts (via [`chi2_stat_bruteforce`]).
+pub fn cramers_v_bruteforce(counts: &[Vec<u64>]) -> Option<f64> {
+    let (stat, _) = chi2_stat_bruteforce(counts)?;
+    let row_tot: Vec<u64> = counts.iter().map(|r| r.iter().sum()).collect();
+    let cols = counts.first().map(|r| r.len()).unwrap_or(0);
+    let mut col_tot = vec![0u64; cols];
+    for row in counts {
+        for (c, &v) in row.iter().enumerate() {
+            col_tot[c] += v;
+        }
+    }
+    let live_rows = row_tot.iter().filter(|&&t| t > 0).count();
+    let live_cols = col_tot.iter().filter(|&&t| t > 0).count();
+    let n: u64 = row_tot.iter().sum();
+    let df_star = live_rows.min(live_cols).saturating_sub(1).max(1);
+    Some((stat / (n as f64 * df_star as f64)).sqrt().clamp(0.0, 1.0))
+}
+
+/// Tabulated standard normal upper quantiles `(p, z_p)` — textbook values,
+/// exact to the printed digit.
+pub const NORMAL_QUANTILES: [(f64, f64); 5] = [
+    (0.90, 1.281_551_565_544_600_4),
+    (0.95, 1.644_853_626_951_472_2),
+    (0.975, 1.959_963_984_540_054),
+    (0.99, 2.326_347_874_040_841),
+    (0.995, 2.575_829_303_548_901),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol * b.abs().max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn ln_gamma_ref_factorials_and_halves() {
+        close(ln_gamma_ref(5.0), (24.0f64).ln(), 1e-14);
+        close(ln_gamma_ref(0.5), std::f64::consts::PI.sqrt().ln(), 1e-14);
+        // Recurrence Γ(z+1) = zΓ(z) across the shift boundary.
+        for z in [0.3, 1.7, 9.5, 19.9, 25.0] {
+            close(ln_gamma_ref(z + 1.0), ln_gamma_ref(z) + z.ln(), 1e-13);
+        }
+    }
+
+    #[test]
+    fn erf_routes_agree_at_the_seam() {
+        // Taylor (from below) and continued fraction (from above) must
+        // agree where the routing switches.
+        close(1.0 - erf_taylor(2.0), erfc_contfrac(2.0), 1e-11);
+        close(erf_ref(1.0), 0.842_700_792_949_714_9, 1e-13);
+        close(erfc_ref(3.0), 2.209_049_699_858_544e-5, 1e-11);
+    }
+
+    #[test]
+    fn chi2_sf_ref_exact_forms() {
+        // df=2 is pure exponential.
+        close(chi2_sf_ref(5.0, 2), (-2.5f64).exp(), 1e-15);
+        // df=4: e^{-y}(1+y).
+        close(chi2_sf_ref(6.0, 4), (-3.0f64).exp() * 4.0, 1e-14);
+        // df=1 equals erfc(sqrt(x/2)).
+        close(chi2_sf_ref(3.0, 1), erfc_ref((1.5f64).sqrt()), 1e-13);
+    }
+
+    #[test]
+    fn chi2_quantile_ref_inverts_sf() {
+        for df in [1, 2, 3, 4, 5, 10, 24] {
+            for alpha in [0.9, 0.5, 0.05, 0.01, 1e-4] {
+                let q = chi2_quantile_ref(alpha, df);
+                close(chi2_sf_ref(q, df), alpha, 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn mwu_exact_enumeration_no_ties_matches_table() {
+        // n1 = n2 = 3, x all larger: U = 9, P(U >= 9) = 1/C(6,3) = 0.05.
+        let p = mwu_exact_p_greater(&[4.0, 5.0, 6.0], &[1.0, 2.0, 3.0]);
+        close(p, 0.05, 1e-12);
+        // Interleaved ranks: x = {1,4} gives U = 2. Over the C(4,2) = 6
+        // label assignments of the pool {1,2,3,4} the U values are
+        // {0, 1, 2, 2, 3, 4}, so P(U >= 2) = 4/6.
+        let p = mwu_exact_p_greater(&[1.0, 4.0], &[2.0, 3.0]);
+        close(p, 2.0 / 3.0, 1e-12);
+    }
+
+    #[test]
+    fn ks_bruteforce_reference() {
+        let d = ks_d_bruteforce(&[1.0, 2.0, 3.0, 4.0], &[3.0, 4.0, 5.0, 6.0]);
+        close(d, 0.5, 1e-15);
+    }
+
+    #[test]
+    fn bruteforce_chi2_textbook() {
+        let (stat, df) = chi2_stat_bruteforce(&[vec![10, 20], vec![30, 40]]).unwrap();
+        close(stat, 0.793_650_793_650_79, 1e-12);
+        assert_eq!(df, 1);
+        assert!(chi2_stat_bruteforce(&[vec![5, 0], vec![7, 0]]).is_none());
+    }
+}

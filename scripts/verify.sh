@@ -1,16 +1,22 @@
 #!/bin/sh
 # Full verification gate for the cloud-watching workspace:
-#   build, lints (clippy warnings are errors), tests, doc build (warnings
-#   are errors), doctests, and the fleet determinism check (CW_THREADS=8
-#   stdout must be byte-identical to CW_THREADS=1).
+#   build, lints (clippy warnings are errors), tests (including the
+#   statistical oracle, metamorphic, and null-calibration suites in
+#   tests/), doc build (warnings are errors), doctests, the fleet
+#   determinism check (CW_THREADS=8 stdout must be byte-identical to
+#   CW_THREADS=1), and the golden-exhibit gate: every out/*.txt is
+#   regenerated from the release binaries and must hash-match the
+#   checked-in tests/golden/MANIFEST.sha256. After an intentional exhibit
+#   change, re-bless with `CW_BLESS=1 cargo test --test golden` and commit
+#   the new manifest (see docs/TESTING.md).
 # Usage: scripts/verify.sh [scale]   (default scale 0.05 for a quick run)
 set -eu
 
 cd "$(dirname "$0")/.."
 scale="${1:-0.05}"
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace --quiet
 
 echo "==> cargo clippy --workspace --all-targets (warnings are errors)"
 cargo clippy --workspace --all-targets --quiet -- -D warnings
@@ -31,5 +37,18 @@ CW_THREADS=1 ./target/release/all --scale "$scale" >"$out1" 2>/dev/null
 CW_THREADS=8 ./target/release/all --scale "$scale" >"$out8" 2>/dev/null
 cmp "$out1" "$out8"
 echo "    byte-identical across thread counts"
+
+echo "==> golden exhibits: regenerate all 25 out/*.txt and check the manifest"
+mkdir -p out
+for name in \
+    ablation_bonferroni ablation_median ablation_topk all figure1 \
+    recommendations section3_2 table1 table2 table3 table4 table5 table6 \
+    table7 table8 table9 table10 table11 table12 table13 table14 table15 \
+    table16 table17 temporal_stability
+do
+    ./target/release/"$name" >"out/$name.txt" 2>/dev/null
+done
+cargo test -q --test golden
+echo "    all exhibits hash-match tests/golden/MANIFEST.sha256"
 
 echo "verify: OK"
