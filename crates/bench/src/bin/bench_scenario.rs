@@ -6,14 +6,23 @@
 //! record before/after numbers. Fleet wall time is measured at requested
 //! thread counts 1 and 8 (`run_replicates_timed`, so the thread axis
 //! exercises the merge path too), with per-worker wall clocks and the
-//! machine's hardware parallelism recorded alongside — on a small box the
-//! fleet caps its workers at the hardware, and the numbers show why.
+//! machine's hardware parallelism recorded alongside — each fleet entry
+//! carries `requested_threads` so a `workers` count capped at the hardware
+//! is explained rather than silent. The snapshot-cache round trip
+//! (`snapshot_write_secs` / `snapshot_read_secs`) and a fully warm
+//! all-exhibits render (`all_cached_wall_secs` — every world served from
+//! `out/.cache`) are timed too, so the simulate-once speedup is recorded
+//! next to the simulation cost it replaces.
 
 use cw_bench::{parse_args, run_config};
 use cw_core::dataset::Dataset;
+use cw_core::exhibit::{self, ExhibitCx, ExhibitOptions};
 use cw_core::fleet;
 use cw_core::scenario::ScenarioConfig;
+use cw_core::{snapshot, SimBundle};
+use cw_honeypot::deployment::Deployment;
 use cw_scanners::population::ScenarioYear;
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// Repetitions of the dataset-build phase (the min is reported).
@@ -51,6 +60,7 @@ fn main() {
         build_secs = build_secs.min(dt);
     }
     let events_per_sec = events as f64 / build_secs;
+    drop(caps);
 
     // Distinct-payload ratio: distinct payload blobs / payload-carrying
     // events (the quantity memoized classification scales with). The
@@ -69,7 +79,53 @@ fn main() {
         distinct_payloads as f64 / payload_events as f64
     };
 
-    // Phase 3: fleet wall time at requested thread counts 1 and 8
+    // Phase 3: snapshot-cache round trip on the world just simulated.
+    let bundle = s.into_bundle();
+    let cache = snapshot::cache_dir();
+    let t = Instant::now();
+    snapshot::store_in(&cache, &bundle).expect("write snapshot");
+    let snapshot_write_secs = t.elapsed().as_secs_f64();
+    let deployment = Deployment::standard();
+    let t = Instant::now();
+    let restored = snapshot::load_from(&cache, &config, &deployment).expect("read snapshot back");
+    let snapshot_read_secs = t.elapsed().as_secs_f64();
+    assert_eq!(restored.dataset.len() as u64, events);
+    drop(restored);
+    drop(bundle);
+
+    // Phase 4: fully warm all-exhibits render — every world the registry
+    // needs served from the snapshot cache (primed here if cold), then all
+    // 25 exhibits rendered from the shared bundles. This is `cw all` on a
+    // warm cache, minus the out/*.txt writes.
+    let ex_opts = ExhibitOptions {
+        scale: opts.scale,
+        seed: opts.seed,
+        year: opts.year,
+    };
+    let n_threads = fleet::resolve_threads(opts.threads);
+    let configs = exhibit::required_configs(exhibit::REGISTRY, &ex_opts);
+    fleet::map(configs.clone(), n_threads, |_, cfg| {
+        snapshot::load_or_run(cfg, true).1.is_hit()
+    });
+    let t = Instant::now();
+    let bundles: BTreeMap<u16, SimBundle> =
+        fleet::map(configs, n_threads, |_, cfg| snapshot::load_or_run(cfg, true).0)
+            .into_iter()
+            .map(|b| (b.config.year.year(), b))
+            .collect();
+    let cx = ExhibitCx::new(ex_opts, &bundles);
+    let rendered = fleet::map(exhibit::REGISTRY.to_vec(), n_threads, |_, e| {
+        e.run(&cx).len()
+    });
+    let all_cached_wall_secs = t.elapsed().as_secs_f64();
+    eprintln!(
+        "[bench] warm all-exhibits render: {} exhibits, {} bytes, {:.2}s",
+        rendered.len(),
+        rendered.iter().sum::<usize>(),
+        all_cached_wall_secs
+    );
+
+    // Phase 5: fleet wall time at requested thread counts 1 and 8
     // (4 replicates), with per-worker breakdowns.
     let base = config;
     let hardware_threads = std::thread::available_parallelism()
@@ -105,6 +161,9 @@ fn main() {
             "  \"scenario_wall_secs\": {:.4},\n",
             "  \"dataset_build_secs\": {:.4},\n",
             "  \"classification_events_per_sec\": {:.1},\n",
+            "  \"snapshot_write_secs\": {:.4},\n",
+            "  \"snapshot_read_secs\": {:.4},\n",
+            "  \"all_cached_wall_secs\": {:.4},\n",
             "  \"hardware_threads\": {},\n",
             "  \"fleet\": [{}]\n",
             "}}\n"
@@ -119,6 +178,9 @@ fn main() {
         scenario_secs,
         build_secs,
         events_per_sec,
+        snapshot_write_secs,
+        snapshot_read_secs,
+        all_cached_wall_secs,
         hardware_threads,
         fleet_runs
             .iter()
@@ -134,7 +196,7 @@ fn main() {
                     .collect::<Vec<_>>()
                     .join(", ");
                 format!(
-                    "{{\"threads\": {t}, \"workers\": {}, \"wall_secs\": {s:.4}, \"per_worker\": [{workers}]}}",
+                    "{{\"requested_threads\": {t}, \"workers\": {}, \"wall_secs\": {s:.4}, \"per_worker\": [{workers}]}}",
                     timings.len()
                 )
             })

@@ -1,0 +1,177 @@
+//! `cw` — the multicall exhibit driver.
+//!
+//! One binary replaces the 27 single-purpose regenerators:
+//!
+//! ```text
+//! cw list                 # every exhibit in the registry
+//! cw table1               # render one exhibit to stdout
+//! cw all                  # render all 25 exhibits into out/<name>.txt
+//! cw export               # write the released dataset under out/
+//! ```
+//!
+//! The driver resolves the union of simulated worlds the requested
+//! exhibits need ([`cw_core::exhibit::required_configs`]), obtains each
+//! distinct world exactly once — from the content-addressed snapshot cache
+//! when possible ([`cw_core::snapshot`]), simulating on a miss — and fans
+//! the shared bundles out to every render. Renders are byte-identical to
+//! the retired binaries for any `--threads` value, with or without the
+//! cache.
+
+use cw_bench::{parse_from, threads, RunOptions, USAGE};
+use cw_core::exhibit::{self, Exhibit, ExhibitCx, ExhibitOptions};
+use cw_core::fleet;
+use cw_core::scenario::ScenarioConfig;
+use cw_core::snapshot::{self, Provenance};
+use cw_core::SimBundle;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(command) = args.next() else {
+        eprintln!("error: missing command");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let opts = parse_from(args);
+    match command.as_str() {
+        "list" => cmd_list(),
+        "all" => cmd_all(opts),
+        "export" => cmd_export(opts),
+        name => match exhibit::find(name) {
+            Some(e) => cmd_exhibit(e, opts),
+            None => {
+                eprintln!("error: unknown command or exhibit '{name}' (try `cw list`)");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+fn exhibit_options(opts: RunOptions) -> ExhibitOptions {
+    ExhibitOptions {
+        scale: opts.scale,
+        seed: opts.seed,
+        year: opts.year,
+    }
+}
+
+/// Obtain one simulated world — snapshot cache first (unless disabled),
+/// simulating and filling the cache on a miss — with progress on stderr.
+fn obtain(config: ScenarioConfig, use_cache: bool) -> SimBundle {
+    eprintln!(
+        "[cw] obtaining {} world (scale {}, seed {:#x}) ...",
+        config.year.year(),
+        config.scale,
+        config.seed
+    );
+    let (bundle, provenance) = snapshot::load_or_run(config, use_cache);
+    match provenance {
+        Provenance::CacheHit { read_secs } => eprintln!(
+            "[cw] {} world: snapshot hit ({:.0} ms read, {} events)",
+            config.year.year(),
+            read_secs * 1e3,
+            bundle.dataset.len()
+        ),
+        Provenance::Simulated { sim_secs, write_secs } => eprintln!(
+            "[cw] {} world: simulated in {:.1}s ({} events{})",
+            config.year.year(),
+            sim_secs,
+            bundle.dataset.len(),
+            match write_secs {
+                Some(w) => format!(", snapshot written in {:.0} ms", w * 1e3),
+                None => String::new(),
+            }
+        ),
+    }
+    bundle
+}
+
+/// Obtain every world in `configs`, in parallel, keyed by scenario year.
+fn obtain_all(
+    configs: Vec<ScenarioConfig>,
+    n_threads: usize,
+    use_cache: bool,
+) -> BTreeMap<u16, SimBundle> {
+    fleet::map(configs, n_threads, |_, cfg| obtain(cfg, use_cache))
+        .into_iter()
+        .map(|b| (b.config.year.year(), b))
+        .collect()
+}
+
+fn cmd_list() {
+    for e in exhibit::REGISTRY {
+        println!("{:<20} {}", e.name(), e.title());
+    }
+}
+
+fn cmd_exhibit(e: &'static dyn Exhibit, opts: RunOptions) {
+    let ex_opts = exhibit_options(opts);
+    let configs = exhibit::required_configs(&[e], &ex_opts);
+    let bundles = obtain_all(configs, threads(opts), !opts.no_cache);
+    let cx = ExhibitCx::new(ex_opts, &bundles);
+    print!("{}", e.run(&cx));
+}
+
+fn cmd_all(opts: RunOptions) {
+    let started = Instant::now();
+    let ex_opts = exhibit_options(opts);
+    let n_threads = threads(opts);
+    let configs = exhibit::required_configs(exhibit::REGISTRY, &ex_opts);
+    let n_worlds = configs.len();
+    let bundles = obtain_all(configs, n_threads, !opts.no_cache);
+    let cx = ExhibitCx::new(ex_opts, &bundles);
+
+    std::fs::create_dir_all("out").expect("create out/");
+    let rendered = fleet::map(exhibit::REGISTRY.to_vec(), n_threads, |_, e| {
+        (e.name(), e.run(&cx))
+    });
+    for (name, text) in &rendered {
+        let path = format!("out/{name}.txt");
+        let mut f = std::fs::File::create(&path)
+            .unwrap_or_else(|e| panic!("create {path}: {e}"));
+        f.write_all(text.as_bytes())
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+    }
+    eprintln!(
+        "[cw] rendered {} exhibits from {} simulated worlds into out/ in {:.1}s",
+        rendered.len(),
+        n_worlds,
+        started.elapsed().as_secs_f64()
+    );
+}
+
+fn cmd_export(opts: RunOptions) {
+    use std::io::BufWriter;
+    let ex_opts = exhibit_options(opts);
+    let configs = exhibit::required_configs(
+        &[exhibit::find("table1").expect("table1 registered")],
+        &ex_opts,
+    );
+    let bundles = obtain_all(configs, threads(opts), !opts.no_cache);
+    let (_, bundle) = bundles.iter().next().expect("one world");
+    print!("{}", cw_core::report::header_str("Dataset export"));
+    std::fs::create_dir_all("out").expect("create out/");
+    let csv = std::fs::File::create("out/cloud_watching_2021.csv").expect("create csv");
+    bundle
+        .dataset
+        .write_csv(BufWriter::new(csv))
+        .expect("write csv");
+    let jsonl = std::fs::File::create("out/cloud_watching_2021.jsonl").expect("create jsonl");
+    bundle
+        .dataset
+        .write_jsonl(BufWriter::new(jsonl))
+        .expect("write jsonl");
+    let pcap = std::fs::File::create("out/cloud_watching_2021.pcap").expect("create pcap");
+    // 2021-07-01T00:00:00Z.
+    bundle
+        .dataset
+        .write_pcap(BufWriter::new(pcap), 1_625_097_600)
+        .expect("write pcap");
+    println!(
+        "wrote {} events to out/cloud_watching_2021.{{csv,jsonl,pcap}}",
+        bundle.dataset.len()
+    );
+}

@@ -1,15 +1,17 @@
-//! Shared plumbing for the experiment regenerator binaries.
+//! Shared plumbing for the `cw` multicall CLI and the benchmark harness.
 //!
-//! Every binary accepts `--scale <f64>`, `--seed <u64>`, `--threads <N>`
-//! and (where relevant) `--year <2020|2021|2022>`; defaults regenerate the
-//! published EXPERIMENTS.md values.
+//! Every command accepts `--scale <f64>`, `--seed <u64>`, `--threads <N>`,
+//! `--no-cache` and (where relevant) `--year <2020|2021|2022>`; defaults
+//! regenerate the published EXPERIMENTS.md values.
 //!
-//! Binaries that run more than one scenario go through
-//! [`cw_core::fleet`]: each scenario is built, run, and rendered to its
-//! output sections inside a worker thread, and the main thread prints the
-//! sections in canonical order — so stdout is byte-identical for any
+//! Commands that need more than one simulated world go through
+//! [`cw_core::fleet`]: each world is obtained (snapshot cache or fresh
+//! simulation) inside a worker thread, and exhibits render from the shared
+//! bundles in canonical order — so stdout is byte-identical for any
 //! `--threads` value (see `docs/ARCHITECTURE.md`). `--threads` beats the
-//! `CW_THREADS` environment variable, which beats autodetection.
+//! `CW_THREADS` environment variable, which beats autodetection. The
+//! snapshot cache can never change results either ([`cw_core::snapshot`]),
+//! so `--no-cache` is purely a wall-clock/debugging knob.
 
 use cw_core::scenario::{Scenario, ScenarioConfig, DEFAULT_SEED};
 use cw_scanners::population::ScenarioYear;
@@ -23,9 +25,12 @@ pub struct RunOptions {
     pub seed: u64,
     /// Year override.
     pub year: Option<ScenarioYear>,
-    /// Worker threads for fleet binaries (`None` = `CW_THREADS` or
+    /// Worker threads for fleet commands (`None` = `CW_THREADS` or
     /// autodetect; see [`cw_core::fleet::resolve_threads`]).
     pub threads: Option<usize>,
+    /// Bypass the snapshot cache (always simulate, never read or write
+    /// `out/.cache`). Results are identical either way.
+    pub no_cache: bool,
 }
 
 impl Default for RunOptions {
@@ -35,67 +40,80 @@ impl Default for RunOptions {
             seed: DEFAULT_SEED,
             year: None,
             threads: None,
+            no_cache: false,
         }
     }
 }
 
-const USAGE: &str =
-    "usage: <binary> [--scale <f64>] [--seed <u64>] [--year <2020|2021|2022>] [--threads <N>]";
+/// The flag summary shared by usage/error messages.
+pub const USAGE: &str = "usage: cw <exhibit|list|all|export> [--scale <f64>] [--seed <u64>] \
+     [--year <2020|2021|2022>] [--threads <N>] [--no-cache]";
 
-/// Parse `std::env::args()`. Malformed arguments print a usage message
-/// and exit with status 2.
-pub fn parse_args() -> RunOptions {
-    fn usage(problem: &str) -> ! {
-        eprintln!("error: {problem}");
-        eprintln!("{USAGE}");
-        std::process::exit(2);
-    }
+fn usage_exit(problem: &str) -> ! {
+    eprintln!("error: {problem}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+/// Parse flag arguments from an explicit iterator (everything after the
+/// subcommand). Malformed arguments print a usage message and exit with
+/// status 2.
+pub fn parse_from(args: impl Iterator<Item = String>) -> RunOptions {
     let mut opts = RunOptions::default();
-    let mut args = std::env::args().skip(1);
+    let mut args = args;
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
             args.next()
-                .unwrap_or_else(|| usage(&format!("{name} requires a value")))
+                .unwrap_or_else(|| usage_exit(&format!("{name} requires a value")))
         };
         match arg.as_str() {
             "--scale" => {
                 opts.scale = value("--scale")
                     .parse()
-                    .unwrap_or_else(|_| usage("--scale expects a number"));
+                    .unwrap_or_else(|_| usage_exit("--scale expects a number"));
                 if opts.scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
-                    usage("--scale must be positive");
+                    usage_exit("--scale must be positive");
                 }
             }
             "--seed" => {
                 opts.seed = value("--seed")
                     .parse()
-                    .unwrap_or_else(|_| usage("--seed expects an unsigned integer"));
+                    .unwrap_or_else(|_| usage_exit("--seed expects an unsigned integer"));
             }
             "--year" => {
                 opts.year = Some(match value("--year").as_str() {
                     "2020" => ScenarioYear::Y2020,
                     "2021" => ScenarioYear::Y2021,
                     "2022" => ScenarioYear::Y2022,
-                    other => usage(&format!("unknown year '{other}' (use 2020, 2021 or 2022)")),
+                    other => usage_exit(&format!("unknown year '{other}' (use 2020, 2021 or 2022)")),
                 })
             }
             "--threads" => {
                 let n: usize = value("--threads")
                     .parse()
-                    .unwrap_or_else(|_| usage("--threads expects an unsigned integer"));
+                    .unwrap_or_else(|_| usage_exit("--threads expects an unsigned integer"));
                 if n == 0 {
-                    usage("--threads must be at least 1");
+                    usage_exit("--threads must be at least 1");
                 }
                 opts.threads = Some(n);
+            }
+            "--no-cache" => {
+                opts.no_cache = true;
             }
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 std::process::exit(0);
             }
-            other => usage(&format!("unknown argument '{other}'")),
+            other => usage_exit(&format!("unknown argument '{other}'")),
         }
     }
     opts
+}
+
+/// Parse `std::env::args()` (flags only, no subcommand — the benchmark
+/// harness entry point).
+pub fn parse_args() -> RunOptions {
+    parse_from(std::env::args().skip(1))
 }
 
 /// Worker-thread count for these options (flag, then `CW_THREADS`, then
@@ -136,28 +154,30 @@ pub fn run_config(config: ScenarioConfig) -> Scenario {
     s
 }
 
-/// Run the scenario for a year under the given options.
-pub fn scenario(opts: RunOptions, default_year: ScenarioYear) -> Scenario {
-    run_config(config_for(opts, default_year))
-}
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-/// Print a titled section header.
-pub fn header(title: &str) {
-    print!("{}", header_str(title));
-}
+    fn strs<'a>(args: &'a [&'a str]) -> impl Iterator<Item = String> + 'a {
+        args.iter().map(|s| s.to_string())
+    }
 
-/// A titled section header, rendered to a string (for fleet workers that
-/// build sections off the main thread).
-pub fn header_str(title: &str) -> String {
-    format!("\n=== {title} ===\n\n")
-}
+    #[test]
+    fn parse_from_defaults_and_flags() {
+        let d = parse_from(strs(&[]));
+        assert_eq!(d.scale, 1.0);
+        assert_eq!(d.seed, DEFAULT_SEED);
+        assert!(d.year.is_none());
+        assert!(d.threads.is_none());
+        assert!(!d.no_cache);
 
-/// Print a `paper vs measured` context line.
-pub fn paper_note(note: &str) {
-    print!("{}", paper_note_str(note));
-}
-
-/// A `paper vs measured` context line, rendered to a string.
-pub fn paper_note_str(note: &str) -> String {
-    format!("(paper: {note})\n\n")
+        let o = parse_from(strs(&[
+            "--scale", "0.25", "--seed", "7", "--year", "2020", "--threads", "3", "--no-cache",
+        ]));
+        assert_eq!(o.scale, 0.25);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.year, Some(ScenarioYear::Y2020));
+        assert_eq!(o.threads, Some(3));
+        assert!(o.no_cache);
+    }
 }

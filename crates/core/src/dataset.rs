@@ -26,6 +26,7 @@ use cw_honeypot::capture::{Capture, EventTable, Observed, ScanEvent};
 use cw_honeypot::deployment::{Deployment, VantagePoint};
 use cw_netsim::flow::LoginService;
 use cw_netsim::intern::{Interner, PayloadId, Remap};
+use cw_netsim::snap::{SnapError, SnapReader, SnapWriter};
 use cw_protocols::ProtocolId;
 use std::collections::{BTreeMap, HashMap};
 use std::io::Write;
@@ -137,6 +138,7 @@ impl<'a> ClassifiedEvent<'a> {
 }
 
 /// The flattened, classified event store (columnar, interned).
+#[derive(Debug, Clone)]
 pub struct Dataset {
     table: EventTable,
     verdicts: Vec<Verdict>,
@@ -354,6 +356,33 @@ impl Dataset {
         out
     }
 
+    /// Distinct source IPs per destination port across a vantage set, for
+    /// a fixed port list, in one sweep. Tables 8/9 ask for ~10 ports over
+    /// the same 440-vantage fleet; per-port [`Self::sources_on_port`]
+    /// calls would rescan the same rows once per port.
+    pub fn port_source_sets(
+        &self,
+        ips: &[Ipv4Addr],
+        ports: &[u16],
+        malicious_only: bool,
+    ) -> std::collections::BTreeMap<u16, std::collections::BTreeSet<Ipv4Addr>> {
+        let mut out: std::collections::BTreeMap<u16, std::collections::BTreeSet<Ipv4Addr>> =
+            ports.iter().map(|&p| (p, Default::default())).collect();
+        for &ip in ips {
+            let Some(idxs) = self.by_dst.get(&ip) else { continue };
+            for &i in idxs {
+                if malicious_only && self.verdicts[i] != Verdict::Attacker {
+                    continue;
+                }
+                let e = self.table.get(i);
+                if let Some(set) = out.get_mut(&e.dst_port) {
+                    set.insert(e.src);
+                }
+            }
+        }
+        out
+    }
+
     /// Distinct (source IP, source AS) pairs across a set of vantages —
     /// Table 1's unique-scanner columns.
     pub fn unique_sources(&self, ips: &[Ipv4Addr]) -> (usize, usize) {
@@ -366,6 +395,108 @@ impl Dataset {
             }
         }
         (srcs.len(), asns.len())
+    }
+
+    /// Encode the dataset into a snapshot payload: the interner, the
+    /// columnar table, and both classification columns. The derived
+    /// indexes (`vantage_by_ip`, `by_dst`) are *not* written — they are
+    /// pure functions of the table and the deployment, so
+    /// [`Dataset::snap_read`] rebuilds them instead of trusting the disk.
+    pub fn snap_write(&self, w: &mut SnapWriter) {
+        self.interner.snap_write(w);
+        self.table.snap_write(w);
+        w.put_u64(self.verdicts.len() as u64);
+        for v in &self.verdicts {
+            w.put_u8(match v {
+                Verdict::Attacker => 0,
+                Verdict::Scanner => 1,
+            });
+        }
+        w.put_u64(self.fingerprints.len() as u64);
+        for fp in &self.fingerprints {
+            w.put_u8(match fp {
+                None => 0xFF,
+                // The stable wire id of a protocol is its index in
+                // `ProtocolId::ALL` (13 variants, fits a u8).
+                Some(p) => ProtocolId::ALL
+                    .iter()
+                    .position(|q| q == p)
+                    .expect("every ProtocolId appears in ALL") as u8,
+            });
+        }
+    }
+
+    /// Decode a dataset from a snapshot payload, rebuilding the derived
+    /// indexes from `deployment` (which must be the deployment the dataset
+    /// was captured on — always [`Deployment::standard`] here).
+    ///
+    /// Beyond the container hash, this validates that every interned id in
+    /// the table resolves inside the decoded interner, so a logically
+    /// inconsistent snapshot is rejected rather than panicking later.
+    pub fn snap_read(
+        r: &mut SnapReader<'_>,
+        deployment: &Deployment,
+    ) -> Result<Dataset, SnapError> {
+        let interner = Interner::snap_read(r)?;
+        let table = EventTable::snap_read(r)?;
+        for o in table.observed() {
+            match *o {
+                Observed::Payload(p) => {
+                    if p.index() >= interner.payload_count() {
+                        return Err(SnapError::Malformed("payload id out of interner range"));
+                    }
+                }
+                Observed::Credentials {
+                    username, password, ..
+                } => {
+                    if username.index() >= interner.cred_count()
+                        || password.index() >= interner.cred_count()
+                    {
+                        return Err(SnapError::Malformed("credential id out of interner range"));
+                    }
+                }
+                Observed::Syn | Observed::Handshake => {}
+            }
+        }
+        if r.get_count()? != table.len() {
+            return Err(SnapError::Malformed("verdict column length mismatch"));
+        }
+        let mut verdicts = Vec::with_capacity(table.len());
+        for _ in 0..table.len() {
+            verdicts.push(match r.get_u8()? {
+                0 => Verdict::Attacker,
+                1 => Verdict::Scanner,
+                _ => return Err(SnapError::Malformed("unknown verdict tag")),
+            });
+        }
+        if r.get_count()? != table.len() {
+            return Err(SnapError::Malformed("fingerprint column length mismatch"));
+        }
+        let mut fingerprints = Vec::with_capacity(table.len());
+        for _ in 0..table.len() {
+            fingerprints.push(match r.get_u8()? {
+                0xFF => None,
+                t if (t as usize) < ProtocolId::ALL.len() => Some(ProtocolId::ALL[t as usize]),
+                _ => return Err(SnapError::Malformed("unknown protocol fingerprint tag")),
+            });
+        }
+        let vantage_by_ip: BTreeMap<Ipv4Addr, VantagePoint> = deployment
+            .vantages
+            .iter()
+            .map(|v| (v.ip, v.clone()))
+            .collect();
+        let mut by_dst: BTreeMap<Ipv4Addr, Vec<usize>> = BTreeMap::new();
+        for (i, &dst) in table.dsts().iter().enumerate() {
+            by_dst.entry(dst).or_default().push(i);
+        }
+        Ok(Dataset {
+            table,
+            verdicts,
+            fingerprints,
+            interner,
+            vantage_by_ip,
+            by_dst,
+        })
     }
 
     /// Write the dataset as CSV (one row per event; payloads hex-encoded).
@@ -809,6 +940,61 @@ mod tests {
             da.event(2).event.observed.payload()
         );
         assert_eq!(da.event(0).payload_bytes(), Some(b"AAAA".as_slice()));
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_classification_and_indexes() {
+        let mut b = Builder::new();
+        b.push(22, Raw::Creds(LoginService::Ssh, "root", "123456"));
+        b.push(80, Raw::Payload(cw_scanners::exploits::log4shell("x")));
+        b.push(80, Raw::Payload(cw_scanners::exploits::benign_get("zgrab")));
+        b.push(443, Raw::Handshake);
+        let ds = b.build();
+        let mut w = cw_netsim::snap::SnapWriter::new();
+        ds.snap_write(&mut w);
+        let bytes = w.into_bytes();
+        let deployment = Deployment::standard();
+        let mut r = cw_netsim::snap::SnapReader::new(&bytes);
+        let back = Dataset::snap_read(&mut r, &deployment).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back.len(), ds.len());
+        for (a, b) in ds.events().zip(back.events()) {
+            assert_eq!(a.event, b.event);
+            assert_eq!(a.verdict, b.verdict);
+            assert_eq!(a.fingerprint, b.fingerprint);
+            assert_eq!(a.payload_bytes(), b.payload_bytes());
+            assert_eq!(a.username(), b.username());
+        }
+        // Derived indexes are rebuilt, not deserialized.
+        let ip = Ipv4Addr::new(20, 10, 0, 0);
+        assert_eq!(back.events_at(ip).len(), ds.events_at(ip).len());
+        assert!(back.vantage(ip).is_some());
+    }
+
+    #[test]
+    fn snapshot_rejects_out_of_range_interned_ids() {
+        // An empty interner followed by a table referencing payload id 3:
+        // logically inconsistent even though each part decodes cleanly.
+        let mut w = cw_netsim::snap::SnapWriter::new();
+        Interner::new().snap_write(&mut w);
+        let mut table = EventTable::new();
+        table.push(ScanEvent {
+            time: SimTime(1),
+            src: Ipv4Addr::new(100, 0, 0, 1),
+            src_asn: Asn(1),
+            dst: Ipv4Addr::new(20, 10, 0, 0),
+            dst_port: 80,
+            observed: Observed::Payload(PayloadId(3)),
+        });
+        table.snap_write(&mut w);
+        w.put_u64(1);
+        w.put_u8(1);
+        w.put_u64(1);
+        w.put_u8(0xFF);
+        let bytes = w.into_bytes();
+        let deployment = Deployment::standard();
+        let err = Dataset::snap_read(&mut cw_netsim::snap::SnapReader::new(&bytes), &deployment);
+        assert!(matches!(err, Err(SnapError::Malformed(_))));
     }
 
     #[test]

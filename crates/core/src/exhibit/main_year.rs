@@ -1,0 +1,681 @@
+//! The main-paper exhibits: 2021 analyses that follow a `--year` override.
+//!
+//! Each render is a byte-exact port of the retired single-purpose binary
+//! of the same name.
+
+use super::{Exhibit, ExhibitCx, Need, SimBundle};
+use crate::compare::CharKind;
+use crate::dataset::TrafficSlice;
+use crate::network::{cloud_cloud_cell, honeytrap_cell, NetworkCell, CLOUD_EDU_PAIRS};
+use crate::report::{header_str, paper_note_str, pct, phi_value, TextTable};
+use cw_honeypot::deployment::{CollectorKind, Deployment, Provider};
+use cw_netsim::ip::IpExt;
+use cw_scanners::population::ScenarioYear;
+
+/// The needs of every exhibit in this module: the 2021 world, overridable.
+const NEEDS: &[Need] = &[Need::Year(ScenarioYear::Y2021)];
+
+/// The (default-2021) bundle every exhibit in this module renders from.
+fn main_bundle<'a>(cx: &'a ExhibitCx<'_>) -> &'a SimBundle {
+    cx.bundle(NEEDS[0])
+}
+
+/// Table 1: vantage points — unique scanning IPs and ASes per network.
+pub struct Table1;
+
+impl Exhibit for Table1 {
+    fn name(&self) -> &'static str {
+        "table1"
+    }
+    fn title(&self) -> &'static str {
+        "Vantage points — unique scan IPs / ASes per network"
+    }
+    fn needs(&self) -> &'static [Need] {
+        NEEDS
+    }
+    fn run(&self, cx: &ExhibitCx<'_>) -> String {
+        let s = main_bundle(cx);
+        let d = Deployment::standard();
+        let mut out =
+            header_str("Table 1: Vantage points — unique scan IPs / ASes, July 1-7 (simulated)");
+        out.push_str(&paper_note_str(
+            "HE 130K/8.3K · AWS 99.6K/7.1K · Azure 19.9K/2.5K · Google 103K/7.5K · Linode 72K/6.0K · \
+             Stanford 105K/6.2K · Merit 107K/6.3K · Orion 5.1M/24.8K — absolute counts scale with the \
+             simulated population; compare shapes (per-network ordering), not magnitudes",
+        ));
+
+        let mut t = TextTable::new(&[
+            "Network",
+            "Collection",
+            "# Geo Regions",
+            "Vantage IPs",
+            "Unique Scan IPs",
+            "Unique Scan ASes",
+        ]);
+
+        let rows: Vec<(&str, Provider, CollectorKind)> = vec![
+            ("Hurricane Electric", Provider::HurricaneElectric, CollectorKind::GreyNoise),
+            ("AWS", Provider::Aws, CollectorKind::GreyNoise),
+            ("Azure", Provider::Azure, CollectorKind::GreyNoise),
+            ("Google", Provider::Google, CollectorKind::GreyNoise),
+            ("Linode", Provider::Linode, CollectorKind::GreyNoise),
+            ("Stanford", Provider::Stanford, CollectorKind::Honeytrap),
+            ("AWS (Honeytrap)", Provider::Aws, CollectorKind::Honeytrap),
+            ("Google (Honeytrap)", Provider::Google, CollectorKind::Honeytrap),
+            ("Merit", Provider::Merit, CollectorKind::Honeytrap),
+        ];
+        for (name, provider, collector) in rows {
+            let vantages: Vec<_> = d
+                .vantages
+                .iter()
+                .filter(|v| v.provider == provider && v.collector == collector)
+                .collect();
+            if vantages.is_empty() {
+                continue;
+            }
+            let mut regions: Vec<&str> = vantages.iter().map(|v| v.region.code.as_str()).collect();
+            regions.sort();
+            regions.dedup();
+            let ips: Vec<_> = vantages.iter().map(|v| v.ip).collect();
+            let (srcs, asns) = s.dataset.unique_sources(&ips);
+            t.row(vec![
+                name.to_string(),
+                format!("{collector:?}"),
+                regions.len().to_string(),
+                ips.len().to_string(),
+                srcs.to_string(),
+                asns.to_string(),
+            ]);
+        }
+        // The telescope row.
+        let tel = &s.telescope;
+        t.row(vec![
+            "Orion".to_string(),
+            "Telescope".to_string(),
+            "1".to_string(),
+            tel.block().size().to_string(),
+            tel.unique_source_count().to_string(),
+            tel.unique_asn_count().to_string(),
+        ]);
+        out.push_str(&format!("{}\n", t.render()));
+        out
+    }
+}
+
+/// Table 2: attackers target neighboring services differently.
+pub struct Table2;
+
+impl Exhibit for Table2 {
+    fn name(&self) -> &'static str {
+        "table2"
+    }
+    fn title(&self) -> &'static str {
+        "% neighborhoods with significantly different traffic"
+    }
+    fn needs(&self) -> &'static [Need] {
+        NEEDS
+    }
+    fn run(&self, cx: &ExhibitCx<'_>) -> String {
+        let mut out =
+            header_str("Table 2: % neighborhoods with significantly different traffic (2021)");
+        out.push_str(&paper_note_str(
+            "SSH/22: AS 44% (0.31), FracMal 36% (0.12), User 55% (0.22), Pwd 4% (0.13) · \
+             Telnet/23: AS 38% (0.43), FracMal 15%, User 21% (0.24), Pwd 19% (0.39) · \
+             HTTP/80: AS 31% (0.43), FracMal 0%, Payload 15% (0.39) · \
+             HTTP/All: AS 42% (0.23), FracMal 19% (0.04), Payload 77% (0.17)",
+        ));
+        let rows = cx.table2_rows(NEEDS[0]);
+        let mut t =
+            TextTable::new(&["Slice", "Characteristic", "n", "% dif neighborhoods", "Avg phi"]);
+        for r in rows {
+            t.row(vec![
+                r.slice.label().to_string(),
+                r.characteristic.label().to_string(),
+                r.n.to_string(),
+                format!("{:.0}%", r.pct_different),
+                phi_value(r.avg_phi, 1),
+            ]);
+        }
+        out.push_str(&format!("{}\n", t.render()));
+        out
+    }
+}
+
+/// Table 4: geographic regions with the most different traffic patterns.
+pub struct Table4;
+
+impl Exhibit for Table4 {
+    fn name(&self) -> &'static str {
+        "table4"
+    }
+    fn title(&self) -> &'static str {
+        "Most-different geographic region per provider"
+    }
+    fn needs(&self) -> &'static [Need] {
+        NEEDS
+    }
+    fn run(&self, cx: &ExhibitCx<'_>) -> String {
+        let mut out = header_str("Table 4: most-different geographic region per provider (2021)");
+        out.push_str(&paper_note_str(
+            "Asia-Pacific regions dominate: e.g. Top-AS SSH/22 AWS=AP-JP (0.68), Google=AP-SG (0.16), \
+             Linode=AP-SG (0.27); Username TEL/23 AWS=AP-AU (0.56); Payload HTTP/80 AWS=AP-HK (0.31) \
+             — expect most named regions to be AP-*",
+        ));
+        let rows = cx.table4_rows(NEEDS[0]);
+        let mut t =
+            TextTable::new(&["Characteristic", "Slice", "Provider", "Most Dif. Region", "Avg phi"]);
+        let mut ap_hits = 0usize;
+        let mut named = 0usize;
+        for r in rows {
+            if let Some(region) = &r.region {
+                named += 1;
+                if region.starts_with("AP-") {
+                    ap_hits += 1;
+                }
+            }
+            t.row(vec![
+                r.characteristic.label().to_string(),
+                r.slice.label().to_string(),
+                format!("{:?}", r.provider),
+                r.region.clone().unwrap_or_else(|| "-".into()),
+                phi_value(r.avg_phi, 1),
+            ]);
+        }
+        out.push_str(&format!("{}\n", t.render()));
+        out.push_str(&format!(
+            "Asia-Pacific share of most-different regions: {ap_hits}/{named} \
+             (paper: AP dominates the grid)\n"
+        ));
+        out
+    }
+}
+
+/// Table 5: traffic similarities within and between geo-locations.
+pub struct Table5;
+
+impl Exhibit for Table5 {
+    fn name(&self) -> &'static str {
+        "table5"
+    }
+    fn title(&self) -> &'static str {
+        "% similar pairs of regions per geographic bucket"
+    }
+    fn needs(&self) -> &'static [Need] {
+        NEEDS
+    }
+    fn run(&self, cx: &ExhibitCx<'_>) -> String {
+        let s = main_bundle(cx);
+        let d = Deployment::standard();
+        let mut out = header_str("Table 5: % similar pairs of regions per geographic bucket (2021)");
+        out.push_str(&paper_note_str(
+            "US/EU pairs are nearly always similar (94-100%), APAC much less (e.g. Top-3 AS SSH/22: \
+             US 94, EU 100, APAC 63, intercontinental 70; HTTP/All payloads: US 50, EU 53, APAC 20, IC 11)",
+        ));
+        let cells_for: &[(TrafficSlice, CharKind)] = &[
+            (TrafficSlice::SshPort22, CharKind::TopAs),
+            (TrafficSlice::SshPort22, CharKind::FracMalicious),
+            (TrafficSlice::SshPort22, CharKind::TopUsername),
+            (TrafficSlice::SshPort22, CharKind::TopPassword),
+            (TrafficSlice::TelnetPort23, CharKind::TopAs),
+            (TrafficSlice::TelnetPort23, CharKind::FracMalicious),
+            (TrafficSlice::TelnetPort23, CharKind::TopUsername),
+            (TrafficSlice::TelnetPort23, CharKind::TopPassword),
+            (TrafficSlice::HttpPort80, CharKind::TopAs),
+            (TrafficSlice::HttpPort80, CharKind::FracMalicious),
+            (TrafficSlice::HttpPort80, CharKind::TopPayload),
+            (TrafficSlice::HttpAllPorts, CharKind::TopAs),
+            (TrafficSlice::HttpAllPorts, CharKind::FracMalicious),
+            (TrafficSlice::HttpAllPorts, CharKind::TopPayload),
+        ];
+        let mut t = TextTable::new(&["Slice", "Characteristic", "US", "EU", "APAC", "Intercont."]);
+        for &(slice, kind) in cells_for {
+            let cells = crate::geography::table5(&s.dataset, &d, slice, kind);
+            let find = |b: cw_netsim::geo::RegionPairKind| {
+                cells
+                    .iter()
+                    .find(|c| c.bucket == b)
+                    .map(|c| format!("{:.0}% (n={})", c.pct_similar, c.n))
+                    .unwrap_or_else(|| "-".into())
+            };
+            t.row(vec![
+                slice.label().to_string(),
+                kind.label().to_string(),
+                find(cw_netsim::geo::RegionPairKind::WithinUs),
+                find(cw_netsim::geo::RegionPairKind::WithinEu),
+                find(cw_netsim::geo::RegionPairKind::WithinApac),
+                find(cw_netsim::geo::RegionPairKind::Intercontinental),
+            ]);
+        }
+        out.push_str(&format!("{}\n", t.render()));
+        out
+    }
+}
+
+fn network_cell_str(c: &NetworkCell) -> (String, String) {
+    if c.uncomputable {
+        ("×".to_string(), "×".to_string())
+    } else {
+        (format!("{}/{}", c.n_different, c.n), phi_value(c.avg_phi, 1))
+    }
+}
+
+/// Table 7: differences across network types (cloud–cloud, cloud–EDU,
+/// EDU–EDU).
+pub struct Table7;
+
+impl Exhibit for Table7 {
+    fn name(&self) -> &'static str {
+        "table7"
+    }
+    fn title(&self) -> &'static str {
+        "Differences across network types (cloud/EDU)"
+    }
+    fn needs(&self) -> &'static [Need] {
+        NEEDS
+    }
+    fn run(&self, cx: &ExhibitCx<'_>) -> String {
+        let s = main_bundle(cx);
+        let d = Deployment::standard();
+        let mut out = header_str("Table 7: differences across network types (2021)");
+        out.push_str(&paper_note_str(
+            "cloud-cloud differences are small (avg phi ≤ 0.23); cloud-EDU mostly similar except \
+             SSH/22 Top-AS in 2021 (phi 0.48: Chinanet→EDU, Cogent→cloud); EDU-EDU never different; \
+             credentials are × for Honeytrap fleets",
+        ));
+        let grid: &[(CharKind, TrafficSlice)] = &[
+            (CharKind::TopAs, TrafficSlice::SshPort22),
+            (CharKind::TopAs, TrafficSlice::TelnetPort23),
+            (CharKind::TopAs, TrafficSlice::HttpPort80),
+            (CharKind::TopAs, TrafficSlice::HttpAllPorts),
+            (CharKind::TopUsername, TrafficSlice::SshPort22),
+            (CharKind::TopUsername, TrafficSlice::TelnetPort23),
+            (CharKind::TopPassword, TrafficSlice::TelnetPort23),
+            (CharKind::TopPassword, TrafficSlice::SshPort22),
+            (CharKind::TopPayload, TrafficSlice::HttpPort80),
+            (CharKind::TopPayload, TrafficSlice::HttpAllPorts),
+            (CharKind::FracMalicious, TrafficSlice::SshPort22),
+            (CharKind::FracMalicious, TrafficSlice::TelnetPort23),
+            (CharKind::FracMalicious, TrafficSlice::HttpPort80),
+            (CharKind::FracMalicious, TrafficSlice::HttpAllPorts),
+        ];
+        let mut t = TextTable::new(&[
+            "Characteristic",
+            "Slice",
+            "Cloud-Cloud dif",
+            "phi",
+            "Cloud-EDU dif",
+            "phi",
+            "EDU-EDU dif",
+            "phi",
+        ]);
+        let edu_edu_pairs: [(&str, &str); 1] = [("honeytrap/stanford", "honeytrap/merit")];
+        for &(kind, slice) in grid {
+            let cc = cloud_cloud_cell(&s.dataset, &d, slice, kind, 0.05);
+            let ce = honeytrap_cell(&s.dataset, &d, &CLOUD_EDU_PAIRS, slice, kind, 0.05);
+            let ee = honeytrap_cell(&s.dataset, &d, &edu_edu_pairs, slice, kind, 0.05);
+            let (cc_n, cc_phi) = network_cell_str(&cc);
+            let (ce_n, ce_phi) = network_cell_str(&ce);
+            let (ee_n, ee_phi) = network_cell_str(&ee);
+            t.row(vec![
+                kind.label().to_string(),
+                slice.label().to_string(),
+                cc_n,
+                cc_phi,
+                ce_n,
+                ce_phi,
+                ee_n,
+                ee_phi,
+            ]);
+        }
+        out.push_str(&format!("{}\n", t.render()));
+        out
+    }
+}
+
+/// Table 8: scanners avoid telescopes — per-port source-IP overlap.
+pub struct Table8;
+
+impl Exhibit for Table8 {
+    fn name(&self) -> &'static str {
+        "table8"
+    }
+    fn title(&self) -> &'static str {
+        "Scanner-IP overlap with the telescope per port"
+    }
+    fn needs(&self) -> &'static [Need] {
+        NEEDS
+    }
+    fn run(&self, cx: &ExhibitCx<'_>) -> String {
+        let mut out = header_str("Table 8: |Tel ∩ X| overlap per port (2021)");
+        out.push_str(&paper_note_str(
+            "Tel∩Cloud/Cloud: 23→91%, 2323→53%, 80→73%, 8080→80%, 21→29%, 2222→9%, 25→19%, \
+             7547→33%, 22→13%, 443→30%; Tel∩EDU higher everywhere; Cloud∩EDU 81-97%",
+        ));
+        let rows = cx.table8_rows(NEEDS[0]);
+        let mut t =
+            TextTable::new(&["Port", "Tel∩Cloud / Cloud", "Tel∩EDU / EDU", "Cloud∩EDU / Cloud"]);
+        for r in rows {
+            t.row(vec![
+                r.port.to_string(),
+                pct(r.tel_cloud),
+                pct(r.tel_edu),
+                pct(r.cloud_edu),
+            ]);
+        }
+        out.push_str(&format!("{}\n", t.render()));
+        out
+    }
+}
+
+/// Table 9: attackers on SSH-assigned ports avoid telescopes.
+pub struct Table9;
+
+impl Exhibit for Table9 {
+    fn name(&self) -> &'static str {
+        "table9"
+    }
+    fn title(&self) -> &'static str {
+        "Attacker-IP overlap with the telescope per port"
+    }
+    fn needs(&self) -> &'static [Need] {
+        NEEDS
+    }
+    fn run(&self, cx: &ExhibitCx<'_>) -> String {
+        let mut out = header_str("Table 9: attacker-IP overlap with the telescope (2021)");
+        out.push_str(&paper_note_str(
+            "Tel∩Mal-Cloud/Mal-Cloud: 23→94%, 2323→88%, 80→84%, 8080→84%, 2222→3.6%, 22→7.5%; \
+             EDU column only computable on 80/8080 (96%/97%), × elsewhere",
+        ));
+        let rows = cx.table9_rows(NEEDS[0]);
+        let mut t = TextTable::new(&["Port", "Tel∩Mal-Cloud / Mal-Cloud", "Tel∩Mal-EDU / Mal-EDU"]);
+        for r in rows {
+            t.row(vec![r.port.to_string(), pct(r.tel_cloud), pct(r.tel_edu)]);
+        }
+        out.push_str(&format!("{}\n", t.render()));
+        out
+    }
+}
+
+/// Table 10: a significantly different set of ASes target telescopes.
+pub struct Table10;
+
+impl Exhibit for Table10 {
+    fn name(&self) -> &'static str {
+        "table10"
+    }
+    fn title(&self) -> &'static str {
+        "Telescope vs EDU / cloud top-AS differences"
+    }
+    fn needs(&self) -> &'static [Need] {
+        NEEDS
+    }
+    fn run(&self, cx: &ExhibitCx<'_>) -> String {
+        let s = main_bundle(cx);
+        let d = Deployment::standard();
+        let mut out = header_str("Table 10: telescope vs EDU / cloud — top-AS differences (2021)");
+        out.push_str(&paper_note_str(
+            "Telescope-EDU: SSH 2/2 dif (0.41), TEL 2/2 (0.68), HTTP/80 0/2, All 2/2 (0.20); \
+             Telescope-Cloud: SSH 3/3 (0.71), TEL 3/3 (0.82), HTTP/80 2/3 (0.40), All 3/3 (0.30)",
+        ));
+        let tel = &s.telescope;
+        let edu_fleets = ["honeytrap/stanford", "honeytrap/merit"];
+        let cloud_fleets = [
+            "honeytrap/aws-west",
+            "honeytrap/google-west",
+            "honeytrap/google-east",
+        ];
+        let slices = [
+            TrafficSlice::SshPort22,
+            TrafficSlice::TelnetPort23,
+            TrafficSlice::HttpPort80,
+            TrafficSlice::AnyAll,
+        ];
+        let mut t = TextTable::new(&[
+            "Slice",
+            "Tel-EDU dif",
+            "Tel-EDU avg phi",
+            "Tel-Cloud dif",
+            "Tel-Cloud avg phi",
+        ]);
+        for slice in slices {
+            let run = |fleets: &[&str]| -> (usize, usize, Option<f64>) {
+                let mut n = 0;
+                let mut dif = 0;
+                let mut phis = Vec::new();
+                for f in fleets {
+                    if let Some(cmp) = crate::network::telescope_vs_fleet(
+                        &s.dataset,
+                        &d,
+                        tel,
+                        f,
+                        slice,
+                        0.05,
+                        fleets.len(),
+                    ) {
+                        n += 1;
+                        if cmp.significant {
+                            dif += 1;
+                            phis.push(cmp.effect.phi);
+                        }
+                    }
+                }
+                (n, dif, cw_stats::descriptive::mean(&phis))
+            };
+            let (en, ed, ephi) = run(&edu_fleets);
+            let (cn, cd, cphi) = run(&cloud_fleets);
+            t.row(vec![
+                slice.label().to_string(),
+                format!("{ed}/{en}"),
+                phi_value(ephi, 1),
+                format!("{cd}/{cn}"),
+                phi_value(cphi, 1),
+            ]);
+        }
+        out.push_str(&format!("{}\n", t.render()));
+        out
+    }
+}
+
+/// Table 11: scanner-targeted protocols on HTTP-assigned ports.
+pub struct Table11;
+
+impl Exhibit for Table11 {
+    fn name(&self) -> &'static str {
+        "table11"
+    }
+    fn title(&self) -> &'static str {
+        "Protocol breakdown on ports 80/8080"
+    }
+    fn needs(&self) -> &'static [Need] {
+        NEEDS
+    }
+    fn run(&self, cx: &ExhibitCx<'_>) -> String {
+        let mut out = header_str("Table 11: protocol breakdown on ports 80/8080 (2021)");
+        out.push_str(&paper_note_str(
+            "HTTP/80 85% (42% benign, 55% malicious) vs ~HTTP/80 15% (42%, 51%); \
+             HTTP/8080 84% (22%, 77%) vs ~HTTP/8080 16% (35%, 49%); \
+             ~HTTP split: TLS 7%, Telnet 0.5%, SQL 0.4%, RTSP 0.3%, SMB 0.3%, …",
+        ));
+        let mut t =
+            TextTable::new(&["Protocol/Port", "Breakdown", "% Benign", "% Malicious", "Scanners"]);
+        // The binary printed the ~HTTP/80 share lines *while* filling the
+        // table, so they precede the rendered table in the output stream.
+        for port in [80u16, 8080] {
+            let (rows, shares) = cx.breakdown(NEEDS[0], port);
+            for r in rows {
+                t.row(vec![
+                    format!("{}HTTP/{}", if r.is_http { "" } else { "~" }, port),
+                    format!("{:.0}%", r.pct_of_scanners),
+                    format!("{:.0}%", r.pct_benign),
+                    format!("{:.0}%", r.pct_malicious),
+                    r.scanners.to_string(),
+                ]);
+            }
+            if port == 80 {
+                out.push_str("~HTTP/80 per-protocol shares:\n");
+                for sh in shares {
+                    out.push_str(&format!("  {:<7} {:.2}%\n", sh.protocol.label(), sh.pct));
+                }
+                out.push('\n');
+            }
+        }
+        out.push_str(&format!("{}\n", t.render()));
+        out
+    }
+}
+
+/// §3.2 traffic-composition statistics.
+pub struct Section3_2;
+
+impl Exhibit for Section3_2 {
+    fn name(&self) -> &'static str {
+        "section3_2"
+    }
+    fn title(&self) -> &'static str {
+        "§3.2 traffic-composition statistics"
+    }
+    fn needs(&self) -> &'static [Need] {
+        NEEDS
+    }
+    fn run(&self, cx: &ExhibitCx<'_>) -> String {
+        let mut out = header_str("Section 3.2: traffic composition (2021)");
+        out.push_str(&paper_note_str(
+            "34% of Telnet/23 traffic does not attempt login; 24% on SSH/22; 75% of HTTP/80 \
+             payloads send no exploit; Suricata labels 6% of distinct HTTP payloads malicious",
+        ));
+        let c = cx.composition(NEEDS[0]);
+        out.push_str(&format!(
+            "Telnet/23 traffic not attempting login : {:.0}%  (paper 34%)\n",
+            c.telnet_non_auth_pct
+        ));
+        out.push_str(&format!(
+            "SSH/22 traffic not attempting login    : {:.0}%  (paper 24%)\n",
+            c.ssh_non_auth_pct
+        ));
+        out.push_str(&format!(
+            "HTTP/80 payloads without exploits      : {:.0}%  (paper 75%)\n",
+            c.http80_benign_pct
+        ));
+        out.push_str(&format!(
+            "Distinct HTTP payloads labeled malicious: {:.0}%  (paper 6%)\n",
+            c.distinct_http_malicious_pct
+        ));
+        out
+    }
+}
+
+/// Figure 1: address-structure preferences inside the telescope.
+///
+/// Prints ASCII sparklines of the rolling-512 unique-scanner series for
+/// the four panels and writes full CSVs to `out/figure1_port<k>.csv`.
+pub struct Figure1;
+
+impl Exhibit for Figure1 {
+    fn name(&self) -> &'static str {
+        "figure1"
+    }
+    fn title(&self) -> &'static str {
+        "Telescope address-structure preferences (+ CSVs)"
+    }
+    fn needs(&self) -> &'static [Need] {
+        NEEDS
+    }
+    fn run(&self, cx: &ExhibitCx<'_>) -> String {
+        let s = main_bundle(cx);
+        let mut out = header_str("Figure 1: telescope address-structure preferences (2021)");
+        out.push_str(&paper_note_str(
+            "(a) port 22: spikes at /16 first addresses (order of magnitude); \
+             (b) port 445 / (c) port 80: dips at any-255-octet addresses (9x / strong); \
+             (d) port 17128: a four-address latch",
+        ));
+        std::fs::create_dir_all("out").expect("create out/");
+        let tel = &s.telescope;
+        for (panel, port) in [("a", 22u16), ("b", 445), ("c", 80), ("d", 17_128)] {
+            let Some(fig) = crate::figure1::series(tel, port) else {
+                out.push_str(&format!("(1{panel}) port {port}: not tracked\n"));
+                continue;
+            };
+            out.push_str(&format!(
+                "(1{panel}) port {port} — rolling-512 unique scanners per IP:\n"
+            ));
+            out.push_str(&format!(
+                "      {}\n",
+                crate::figure1::ascii_sparkline(&fig.rolling, 96)
+            ));
+            let path = format!("out/figure1_port{port}.csv");
+            let file = std::fs::File::create(&path).expect("create csv");
+            crate::figure1::write_csv(tel, &fig, std::io::BufWriter::new(file))
+                .expect("write csv");
+            out.push_str(&format!("      series written to {path}\n"));
+        }
+        out.push('\n');
+        if let Some(pref) = crate::figure1::slash16_first_preference(tel, 22) {
+            out.push_str(&format!(
+                "port 22: /16-first addresses are {pref:.1}x more targeted (paper: ~10x)\n"
+            ));
+        }
+        for (port, paper) in [(445u16, "9x"), (80, "dips visible"), (7_574, "61x")] {
+            if let Some(st) = crate::figure1::structure_stats(tel, port, |ip| ip.has_255_octet()) {
+                out.push_str(&format!(
+                    "port {port}: 255-octet addresses are {:.1}x less targeted \
+                     (mean {:.3} vs {:.3}; paper: {paper})\n",
+                    st.avoidance_factor, st.mean_matching, st.mean_rest
+                ));
+            }
+        }
+        if let Some(fig) = crate::figure1::series(tel, 17_128) {
+            let mut sorted: Vec<(usize, u32)> = fig.counts.iter().copied().enumerate().collect();
+            sorted.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+            let top: Vec<String> = sorted
+                .iter()
+                .take(4)
+                .map(|&(i, c)| format!("{} ({c})", tel.block().nth(i as u64)))
+                .collect();
+            out.push_str(&format!("port 17128 latch targets: {}\n", top.join(", ")));
+        }
+        out
+    }
+}
+
+/// §8: the paper's recommendations, re-derived from this run's data.
+pub struct Recommendations;
+
+impl Exhibit for Recommendations {
+    fn name(&self) -> &'static str {
+        "recommendations"
+    }
+    fn title(&self) -> &'static str {
+        "§8 recommendations with this run's evidence"
+    }
+    fn needs(&self) -> &'static [Need] {
+        NEEDS
+    }
+    fn run(&self, cx: &ExhibitCx<'_>) -> String {
+        let s = main_bundle(cx);
+        let d = Deployment::standard();
+        let mut out = header_str("Section 8: recommendations, with this run's supporting evidence");
+        let indexed = (s.censys_indexed + s.shodan_indexed) as usize;
+        let products = crate::recommendations::Products {
+            table2: cx.table2_rows(NEEDS[0]),
+            table4: cx.table4_rows(NEEDS[0]),
+            table8: cx.table8_rows(NEEDS[0]),
+            table9: cx.table9_rows(NEEDS[0]),
+            breakdown80: &cx.breakdown(NEEDS[0], 80).0,
+        };
+        for r in crate::recommendations::evaluate_with(
+            &s.dataset,
+            &d,
+            &s.telescope,
+            indexed,
+            &products,
+        ) {
+            out.push_str(&format!(
+                "{} {}\n    {}\n\n",
+                if r.supported { "✔" } else { "✘" },
+                r.title,
+                r.evidence
+            ));
+        }
+        out
+    }
+}

@@ -26,14 +26,23 @@
 //! - [`fleet`] — the parallel scenario fleet runner: independent runs
 //!   spread across worker threads with per-run seeds split from the master
 //!   seed, bit-identical for any thread count (see
-//!   `docs/ARCHITECTURE.md`).
+//!   `docs/ARCHITECTURE.md`);
+//! - [`bundle`] — the `Send + Sync` analysis subset of one simulation,
+//!   shareable across fleet workers and serializable;
+//! - [`snapshot`] — the content-addressed simulate-once cache: each
+//!   distinct (year, seed, scale, horizon) world is simulated once and
+//!   every later exhibit render deserializes it from `out/.cache`;
+//! - [`exhibit`] — the unified registry of all 25 tables/figures/ablations
+//!   as pure renders over shared [`SimBundle`]s (the `cw` CLI's backend).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod axes;
+pub mod bundle;
 pub mod compare;
 pub mod dataset;
+pub mod exhibit;
 pub mod figure1;
 pub mod fleet;
 pub mod geography;
@@ -45,8 +54,10 @@ pub mod ports;
 pub mod recommendations;
 pub mod report;
 pub mod scenario;
+pub mod snapshot;
 pub mod temporal;
 
+pub use bundle::SimBundle;
 pub use compare::{CharKind, GroupComparison};
 pub use dataset::{Dataset, TrafficSlice};
 pub use scenario::{Scenario, ScenarioConfig};

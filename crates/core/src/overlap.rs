@@ -90,16 +90,19 @@ pub fn table8(
 ) -> Vec<OverlapRow> {
     let cloud = cloud_ips(deployment);
     let edu = edu_ips(deployment);
+    // One sweep per fleet for all ports, not one per (fleet, port).
+    let cloud_sets = dataset.port_source_sets(&cloud, &POPULAR_PORTS, false);
+    let edu_sets = dataset.port_source_sets(&edu, &POPULAR_PORTS, false);
     POPULAR_PORTS
         .iter()
         .map(|&port| {
-            let cloud_srcs = dataset.sources_on_port(&cloud, port);
-            let edu_srcs = dataset.sources_on_port(&edu, port);
+            let cloud_srcs = &cloud_sets[&port];
+            let edu_srcs = &edu_sets[&port];
             OverlapRow {
                 port,
-                tel_cloud: overlap_fraction(&cloud_srcs, telescope, port),
-                tel_edu: overlap_fraction(&edu_srcs, telescope, port),
-                cloud_edu: set_overlap(&cloud_srcs, &edu_srcs),
+                tel_cloud: overlap_fraction(cloud_srcs, telescope, port),
+                tel_edu: overlap_fraction(edu_srcs, telescope, port),
+                cloud_edu: set_overlap(cloud_srcs, edu_srcs),
             }
         })
         .collect()
@@ -116,21 +119,21 @@ pub fn table9(
 ) -> Vec<MaliciousOverlapRow> {
     let cloud = cloud_ips(deployment);
     let edu = edu_ips(deployment);
+    let cloud_sets = dataset.port_source_sets(&cloud, &TABLE9_PORTS, true);
+    // Honeytrap can only verify maliciousness from payloads: on the
+    // credential ports the EDU column is the paper's ×.
+    let edu_sets = dataset.port_source_sets(&edu, &[80, 8080], true);
     TABLE9_PORTS
         .iter()
         .map(|&port| {
-            let cloud_srcs = dataset.malicious_sources_on_port(&cloud, port);
-            // Honeytrap can only verify maliciousness from payloads: on the
-            // credential ports the EDU column is the paper's ×.
             let edu_col = if matches!(port, 80 | 8080) {
-                let edu_srcs = dataset.malicious_sources_on_port(&edu, port);
-                overlap_fraction(&edu_srcs, telescope, port)
+                overlap_fraction(&edu_sets[&port], telescope, port)
             } else {
                 None
             };
             MaliciousOverlapRow {
                 port,
-                tel_cloud: overlap_fraction(&cloud_srcs, telescope, port),
+                tel_cloud: overlap_fraction(&cloud_sets[&port], telescope, port),
                 tel_edu: edu_col,
             }
         })

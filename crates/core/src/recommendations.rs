@@ -7,13 +7,15 @@
 //! `recommendations` binary prints the report.
 
 use crate::compare::CharKind;
-use crate::dataset::TrafficSlice;
+use crate::dataset::{Dataset, TrafficSlice};
 use crate::figure1;
-use crate::geography::table5;
-use crate::neighborhood::table2;
-use crate::overlap::{table8, table9};
-use crate::ports::protocol_breakdown;
-use crate::scenario::Scenario;
+use crate::geography::{table4, table5, MostDifferentRegion};
+use crate::neighborhood::{table2, NeighborhoodRow};
+use crate::overlap::{table8, table9, MaliciousOverlapRow, OverlapRow};
+use crate::ports::{protocol_breakdown, ProtocolBreakdownRow};
+use cw_detection::ReputationDb;
+use cw_honeypot::deployment::Deployment;
+use cw_honeypot::telescope::Telescope;
 use cw_netsim::geo::RegionPairKind;
 
 /// One §8 recommendation with its evidence check.
@@ -27,21 +29,75 @@ pub struct Recommendation {
     pub supported: bool,
 }
 
-/// Evaluate all §8 recommendations against a scenario.
-pub fn evaluate(s: &Scenario) -> Vec<Recommendation> {
+/// The derived tables recommendation checks lean on, precomputed by the
+/// caller — the `cw` exhibit context memoizes them per bundle, so the
+/// recommendations render reuses rows the table exhibits already built.
+pub struct Products<'a> {
+    /// Table 2 neighborhood rows.
+    pub table2: &'a [NeighborhoodRow],
+    /// Table 4 geography grid.
+    pub table4: &'a [MostDifferentRegion],
+    /// Table 8 telescope-overlap rows.
+    pub table8: &'a [OverlapRow],
+    /// Table 9 attacker-overlap rows.
+    pub table9: &'a [MaliciousOverlapRow],
+    /// Port-80 protocol breakdown (Table 11's left half).
+    pub breakdown80: &'a [ProtocolBreakdownRow],
+}
+
+/// Evaluate all §8 recommendations against one run's measured data.
+///
+/// Takes the analysis inputs granularly (rather than a whole
+/// `Scenario`) so the caller can supply either a live run or a restored
+/// [`crate::bundle::SimBundle`]: `indexed_services` is the number of
+/// services the simulated search engines had indexed at window end.
+pub fn evaluate(
+    dataset: &Dataset,
+    deployment: &Deployment,
+    tel: &Telescope,
+    reputation: &ReputationDb,
+    indexed_services: usize,
+) -> Vec<Recommendation> {
+    let t2 = table2(dataset, deployment);
+    let t4 = table4(dataset, deployment);
+    let t8 = table8(dataset, deployment, tel);
+    let t9 = table9(dataset, deployment, tel);
+    let (b80, _) = protocol_breakdown(dataset, deployment, reputation, 80);
+    evaluate_with(
+        dataset,
+        deployment,
+        tel,
+        indexed_services,
+        &Products {
+            table2: &t2,
+            table4: &t4,
+            table8: &t8,
+            table9: &t9,
+            breakdown80: &b80,
+        },
+    )
+}
+
+/// [`evaluate`] over caller-supplied derived tables (see [`Products`]).
+pub fn evaluate_with(
+    dataset: &Dataset,
+    deployment: &Deployment,
+    tel: &Telescope,
+    indexed_services: usize,
+    products: &Products<'_>,
+) -> Vec<Recommendation> {
     let mut out = Vec::new();
-    let tel = s.telescope.borrow();
 
     // 1. Collect scan traffic from networks that host services.
     {
-        let t8 = table8(&s.dataset, &s.deployment, &tel);
-        let ssh = t8
+        let ssh = products
+            .table8
             .iter()
             .find(|r| r.port == 22)
             .and_then(|r| r.tel_cloud)
             .unwrap_or(100.0);
-        let t9 = table9(&s.dataset, &s.deployment, &tel);
-        let mal_ssh = t9
+        let mal_ssh = products
+            .table9
             .iter()
             .find(|r| r.port == 22)
             .and_then(|r| r.tel_cloud)
@@ -60,7 +116,7 @@ pub fn evaluate(s: &Scenario) -> Vec<Recommendation> {
     {
         // Evidence comes from the leak experiment; here we check the
         // in-scenario proxy: indexed GreyNoise services draw miner bursts.
-        let indexed = s.handles.censys.borrow().len() + s.handles.shodan.borrow().len();
+        let indexed = indexed_services;
         out.push(Recommendation {
             title: "Consider an IP address' service history",
             evidence: format!(
@@ -73,8 +129,8 @@ pub fn evaluate(s: &Scenario) -> Vec<Recommendation> {
 
     // 3. Consider that attackers scan unexpected protocols.
     {
-        let (rows, _) = protocol_breakdown(&s.dataset, &s.deployment, &s.handles.reputation, 80);
-        let other = rows
+        let other = products
+            .breakdown80
             .iter()
             .find(|r| !r.is_http)
             .map(|r| r.pct_of_scanners)
@@ -91,8 +147,8 @@ pub fn evaluate(s: &Scenario) -> Vec<Recommendation> {
 
     // 4. Account for differences amongst neighboring IPs.
     {
-        let rows = table2(&s.dataset, &s.deployment);
-        let max_dif = rows
+        let max_dif = products
+            .table2
             .iter()
             .map(|r| r.pct_different)
             .fold(0.0f64, f64::max);
@@ -108,7 +164,7 @@ pub fn evaluate(s: &Scenario) -> Vec<Recommendation> {
 
     // 5. Deploy honeypots across geographies (AP above all).
     {
-        let rows = crate::geography::table4(&s.dataset, &s.deployment);
+        let rows = products.table4;
         let named = rows.iter().filter(|r| r.region.is_some()).count();
         let ap = rows
             .iter()
@@ -120,8 +176,8 @@ pub fn evaluate(s: &Scenario) -> Vec<Recommendation> {
             })
             .count();
         let cells = table5(
-            &s.dataset,
-            &s.deployment,
+            dataset,
+            deployment,
             TrafficSlice::TelnetPort23,
             CharKind::TopUsername,
         );
@@ -149,7 +205,7 @@ pub fn evaluate(s: &Scenario) -> Vec<Recommendation> {
     {
         // Evidence: the structure preferences mean a blocklist built from
         // one IP's traffic misses botnets latched elsewhere.
-        let pref = figure1::slash16_first_preference(&tel, 22).unwrap_or(1.0);
+        let pref = figure1::slash16_first_preference(tel, 22).unwrap_or(1.0);
         out.push(Recommendation {
             title: "Consider biases when deploying blocklists",
             evidence: format!(
@@ -171,8 +227,16 @@ mod tests {
 
     #[test]
     fn all_recommendations_supported_by_fast_scenario() {
-        let s = Scenario::run(ScenarioConfig::fast(ScenarioYear::Y2021).with_seed(8));
-        let recs = evaluate(&s);
+        let s = crate::scenario::Scenario::run(ScenarioConfig::fast(ScenarioYear::Y2021).with_seed(8));
+        let tel = s.telescope.borrow();
+        let indexed = s.handles.censys.borrow().len() + s.handles.shodan.borrow().len();
+        let recs = evaluate(
+            &s.dataset,
+            &s.deployment,
+            &tel,
+            &s.handles.reputation,
+            indexed,
+        );
         assert_eq!(recs.len(), 6);
         for r in &recs {
             assert!(r.supported, "unsupported: {} — {}", r.title, r.evidence);

@@ -81,6 +81,16 @@ impl TextTable {
     }
 }
 
+/// A titled section header, as every exhibit opens with.
+pub fn header_str(title: &str) -> String {
+    format!("\n=== {title} ===\n\n")
+}
+
+/// A `paper vs measured` context line following the header.
+pub fn paper_note_str(note: &str) -> String {
+    format!("(paper: {note})\n\n")
+}
+
 /// Render an effect size as `0.43 [L]` (the paper's colored magnitudes).
 pub fn phi_cell(effect: Option<EffectSize>) -> String {
     match effect {

@@ -1,0 +1,312 @@
+//! The content-addressed simulate-once cache.
+//!
+//! Simulating a full-scale year takes seconds; every one of the paper's
+//! tables and figures consumes the *same* handful of simulation results.
+//! This module persists each result ([`SimBundle`]) to disk keyed by the
+//! exact configuration that produced it, so a `(year, seed, scale,
+//! horizon)` world is simulated once per machine, ever — every later
+//! exhibit render pays only a deserialization.
+//!
+//! # Addressing
+//!
+//! A snapshot's filename is the SHA-256 of a canonical key string over the
+//! full configuration *and* the snapshot format version. Changing any
+//! parameter — or the wire format — changes the address, so stale entries
+//! are never read; they are simply unreferenced files (the cache directory
+//! can be deleted at any time).
+//!
+//! # Integrity
+//!
+//! Snapshots use the sealed container of [`cw_netsim::snap`]: magic bytes,
+//! format version, exact payload length, and a SHA-256 trailer. A missing,
+//! truncated, corrupted, version-mismatched, or wrong-config file is
+//! treated identically: the load quietly fails and [`load_or_run`]
+//! re-simulates. The cache can therefore never change results, only
+//! wall-clock time — the same contract the fleet runner makes for thread
+//! count.
+//!
+//! # Location
+//!
+//! `out/.cache` under the working directory by default (next to the
+//! `out/*.txt` exhibits), overridable with the `CW_CACHE_DIR` environment
+//! variable. Writes are atomic (temp file + rename), so concurrent
+//! processes at worst both simulate; they never observe a half-written
+//! snapshot.
+
+use crate::bundle::SimBundle;
+use crate::scenario::ScenarioConfig;
+use cw_honeypot::deployment::Deployment;
+use cw_netsim::sha256::sha256_hex;
+use cw_netsim::snap::{self, SnapReader, SnapWriter};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Environment variable overriding the cache directory.
+pub const CACHE_DIR_ENV: &str = "CW_CACHE_DIR";
+
+/// Default cache directory, relative to the working directory.
+pub const DEFAULT_CACHE_DIR: &str = "out/.cache";
+
+/// The active cache directory: `CW_CACHE_DIR` if set, else
+/// [`DEFAULT_CACHE_DIR`].
+pub fn cache_dir() -> PathBuf {
+    std::env::var_os(CACHE_DIR_ENV)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(DEFAULT_CACHE_DIR))
+}
+
+/// The canonical content key of a configuration. Scale enters as its IEEE
+/// bit pattern — `0.06` and `0.06000000000000001` are different worlds and
+/// must not share a snapshot.
+fn cache_key(config: &ScenarioConfig) -> String {
+    let canonical = format!(
+        "cw-snapshot-v{} year={} seed={:#x} scale={:016x} horizon={}",
+        snap::FORMAT_VERSION,
+        config.year.year(),
+        config.seed,
+        config.scale.to_bits(),
+        config.horizon.secs(),
+    );
+    sha256_hex(canonical.as_bytes())
+}
+
+/// The snapshot path for `config` inside `dir`.
+pub fn snapshot_path_in(dir: &Path, config: &ScenarioConfig) -> PathBuf {
+    dir.join(format!("{}.cwsnap", cache_key(config)))
+}
+
+/// Seal and atomically write `bundle` into `dir`, returning the path.
+pub fn store_in(dir: &Path, bundle: &SimBundle) -> std::io::Result<PathBuf> {
+    let mut w = SnapWriter::new();
+    bundle.snap_write(&mut w);
+    let sealed = snap::seal(&w.into_bytes());
+    std::fs::create_dir_all(dir)?;
+    let path = snapshot_path_in(dir, &bundle.config);
+    // Unique temp name per process: two concurrent writers race benignly —
+    // rename is atomic and both carry identical bytes.
+    let tmp = dir.join(format!(
+        "{}.tmp.{}",
+        cache_key(&bundle.config),
+        std::process::id()
+    ));
+    std::fs::write(&tmp, &sealed)?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+/// Load the snapshot for `config` from `dir`, or `None` if it is missing
+/// or fails *any* integrity check (container hash, format version, decode,
+/// trailing bytes, config match). Every failure is silent by design — the
+/// caller's recovery is always the same: re-simulate.
+pub fn load_from(dir: &Path, config: &ScenarioConfig, deployment: &Deployment) -> Option<SimBundle> {
+    let bytes = std::fs::read(snapshot_path_in(dir, config)).ok()?;
+    let payload = snap::unseal(&bytes).ok()?;
+    let mut r = SnapReader::new(payload);
+    let bundle = SimBundle::snap_read(&mut r, deployment).ok()?;
+    if !r.is_exhausted() {
+        return None;
+    }
+    // Hash collisions aside, this catches a mis-filed snapshot (e.g. a
+    // copied cache file) — the decoded config must be the requested one.
+    if !bundle.matches(config) {
+        return None;
+    }
+    Some(bundle)
+}
+
+/// Where a bundle came from, with the wall time each path cost — the bench
+/// harness records these as `snapshot_read_secs` / `snapshot_write_secs`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Provenance {
+    /// Deserialized from a valid snapshot.
+    CacheHit {
+        /// Wall time of the read + decode.
+        read_secs: f64,
+    },
+    /// Simulated (cache disabled, cold, or invalid).
+    Simulated {
+        /// Wall time of the simulation + bundle fold.
+        sim_secs: f64,
+        /// Wall time of the snapshot write, when one was attempted and
+        /// succeeded (`None` with the cache disabled or on I/O failure).
+        write_secs: Option<f64>,
+    },
+}
+
+impl Provenance {
+    /// Was this bundle served from the cache?
+    pub fn is_hit(&self) -> bool {
+        matches!(self, Provenance::CacheHit { .. })
+    }
+}
+
+/// Load `config`'s bundle from the active cache directory, simulating (and
+/// filling the cache) on any miss. `use_cache = false` always simulates
+/// and leaves the cache untouched — results are identical either way.
+pub fn load_or_run(config: ScenarioConfig, use_cache: bool) -> (SimBundle, Provenance) {
+    load_or_run_in(&cache_dir(), config, use_cache)
+}
+
+/// [`load_or_run`] against an explicit cache directory.
+pub fn load_or_run_in(dir: &Path, config: ScenarioConfig, use_cache: bool) -> (SimBundle, Provenance) {
+    if use_cache {
+        let start = Instant::now();
+        let deployment = Deployment::standard();
+        if let Some(bundle) = load_from(dir, &config, &deployment) {
+            return (
+                bundle,
+                Provenance::CacheHit {
+                    read_secs: start.elapsed().as_secs_f64(),
+                },
+            );
+        }
+    }
+    let start = Instant::now();
+    let bundle = SimBundle::run(config);
+    let sim_secs = start.elapsed().as_secs_f64();
+    let write_secs = if use_cache {
+        let start = Instant::now();
+        // A failed write only means the next run simulates again.
+        store_in(dir, &bundle)
+            .ok()
+            .map(|_| start.elapsed().as_secs_f64())
+    } else {
+        None
+    };
+    (bundle, Provenance::Simulated { sim_secs, write_secs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cw_scanners::population::ScenarioYear;
+
+    fn test_config(seed: u64) -> ScenarioConfig {
+        ScenarioConfig::fast(ScenarioYear::Y2021)
+            .with_seed(seed)
+            .with_scale(0.01)
+    }
+
+    /// A fresh per-test cache directory (env vars are process-global, so
+    /// tests pass directories explicitly instead of touching CW_CACHE_DIR).
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cw-snap-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn equivalent(a: &SimBundle, b: &SimBundle) -> bool {
+        a.matches(&b.config)
+            && a.stats == b.stats
+            && a.dataset.len() == b.dataset.len()
+            && a.telescope.total_packets() == b.telescope.total_packets()
+            && a.reputation.counts() == b.reputation.counts()
+            && a.censys_indexed == b.censys_indexed
+    }
+
+    #[test]
+    fn miss_then_hit_round_trip() {
+        let dir = test_dir("hit");
+        let cfg = test_config(41);
+        let (cold, p1) = load_or_run_in(&dir, cfg, true);
+        assert!(!p1.is_hit());
+        assert!(snapshot_path_in(&dir, &cfg).exists());
+        let (warm, p2) = load_or_run_in(&dir, cfg, true);
+        assert!(p2.is_hit());
+        assert!(equivalent(&cold, &warm));
+        // Disabling the cache bypasses the valid snapshot entirely.
+        let (fresh, p3) = load_or_run_in(&dir, cfg, false);
+        assert!(!p3.is_hit());
+        assert!(equivalent(&cold, &fresh));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_snapshot_is_silently_resimulated() {
+        let dir = test_dir("corrupt");
+        let cfg = test_config(42);
+        let (cold, _) = load_or_run_in(&dir, cfg, true);
+        let path = snapshot_path_in(&dir, &cfg);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x5A;
+        std::fs::write(&path, &bytes).unwrap();
+        let deployment = Deployment::standard();
+        assert!(load_from(&dir, &cfg, &deployment).is_none());
+        let (again, p) = load_or_run_in(&dir, cfg, true);
+        assert!(!p.is_hit());
+        assert!(equivalent(&cold, &again));
+        // The re-simulation healed the cache in passing.
+        assert!(load_from(&dir, &cfg, &deployment).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_snapshot_is_silently_resimulated() {
+        let dir = test_dir("truncate");
+        let cfg = test_config(43);
+        let _ = load_or_run_in(&dir, cfg, true);
+        let path = snapshot_path_in(&dir, &cfg);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+        let deployment = Deployment::standard();
+        assert!(load_from(&dir, &cfg, &deployment).is_none());
+        let (_, p) = load_or_run_in(&dir, cfg, true);
+        assert!(!p.is_hit());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatched_snapshot_is_silently_resimulated() {
+        let dir = test_dir("version");
+        let cfg = test_config(44);
+        let _ = load_or_run_in(&dir, cfg, true);
+        let path = snapshot_path_in(&dir, &cfg);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // The u32 format version sits right after the 8 magic bytes.
+        bytes[8] = 0xFE;
+        std::fs::write(&path, &bytes).unwrap();
+        let deployment = Deployment::standard();
+        assert!(load_from(&dir, &cfg, &deployment).is_none());
+        let (_, p) = load_or_run_in(&dir, cfg, true);
+        assert!(!p.is_hit());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn misfiled_snapshot_is_rejected_by_config_match() {
+        let dir = test_dir("misfiled");
+        let cfg_a = test_config(45);
+        let cfg_b = test_config(46);
+        let _ = load_or_run_in(&dir, cfg_a, true);
+        // Plant seed-45's (internally valid) snapshot at seed-46's address.
+        std::fs::rename(
+            snapshot_path_in(&dir, &cfg_a),
+            snapshot_path_in(&dir, &cfg_b),
+        )
+        .unwrap();
+        let deployment = Deployment::standard();
+        assert!(load_from(&dir, &cfg_b, &deployment).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn distinct_configs_have_distinct_addresses() {
+        let dir = PathBuf::from("out/.cache");
+        let base = test_config(1);
+        let paths = [
+            snapshot_path_in(&dir, &base),
+            snapshot_path_in(&dir, &base.with_seed(2)),
+            snapshot_path_in(&dir, &base.with_scale(0.02)),
+            snapshot_path_in(&dir, &ScenarioConfig {
+                year: ScenarioYear::Y2020,
+                ..base
+            }),
+        ];
+        for (i, a) in paths.iter().enumerate() {
+            for b in &paths[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

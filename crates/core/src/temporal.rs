@@ -8,10 +8,10 @@
 //! port, and the stability of the headline phenomena.
 
 use crate::compare::CharKind;
-use crate::dataset::TrafficSlice;
+use crate::dataset::{Dataset, TrafficSlice};
 use crate::overlap;
-use crate::scenario::Scenario;
-use cw_honeypot::deployment::CollectorKind;
+use cw_honeypot::deployment::{CollectorKind, Deployment};
+use cw_honeypot::telescope::Telescope;
 use cw_stats::topk::top_k_of;
 use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
@@ -40,44 +40,64 @@ pub fn jaccard(a: &BTreeSet<String>, b: &BTreeSet<String>) -> f64 {
     inter / union
 }
 
-/// Compare two scenario runs (typically different years, same seed family).
-pub fn stability(a: &Scenario, b: &Scenario) -> StabilityReport {
+/// One year's analysis inputs, borrowed from a live [`crate::Scenario`]
+/// or a restored [`crate::bundle::SimBundle`].
+#[derive(Debug, Clone, Copy)]
+pub struct YearView<'a> {
+    /// The scenario year this data was measured in.
+    pub year: u16,
+    /// The classified event store of that year's run.
+    pub dataset: &'a Dataset,
+    /// That year's telescope capture.
+    pub telescope: &'a Telescope,
+}
+
+/// Compare two measurement years (typically the same seed family) against
+/// a shared deployment (Table 1 is identical across years).
+pub fn stability(deployment: &Deployment, a: YearView<'_>, b: YearView<'_>) -> StabilityReport {
+    let t8a = overlap::table8(a.dataset, deployment, a.telescope);
+    let t8b = overlap::table8(b.dataset, deployment, b.telescope);
+    stability_with(deployment, a, b, &t8a, &t8b)
+}
+
+/// [`stability`] with each year's Table 8 overlap rows supplied by the
+/// caller — the `cw` exhibit context memoizes them per bundle, so the
+/// temporal exhibit reuses the rows the Table 8 render already computed.
+pub fn stability_with(
+    deployment: &Deployment,
+    a: YearView<'_>,
+    b: YearView<'_>,
+    t8a: &[overlap::OverlapRow],
+    t8b: &[overlap::OverlapRow],
+) -> StabilityReport {
     // Per-region top-3 ASes on Telnet/23 (the most stable botnet-driven
     // surface), compared across years.
-    let regions = a.deployment.greynoise_provider_regions();
+    let regions = deployment.greynoise_provider_regions();
     let mut jaccards = Vec::new();
     for (provider, region) in &regions {
-        let ips_of = |s: &Scenario| -> Vec<Ipv4Addr> {
-            s.deployment
-                .vantages
-                .iter()
-                .filter(|v| {
-                    v.collector == CollectorKind::GreyNoise
-                        && v.provider == *provider
-                        && v.region == *region
-                })
-                .map(|v| v.ip)
-                .collect()
-        };
-        let tops = |s: &Scenario| -> BTreeSet<String> {
-            let events = s
-                .dataset
-                .events_at_group(&ips_of(s), TrafficSlice::TelnetPort23);
+        let ips: Vec<Ipv4Addr> = deployment
+            .vantages
+            .iter()
+            .filter(|v| {
+                v.collector == CollectorKind::GreyNoise
+                    && v.provider == *provider
+                    && v.region == *region
+            })
+            .map(|v| v.ip)
+            .collect();
+        let tops = |d: &Dataset| -> BTreeSet<String> {
+            let events = d.events_at_group(&ips, TrafficSlice::TelnetPort23);
             top_k_of(&CharKind::TopAs.freqs(&events), 3)
                 .into_iter()
                 .collect()
         };
-        let ta = tops(a);
-        let tb = tops(b);
+        let ta = tops(a.dataset);
+        let tb = tops(b.dataset);
         if !ta.is_empty() || !tb.is_empty() {
             jaccards.push(jaccard(&ta, &tb));
         }
     }
 
-    let tel_a = a.telescope.borrow();
-    let tel_b = b.telescope.borrow();
-    let t8a = overlap::table8(&a.dataset, &a.deployment, &tel_a);
-    let t8b = overlap::table8(&b.dataset, &b.deployment, &tel_b);
     let telescope_overlap = t8a
         .iter()
         .map(|ra| {
@@ -87,7 +107,7 @@ pub fn stability(a: &Scenario, b: &Scenario) -> StabilityReport {
         .collect();
 
     StabilityReport {
-        years: (a.config.year.year(), b.config.year.year()),
+        years: (a.year, b.year),
         top_as_jaccard: cw_stats::descriptive::mean(&jaccards).unwrap_or(0.0),
         telescope_overlap,
         regions_compared: jaccards.len(),
@@ -114,9 +134,23 @@ mod tests {
         // §3.4's claim, asserted end-to-end at reduced scale: the same seed
         // family in two years keeps similar top ASes and keeps the SSH <
         // Telnet telescope-overlap ordering.
-        let a = Scenario::run(ScenarioConfig::fast(ScenarioYear::Y2021).with_seed(3));
-        let b = Scenario::run(ScenarioConfig::fast(ScenarioYear::Y2020).with_seed(3));
-        let r = stability(&a, &b);
+        let a = crate::Scenario::run(ScenarioConfig::fast(ScenarioYear::Y2021).with_seed(3));
+        let b = crate::Scenario::run(ScenarioConfig::fast(ScenarioYear::Y2020).with_seed(3));
+        let tel_a = a.telescope.borrow();
+        let tel_b = b.telescope.borrow();
+        let r = stability(
+            &a.deployment,
+            YearView {
+                year: a.config.year.year(),
+                dataset: &a.dataset,
+                telescope: &tel_a,
+            },
+            YearView {
+                year: b.config.year.year(),
+                dataset: &b.dataset,
+                telescope: &tel_b,
+            },
+        );
         assert_eq!(r.years, (2021, 2020));
         assert!(r.regions_compared > 30);
         assert!(

@@ -6,6 +6,7 @@
 //! IPs have undergone a rigorous vetting process." Everything else is
 //! unknown — which in GreyNoise's 2022 data was 78% of actors.
 
+use cw_netsim::snap::{SnapError, SnapReader, SnapWriter};
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
@@ -67,6 +68,41 @@ impl ReputationDb {
         self.labels.is_empty()
     }
 
+    /// Iterate all labeled IPs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (Ipv4Addr, ActorLabel)> + '_ {
+        self.labels.iter().map(|(ip, l)| (*ip, *l))
+    }
+
+    /// Encode the label store into a snapshot payload. Only non-unknown
+    /// labels exist in the map, so the wire form is the full database.
+    pub fn snap_write(&self, w: &mut SnapWriter) {
+        w.put_u64(self.labels.len() as u64);
+        for (ip, label) in &self.labels {
+            w.put_u32(u32::from(*ip));
+            w.put_u8(match label {
+                ActorLabel::Benign => 0,
+                ActorLabel::Malicious => 1,
+                ActorLabel::Unknown => 2,
+            });
+        }
+    }
+
+    /// Decode a label store from a snapshot payload.
+    pub fn snap_read(r: &mut SnapReader<'_>) -> Result<ReputationDb, SnapError> {
+        let mut labels = BTreeMap::new();
+        for _ in 0..r.get_count()? {
+            let ip = Ipv4Addr::from(r.get_u32()?);
+            let label = match r.get_u8()? {
+                0 => ActorLabel::Benign,
+                1 => ActorLabel::Malicious,
+                2 => ActorLabel::Unknown,
+                _ => return Err(SnapError::Malformed("unknown reputation label tag")),
+            };
+            labels.insert(ip, label);
+        }
+        Ok(ReputationDb { labels })
+    }
+
     /// Count of labeled IPs per label.
     pub fn counts(&self) -> (usize, usize) {
         let benign = self
@@ -125,5 +161,37 @@ mod tests {
         db.observe_malicious(ip(3));
         assert_eq!(db.counts(), (1, 2));
         assert_eq!(db.len(), 3);
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let mut db = ReputationDb::new();
+        db.vet_benign(ip(1));
+        db.observe_malicious(ip(2));
+        db.observe_malicious(ip(3));
+        let mut w = SnapWriter::new();
+        db.snap_write(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = ReputationDb::snap_read(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back.counts(), db.counts());
+        assert_eq!(back.label(ip(1)), ActorLabel::Benign);
+        assert_eq!(back.label(ip(2)), ActorLabel::Malicious);
+        assert_eq!(back.label(ip(9)), ActorLabel::Unknown);
+        assert_eq!(back.iter().count(), 3);
+    }
+
+    #[test]
+    fn snapshot_rejects_unknown_tag() {
+        let mut w = SnapWriter::new();
+        w.put_u64(1);
+        w.put_u32(0x7F000001);
+        w.put_u8(9);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            ReputationDb::snap_read(&mut SnapReader::new(&bytes)),
+            Err(SnapError::Malformed(_))
+        ));
     }
 }

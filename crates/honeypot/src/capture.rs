@@ -24,6 +24,7 @@
 use cw_netsim::asn::Asn;
 use cw_netsim::flow::LoginService;
 use cw_netsim::intern::{CredId, Interner, PayloadId};
+use cw_netsim::snap::{SnapError, SnapReader, SnapWriter};
 use cw_netsim::time::SimTime;
 use std::cell::RefCell;
 use std::net::Ipv4Addr;
@@ -165,6 +166,103 @@ impl EventTable {
         self.dsts.extend_from_slice(&other.dsts);
         self.dst_ports.extend_from_slice(&other.dst_ports);
         self.observed.extend(other.observed.iter().map(|&o| f(o)));
+    }
+
+    /// Encode all rows into a snapshot payload, column by column (the
+    /// columnar layout is also the most compact wire form: each field is
+    /// a dense homogeneous run).
+    pub fn snap_write(&self, w: &mut SnapWriter) {
+        w.put_u64(self.len() as u64);
+        for t in &self.times {
+            w.put_u64(t.0);
+        }
+        for s in &self.srcs {
+            w.put_u32(u32::from(*s));
+        }
+        for a in &self.src_asns {
+            w.put_u32(a.0);
+        }
+        for d in &self.dsts {
+            w.put_u32(u32::from(*d));
+        }
+        for p in &self.dst_ports {
+            w.put_u16(*p);
+        }
+        for o in &self.observed {
+            match o {
+                Observed::Syn => w.put_u8(0),
+                Observed::Handshake => w.put_u8(1),
+                Observed::Payload(p) => {
+                    w.put_u8(2);
+                    w.put_u32(p.0);
+                }
+                Observed::Credentials {
+                    service,
+                    username,
+                    password,
+                } => {
+                    w.put_u8(3);
+                    w.put_u8(match service {
+                        LoginService::Ssh => 0,
+                        LoginService::Telnet => 1,
+                    });
+                    w.put_u32(username.0);
+                    w.put_u32(password.0);
+                }
+            }
+        }
+    }
+
+    /// Decode a table from a snapshot payload. Interned ids are copied
+    /// verbatim: they resolve against the interner snapshotted alongside
+    /// the table, whose insertion-order ids round-trip exactly.
+    pub fn snap_read(r: &mut SnapReader<'_>) -> Result<EventTable, SnapError> {
+        let n = r.get_count()?;
+        let mut t = EventTable {
+            times: Vec::with_capacity(n),
+            srcs: Vec::with_capacity(n),
+            src_asns: Vec::with_capacity(n),
+            dsts: Vec::with_capacity(n),
+            dst_ports: Vec::with_capacity(n),
+            observed: Vec::with_capacity(n),
+        };
+        for _ in 0..n {
+            t.times.push(SimTime(r.get_u64()?));
+        }
+        for _ in 0..n {
+            t.srcs.push(Ipv4Addr::from(r.get_u32()?));
+        }
+        for _ in 0..n {
+            t.src_asns.push(Asn(r.get_u32()?));
+        }
+        for _ in 0..n {
+            t.dsts.push(Ipv4Addr::from(r.get_u32()?));
+        }
+        for _ in 0..n {
+            t.dst_ports.push(r.get_u16()?);
+        }
+        for _ in 0..n {
+            let o = match r.get_u8()? {
+                0 => Observed::Syn,
+                1 => Observed::Handshake,
+                2 => Observed::Payload(PayloadId(r.get_u32()?)),
+                3 => {
+                    let service = match r.get_u8()? {
+                        0 => LoginService::Ssh,
+                        1 => LoginService::Telnet,
+                        _ => return Err(SnapError::Malformed("unknown login service tag")),
+                    };
+                    Observed::Credentials {
+                        service,
+                        username: CredId(r.get_u32()?),
+                        password: CredId(r.get_u32()?),
+                    }
+                }
+                _ => return Err(SnapError::Malformed("unknown observation tag")),
+            };
+            t.observed.push(o);
+        }
+        Ok(t)
     }
 }
 
@@ -335,6 +433,48 @@ mod tests {
         let pb = b.intern_payload(b"\x03probe");
         assert_eq!(pa, pb);
         assert_eq!(shared.borrow().payload_count(), 1);
+    }
+
+    #[test]
+    fn table_snapshot_round_trip() {
+        let mut t = EventTable::new();
+        t.push(ev(Ipv4Addr::new(10, 0, 0, 1), 22, Observed::Syn));
+        t.push(ev(Ipv4Addr::new(10, 0, 0, 2), 23, Observed::Handshake));
+        t.push(ev(Ipv4Addr::new(10, 0, 0, 3), 80, Observed::Payload(PayloadId(4))));
+        t.push(ev(
+            Ipv4Addr::new(10, 0, 0, 4),
+            2222,
+            Observed::Credentials {
+                service: LoginService::Ssh,
+                username: CredId(1),
+                password: CredId(9),
+            },
+        ));
+        let mut w = SnapWriter::new();
+        t.snap_write(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = EventTable::snap_read(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back.len(), t.len());
+        for i in 0..t.len() {
+            assert_eq!(back.get(i), t.get(i));
+        }
+    }
+
+    #[test]
+    fn table_snapshot_rejects_unknown_tag() {
+        let mut w = SnapWriter::new();
+        w.put_u64(1);
+        w.put_u64(0); // time
+        w.put_u32(0); // src
+        w.put_u32(0); // asn
+        w.put_u32(0); // dst
+        w.put_u16(0); // port
+        w.put_u8(9); // bogus observation tag
+        let bytes = w.into_bytes();
+        let err = EventTable::snap_read(&mut SnapReader::new(&bytes)).unwrap_err();
+        assert!(matches!(err, SnapError::Malformed(_)));
     }
 
     #[test]

@@ -18,11 +18,13 @@
 use cw_netsim::engine::{FlowOutcome, Listener};
 use cw_netsim::flow::Flow;
 use cw_netsim::ip::IpExt;
+use cw_netsim::snap::{SnapError, SnapReader, SnapWriter};
 use cw_netsim::topology::AddressBlock;
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
 /// A passive telescope over an address block.
+#[derive(Debug, Clone)]
 pub struct Telescope {
     name: String,
     block: AddressBlock,
@@ -129,6 +131,117 @@ impl Telescope {
             .iter()
             .map(|(asn, c)| (format!("AS{asn}"), *c))
             .collect()
+    }
+
+    /// Encode the analysis-relevant state into a snapshot payload.
+    ///
+    /// `seen_src_dst` is deliberately omitted: it exists only to dedupe
+    /// *during* collection (making `per_ip_counts` unique-scanner counts)
+    /// and no analysis reads it, so a restored telescope carries the
+    /// finished counts with empty dedup sets. Restored telescopes are
+    /// read-only analysis inputs, never live listeners.
+    pub fn snap_write(&self, w: &mut SnapWriter) {
+        w.put_str(&self.name);
+        self.block.snap_write(w);
+        w.put_u64(self.per_ip_counts.len() as u64);
+        for (port, counts) in &self.per_ip_counts {
+            w.put_u16(*port);
+            w.put_u64(counts.len() as u64);
+            for c in counts {
+                w.put_u32(*c);
+            }
+        }
+        w.put_u64(self.seen_src_port.len() as u64);
+        for (src, port) in &self.seen_src_port {
+            w.put_u32(*src);
+            w.put_u16(*port);
+        }
+        w.put_u64(self.unique_srcs.len() as u64);
+        for s in &self.unique_srcs {
+            w.put_u32(*s);
+        }
+        w.put_u64(self.unique_asns.len() as u64);
+        for a in &self.unique_asns {
+            w.put_u32(*a);
+        }
+        w.put_u64(self.asn_counts.len() as u64);
+        for (port, by_asn) in &self.asn_counts {
+            w.put_u16(*port);
+            w.put_u64(by_asn.len() as u64);
+            for (asn, count) in by_asn {
+                w.put_u32(*asn);
+                w.put_u64(*count);
+            }
+        }
+        w.put_u64(self.asn_counts_all.len() as u64);
+        for (asn, count) in &self.asn_counts_all {
+            w.put_u32(*asn);
+            w.put_u64(*count);
+        }
+        w.put_u64(self.total_packets);
+    }
+
+    /// Decode a telescope from a snapshot payload (see
+    /// [`Telescope::snap_write`] for what travels).
+    pub fn snap_read(r: &mut SnapReader<'_>) -> Result<Telescope, SnapError> {
+        let name = r.get_str()?.to_string();
+        let block = AddressBlock::snap_read(r)?;
+        let mut per_ip_counts = BTreeMap::new();
+        let mut seen_src_dst = BTreeMap::new();
+        for _ in 0..r.get_count()? {
+            let port = r.get_u16()?;
+            let n = r.get_count()?;
+            let mut counts = Vec::with_capacity(n);
+            for _ in 0..n {
+                counts.push(r.get_u32()?);
+            }
+            per_ip_counts.insert(port, counts);
+            seen_src_dst.insert(port, BTreeSet::new());
+        }
+        let mut seen_src_port = BTreeSet::new();
+        for _ in 0..r.get_count()? {
+            let src = r.get_u32()?;
+            let port = r.get_u16()?;
+            seen_src_port.insert((src, port));
+        }
+        let mut unique_srcs = BTreeSet::new();
+        for _ in 0..r.get_count()? {
+            unique_srcs.insert(r.get_u32()?);
+        }
+        let mut unique_asns = BTreeSet::new();
+        for _ in 0..r.get_count()? {
+            unique_asns.insert(r.get_u32()?);
+        }
+        let mut asn_counts = BTreeMap::new();
+        for _ in 0..r.get_count()? {
+            let port = r.get_u16()?;
+            let mut by_asn = BTreeMap::new();
+            for _ in 0..r.get_count()? {
+                let asn = r.get_u32()?;
+                let count = r.get_u64()?;
+                by_asn.insert(asn, count);
+            }
+            asn_counts.insert(port, by_asn);
+        }
+        let mut asn_counts_all = BTreeMap::new();
+        for _ in 0..r.get_count()? {
+            let asn = r.get_u32()?;
+            let count = r.get_u64()?;
+            asn_counts_all.insert(asn, count);
+        }
+        let total_packets = r.get_u64()?;
+        Ok(Telescope {
+            name,
+            block,
+            per_ip_counts,
+            seen_src_dst,
+            seen_src_port,
+            unique_srcs,
+            unique_asns,
+            asn_counts,
+            asn_counts_all,
+            total_packets,
+        })
     }
 }
 
@@ -245,6 +358,32 @@ mod tests {
         assert!(t.saw_source_on_port(Ipv4Addr::new(3, 3, 3, 3), 80));
         assert!(!t.saw_source_on_port(Ipv4Addr::new(3, 3, 3, 3), 22));
         assert_eq!(t.sources_on_port(80).len(), 1);
+    }
+
+    #[test]
+    fn telescope_snapshot_round_trips_analysis_state() {
+        let mut t = scope();
+        let dst = Ipv4Addr::new(10, 0, 0, 9);
+        t.on_flow(&flow(Ipv4Addr::new(1, 1, 1, 1), dst, 22));
+        t.on_flow(&flow(Ipv4Addr::new(2, 2, 2, 2), dst, 445));
+        t.on_flow(&flow(Ipv4Addr::new(3, 3, 3, 3), Ipv4Addr::new(10, 0, 0, 1), 80));
+        let mut w = SnapWriter::new();
+        t.snap_write(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = Telescope::snap_read(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back.name(), t.name());
+        assert_eq!(back.block(), t.block());
+        assert_eq!(back.total_packets(), 3);
+        assert_eq!(back.unique_source_count(), 3);
+        assert_eq!(back.unique_asn_count(), 1);
+        assert_eq!(back.unique_scanners_per_ip(22), t.unique_scanners_per_ip(22));
+        assert_eq!(back.unique_scanners_per_ip(445), t.unique_scanners_per_ip(445));
+        assert_eq!(back.sources_on_port(80), t.sources_on_port(80));
+        assert_eq!(back.asn_freqs_on_port(22), t.asn_freqs_on_port(22));
+        assert_eq!(back.asn_freqs_all(), t.asn_freqs_all());
+        assert!(back.saw_source_on_port(Ipv4Addr::new(3, 3, 3, 3), 80));
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! worker-thread count — the byte-identity contract of the fleet runner.
 
 use crate::rng::fnv1a;
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -167,6 +168,48 @@ impl Interner {
         self.creds.values.len()
     }
 
+    /// Encode the arena contents into a snapshot payload: both value
+    /// lists, in insertion order. The hash side tables are rebuilt on
+    /// load, so only the id-defining data travels.
+    pub fn snap_write(&self, w: &mut SnapWriter) {
+        w.put_u64(self.payloads.values.len() as u64);
+        for p in &self.payloads.values {
+            w.put_bytes(p);
+        }
+        w.put_u64(self.creds.values.len() as u64);
+        for c in &self.creds.values {
+            w.put_str(c);
+        }
+    }
+
+    /// Decode an interner from a snapshot payload.
+    ///
+    /// Values are re-interned in their recorded order, which reproduces
+    /// the original dense ids exactly (ids are a pure function of
+    /// insertion order — see the module docs). A snapshot listing the
+    /// same value twice would silently renumber everything after it, so
+    /// that case is rejected as [`SnapError::Malformed`].
+    pub fn snap_read(r: &mut SnapReader<'_>) -> Result<Interner, SnapError> {
+        let mut out = Interner::new();
+        let n_payloads = r.get_count()?;
+        for _ in 0..n_payloads {
+            let bytes = r.get_bytes()?;
+            out.intern_payload(bytes);
+        }
+        if out.payload_count() != n_payloads {
+            return Err(SnapError::Malformed("duplicate payload in interner snapshot"));
+        }
+        let n_creds = r.get_count()?;
+        for _ in 0..n_creds {
+            let s = r.get_str()?;
+            out.intern_cred(s);
+        }
+        if out.cred_count() != n_creds {
+            return Err(SnapError::Malformed("duplicate cred in interner snapshot"));
+        }
+        Ok(out)
+    }
+
     /// Absorb another interner's distinct values (in *its* insertion
     /// order) and return the old-id → new-id tables. This is the fleet
     /// merge step: apply the returned [`Remap`] to every event imported
@@ -300,5 +343,46 @@ mod tests {
         let r = Remap::identity();
         assert_eq!(r.payload(PayloadId(7)), PayloadId(7));
         assert_eq!(r.cred(CredId(3)), CredId(3));
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_ids() {
+        let mut i = Interner::new();
+        i.intern_payload(b"\x16\x03\x01");
+        i.intern_payload(b"");
+        i.intern_payload(b"GET / HTTP/1.1");
+        i.intern_cred("root");
+        i.intern_cred("123456");
+        let mut w = SnapWriter::new();
+        i.snap_write(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = Interner::snap_read(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back.payload_count(), 3);
+        assert_eq!(back.cred_count(), 2);
+        // Ids are positional, so equality of the ordered value lists is
+        // equality of every id assignment.
+        assert_eq!(back.payload(PayloadId(0)), b"\x16\x03\x01");
+        assert_eq!(back.payload(PayloadId(1)), b"");
+        assert_eq!(back.payload(PayloadId(2)), b"GET / HTTP/1.1");
+        assert_eq!(back.cred(CredId(0)), "root");
+        assert_eq!(back.cred(CredId(1)), "123456");
+        // And the rebuilt hash tables still dedupe correctly.
+        let mut back = back;
+        assert_eq!(back.intern_payload(b"GET / HTTP/1.1"), PayloadId(2));
+        assert_eq!(back.intern_cred("root"), CredId(0));
+    }
+
+    #[test]
+    fn snapshot_with_duplicate_value_is_rejected() {
+        let mut w = SnapWriter::new();
+        w.put_u64(2);
+        w.put_bytes(b"same");
+        w.put_bytes(b"same");
+        w.put_u64(0);
+        let bytes = w.into_bytes();
+        let err = Interner::snap_read(&mut SnapReader::new(&bytes)).unwrap_err();
+        assert!(matches!(err, SnapError::Malformed(_)));
     }
 }

@@ -24,7 +24,12 @@
 //! - [`topology`] — the simulated address plan (telescope /24s, cloud
 //!   blocks, education /26s);
 //! - [`engine`] — the discrete-event loop that wakes scanner agents and
-//!   routes their flows to registered listeners (honeypots, telescope).
+//!   routes their flows to registered listeners (honeypots, telescope);
+//! - [`sha256`] — a from-scratch FIPS 180-4 SHA-256 shared by the
+//!   snapshot cache and the golden-exhibit manifest in `cw-verify`;
+//! - [`snap`] — the little-endian binary snapshot codec plus the sealed
+//!   container format (magic, format version, payload, SHA-256 trailer)
+//!   that backs the simulate-once artifact cache.
 //!
 //! Everything above this crate — protocols, honeypots, scanners, analysis —
 //! treats these primitives as "the Internet".
@@ -46,6 +51,8 @@ pub mod intern;
 pub mod ip;
 pub mod pcap;
 pub mod rng;
+pub mod sha256;
+pub mod snap;
 pub mod time;
 pub mod topology;
 

@@ -1,10 +1,14 @@
-//! A minimal SHA-256 (FIPS 180-4) for content-hashing golden exhibits.
+//! A minimal SHA-256 (FIPS 180-4) shared by the snapshot cache and the
+//! golden-exhibit manifest.
 //!
-//! The workspace builds offline with no crates.io access, so the manifest
-//! hash is implemented here on `std` only. Correctness is pinned by the
-//! FIPS test vectors below; the golden-manifest gate additionally fails
-//! closed (any implementation drift changes every digest and trips the
-//! gate immediately).
+//! The workspace builds offline with no crates.io access, so the hash is
+//! implemented here on `std` only. Two consumers rely on it: the
+//! content-addressed simulation snapshots in [`crate::snap`] (cache keys
+//! and payload-integrity trailers) and the golden manifest in `cw-verify`
+//! (which re-exports this module). Correctness is pinned by the FIPS test
+//! vectors below; the golden-manifest gate additionally fails closed (any
+//! implementation drift changes every digest and trips the gate
+//! immediately).
 
 /// Round constants: the first 32 bits of the fractional parts of the cube
 /// roots of the first 64 primes.

@@ -6,6 +6,7 @@
 //! scannable space; the engine uses it for listener routing sanity checks.
 
 use crate::ip::Cidr;
+use crate::snap::{SnapError, SnapReader, SnapWriter};
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
@@ -66,6 +67,33 @@ impl AddressBlock {
     /// Iterate every address of the block.
     pub fn iter(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
         (0..self.size()).map(move |i| self.nth(i))
+    }
+
+    /// Encode the block (name + CIDRs in allocation order) into a
+    /// snapshot payload.
+    pub fn snap_write(&self, w: &mut SnapWriter) {
+        w.put_str(&self.name);
+        w.put_u64(self.cidrs.len() as u64);
+        for c in &self.cidrs {
+            w.put_u32(u32::from(c.base()));
+            w.put_u8(c.prefix());
+        }
+    }
+
+    /// Decode a block from a snapshot payload.
+    pub fn snap_read(r: &mut SnapReader<'_>) -> Result<AddressBlock, SnapError> {
+        let name = r.get_str()?.to_string();
+        let n = r.get_count()?;
+        let mut cidrs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let base = Ipv4Addr::from(r.get_u32()?);
+            let prefix = r.get_u8()?;
+            if prefix > 32 {
+                return Err(SnapError::Malformed("CIDR prefix > 32"));
+            }
+            cidrs.push(Cidr::new(base, prefix));
+        }
+        Ok(AddressBlock { name, cidrs })
     }
 }
 
@@ -138,6 +166,18 @@ mod tests {
 
     fn cidr(a: u8, b: u8, c: u8, d: u8, p: u8) -> Cidr {
         Cidr::new(Ipv4Addr::new(a, b, c, d), p)
+    }
+
+    #[test]
+    fn block_snapshot_round_trip() {
+        let b = AddressBlock::new("tel", vec![cidr(10, 0, 0, 0, 24), cidr(172, 16, 0, 0, 26)]);
+        let mut w = SnapWriter::new();
+        b.snap_write(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = AddressBlock::snap_read(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back, b);
     }
 
     #[test]

@@ -12,9 +12,10 @@
 //!    comparison machinery must stay quiet on label-permuted
 //!    (exchangeable) inputs, and the dataset pipeline must be invariant
 //!    under event-order permutation, merge association, and thread count.
-//! 3. [`golden`] — a content-hashed manifest ([`sha256`]) of the 25
-//!    `out/*.txt` exhibits with a `CW_BLESS=1` re-bless flow, so no
-//!    refactor changes a published byte unnoticed.
+//! 3. [`golden`] — a content-hashed manifest ([`sha256`], shared with the
+//!    snapshot cache via `cw_netsim`) of the 25 `out/*.txt` exhibits with
+//!    a `CW_BLESS=1` re-bless flow, so no refactor changes a published
+//!    byte unnoticed.
 //!
 //! The workspace test layer (`tests/` at the root) drives all three; see
 //! `docs/TESTING.md` for how the tiers fit together.
@@ -26,4 +27,4 @@ pub mod golden;
 pub mod metamorphic;
 pub mod nullcal;
 pub mod oracle;
-pub mod sha256;
+pub use cw_netsim::sha256;
