@@ -12,21 +12,31 @@
 //! (`snapshot_write_secs` / `snapshot_read_secs`) and a fully warm
 //! all-exhibits render (`all_cached_wall_secs` — every world served from
 //! `out/.cache`) are timed too, so the simulate-once speedup is recorded
-//! next to the simulation cost it replaces.
+//! next to the simulation cost it replaces. The `bench_query` phase times
+//! the query layer's shared column scan (the Tables 8+9 [`Batch`]) against
+//! hand-rolled independent sweeps producing identical sets, recording both
+//! as `query_rows_per_sec` / `handrolled_rows_per_sec`.
 
 use cw_bench::{parse_args, run_config};
 use cw_core::dataset::Dataset;
 use cw_core::exhibit::{self, ExhibitCx, ExhibitOptions};
 use cw_core::fleet;
+use cw_core::overlap::{cloud_ips, edu_ips, TABLE9_PORTS};
 use cw_core::scenario::ScenarioConfig;
-use cw_core::{snapshot, SimBundle};
+use cw_core::{snapshot, Batch, SimBundle};
+use cw_detection::Verdict;
 use cw_honeypot::deployment::Deployment;
+use cw_protocols::iana::POPULAR_PORTS;
 use cw_scanners::population::ScenarioYear;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
 use std::time::Instant;
 
 /// Repetitions of the dataset-build phase (the min is reported).
 const BUILD_REPS: usize = 5;
+
+/// Repetitions of the query-vs-hand-rolled microbenchmark.
+const QUERY_REPS: usize = 5;
 
 fn main() {
     let opts = parse_args();
@@ -78,6 +88,80 @@ fn main() {
     } else {
         distinct_payloads as f64 / payload_events as f64
     };
+
+    // Phase 2b: `bench_query` — the Tables 8+9 backbone through the query
+    // layer's shared scan versus hand-rolled independent sweeps. The
+    // [`Batch`] sweeps each fleet once for both plans (all-sources and
+    // attackers-only); the baseline runs one full column scan per
+    // (fleet, plan), the shape the retired `port_source_sets` sweeps had.
+    // Outputs are asserted identical; rows/sec divides the event rows the
+    // shared path enumerates (fleet-destined rows, each visited once) by
+    // each implementation's wall time, so the two throughputs compare the
+    // same job directly.
+    let cloud = cloud_ips(&s.deployment);
+    let edu = edu_ips(&s.deployment);
+    let run_query = || -> Vec<BTreeMap<u16, BTreeSet<Ipv4Addr>>> {
+        let mut out = Batch::at(&s.dataset, &cloud)
+            .plan(s.dataset.query(), &POPULAR_PORTS)
+            .plan(s.dataset.query().malicious(), &TABLE9_PORTS)
+            .distinct_srcs();
+        out.extend(
+            Batch::at(&s.dataset, &edu)
+                .plan(s.dataset.query(), &POPULAR_PORTS)
+                .plan(s.dataset.query().malicious(), &[80, 8080])
+                .distinct_srcs(),
+        );
+        out
+    };
+    let hand_rolled = |ips: &[Ipv4Addr],
+                       ports: &[u16],
+                       malicious: bool|
+     -> BTreeMap<u16, BTreeSet<Ipv4Addr>> {
+        let fleet: BTreeSet<Ipv4Addr> = ips.iter().copied().collect();
+        let table = s.dataset.table();
+        let verdicts = s.dataset.verdicts();
+        let mut sets: BTreeMap<u16, BTreeSet<Ipv4Addr>> =
+            ports.iter().map(|&p| (p, BTreeSet::new())).collect();
+        for (i, &dst) in table.dsts().iter().enumerate() {
+            if !fleet.contains(&dst) {
+                continue;
+            }
+            if malicious && verdicts[i] != Verdict::Attacker {
+                continue;
+            }
+            if let Some(set) = sets.get_mut(&table.dst_ports()[i]) {
+                set.insert(table.srcs()[i]);
+            }
+        }
+        sets
+    };
+    let run_hand_rolled = || -> Vec<BTreeMap<u16, BTreeSet<Ipv4Addr>>> {
+        vec![
+            hand_rolled(&cloud, &POPULAR_PORTS, false),
+            hand_rolled(&cloud, &TABLE9_PORTS, true),
+            hand_rolled(&edu, &POPULAR_PORTS, false),
+            hand_rolled(&edu, &[80, 8080], true),
+        ]
+    };
+    assert_eq!(run_query(), run_hand_rolled(), "query layer drifted");
+    let job_rows = (s.dataset.query().at(&cloud).count()
+        + s.dataset.query().at(&edu).count()) as f64;
+    let mut query_secs = f64::INFINITY;
+    let mut hand_secs = f64::INFINITY;
+    for _ in 0..QUERY_REPS {
+        let t = Instant::now();
+        std::hint::black_box(run_query());
+        query_secs = query_secs.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        std::hint::black_box(run_hand_rolled());
+        hand_secs = hand_secs.min(t.elapsed().as_secs_f64());
+    }
+    let query_rows_per_sec = job_rows / query_secs;
+    let handrolled_rows_per_sec = job_rows / hand_secs;
+    eprintln!(
+        "[bench] query shared scan: {query_rows_per_sec:.0} rows/s vs hand-rolled \
+         {handrolled_rows_per_sec:.0} rows/s over {job_rows:.0} fleet rows"
+    );
 
     // Phase 3: snapshot-cache round trip on the world just simulated.
     let bundle = s.into_bundle();
@@ -163,6 +247,8 @@ fn main() {
             "  \"classification_events_per_sec\": {:.1},\n",
             "  \"snapshot_write_secs\": {:.4},\n",
             "  \"snapshot_read_secs\": {:.4},\n",
+            "  \"query_rows_per_sec\": {:.1},\n",
+            "  \"handrolled_rows_per_sec\": {:.1},\n",
             "  \"all_cached_wall_secs\": {:.4},\n",
             "  \"hardware_threads\": {},\n",
             "  \"fleet\": [{}]\n",
@@ -180,6 +266,8 @@ fn main() {
         events_per_sec,
         snapshot_write_secs,
         snapshot_read_secs,
+        query_rows_per_sec,
+        handrolled_rows_per_sec,
         all_cached_wall_secs,
         hardware_threads,
         fleet_runs

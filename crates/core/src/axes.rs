@@ -10,7 +10,10 @@
 //! keys, no string construction in the per-event loop); display strings —
 //! including the §3.3 payload normalization (Date/Host/Content-Length
 //! stripped) — are resolved once per *distinct* id when the final map is
-//! assembled.
+//! assembled. These extractors sit on the render side of the id↔string
+//! boundary documented in `docs/QUERY.md`; when the event group is
+//! expressible as a query, [`crate::query::Query::char_freqs`] reaches
+//! them without materializing the intermediate event vector.
 
 use crate::dataset::ClassifiedEvent;
 use cw_detection::Verdict;

@@ -42,6 +42,11 @@ impl CharKind {
     }
 
     /// Extract this characteristic's frequency map from one group.
+    ///
+    /// When the group is definable as a query, prefer
+    /// [`crate::query::Query::char_freqs`], which folds over the interned
+    /// ID columns without materializing `ClassifiedEvent`s and resolves
+    /// each distinct ID to its string exactly once.
     pub fn freqs(&self, events: &[ClassifiedEvent<'_>]) -> BTreeMap<String, u64> {
         match self {
             CharKind::TopAs => axes::as_freqs(events),

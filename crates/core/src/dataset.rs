@@ -3,7 +3,9 @@
 //! A [`Dataset`] flattens all honeypot captures into one columnar
 //! [`EventTable`], attaches vantage metadata, pre-classifies every event
 //! with the vetted ruleset (§3.2), and exposes the §3.3 traffic slices.
-//! It also writes the released dataset as CSV/JSONL/pcap.
+//! It also writes the released dataset as CSV/JSONL/pcap. Analyses sweep
+//! it through the typed query layer ([`Dataset::query`], [`crate::query`]):
+//! the sweep shorthands on this type are thin query expressions.
 //!
 //! # Interned, memoized classification
 //!
@@ -277,6 +279,31 @@ impl Dataset {
         &self.table
     }
 
+    /// The §3.2 verdict column (parallel to the event table's rows).
+    pub fn verdicts(&self) -> &[Verdict] {
+        &self.verdicts
+    }
+
+    /// The LZR fingerprint column (parallel to the event table's rows).
+    pub fn fingerprints(&self) -> &[Option<ProtocolId>] {
+        &self.fingerprints
+    }
+
+    /// Row indices destined to `ip`, in capture order — the pushdown index
+    /// behind [`crate::query::Query::at`].
+    pub(crate) fn dst_index(&self, ip: Ipv4Addr) -> Option<&[usize]> {
+        self.by_dst.get(&ip).map(|v| v.as_slice())
+    }
+
+    /// Start a typed query over this dataset (see [`crate::query`]).
+    ///
+    /// The sweep helpers below ([`Dataset::events_at_in`],
+    /// [`Dataset::sources_on_port`], [`Dataset::port_source_sets`], …) are
+    /// retained as shorthands and are themselves thin query expressions.
+    pub fn query(&self) -> crate::query::Query<'_> {
+        crate::query::Query::over(self)
+    }
+
     /// Event `i` with its classification.
     pub fn event(&self, i: usize) -> ClassifiedEvent<'_> {
         ClassifiedEvent {
@@ -294,31 +321,22 @@ impl Dataset {
 
     /// Events destined to one vantage IP.
     pub fn events_at(&self, ip: Ipv4Addr) -> Vec<ClassifiedEvent<'_>> {
-        self.by_dst
-            .get(&ip)
-            .map(|idxs| idxs.iter().map(|&i| self.event(i)).collect())
-            .unwrap_or_default()
+        self.query().at(&[ip]).classified()
     }
 
     /// Events at one vantage IP within a slice.
     pub fn events_at_in(&self, ip: Ipv4Addr, slice: TrafficSlice) -> Vec<ClassifiedEvent<'_>> {
-        self.events_at(ip)
-            .into_iter()
-            .filter(|e| e.in_slice(slice))
-            .collect()
+        self.query().at(&[ip]).slice(slice).classified()
     }
 
-    /// Events pooled across a set of vantage IPs within a slice.
+    /// Events pooled across a set of vantage IPs within a slice
+    /// (enumerated per IP, in the order given).
     pub fn events_at_group(
         &self,
         ips: &[Ipv4Addr],
         slice: TrafficSlice,
     ) -> Vec<ClassifiedEvent<'_>> {
-        let mut out = Vec::new();
-        for &ip in ips {
-            out.extend(self.events_at_in(ip, slice));
-        }
-        out
+        self.query().at(ips).slice(slice).classified()
     }
 
     /// Vantage metadata for an observed IP.
@@ -328,15 +346,7 @@ impl Dataset {
 
     /// Distinct source IPs seen on one port across a set of vantages.
     pub fn sources_on_port(&self, ips: &[Ipv4Addr], port: u16) -> std::collections::BTreeSet<Ipv4Addr> {
-        let mut out = std::collections::BTreeSet::new();
-        for &ip in ips {
-            for e in self.events_at(ip) {
-                if e.event.dst_port == port {
-                    out.insert(e.event.src);
-                }
-            }
-        }
-        out
+        self.query().at(ips).port(port).distinct_srcs()
     }
 
     /// Distinct *attacker* source IPs (≥1 malicious event) on one port.
@@ -345,56 +355,33 @@ impl Dataset {
         ips: &[Ipv4Addr],
         port: u16,
     ) -> std::collections::BTreeSet<Ipv4Addr> {
-        let mut out = std::collections::BTreeSet::new();
-        for &ip in ips {
-            for e in self.events_at(ip) {
-                if e.event.dst_port == port && e.verdict == Verdict::Attacker {
-                    out.insert(e.event.src);
-                }
-            }
-        }
-        out
+        self.query().at(ips).port(port).malicious().distinct_srcs()
     }
 
     /// Distinct source IPs per destination port across a vantage set, for
     /// a fixed port list, in one sweep. Tables 8/9 ask for ~10 ports over
     /// the same 440-vantage fleet; per-port [`Self::sources_on_port`]
-    /// calls would rescan the same rows once per port.
+    /// calls would rescan the same rows once per port. (Tables that also
+    /// coincide on the vantage set share one scan via
+    /// [`crate::query::Batch`].)
     pub fn port_source_sets(
         &self,
         ips: &[Ipv4Addr],
         ports: &[u16],
         malicious_only: bool,
     ) -> std::collections::BTreeMap<u16, std::collections::BTreeSet<Ipv4Addr>> {
-        let mut out: std::collections::BTreeMap<u16, std::collections::BTreeSet<Ipv4Addr>> =
-            ports.iter().map(|&p| (p, Default::default())).collect();
-        for &ip in ips {
-            let Some(idxs) = self.by_dst.get(&ip) else { continue };
-            for &i in idxs {
-                if malicious_only && self.verdicts[i] != Verdict::Attacker {
-                    continue;
-                }
-                let e = self.table.get(i);
-                if let Some(set) = out.get_mut(&e.dst_port) {
-                    set.insert(e.src);
-                }
-            }
-        }
-        out
+        let q = if malicious_only {
+            self.query().malicious()
+        } else {
+            self.query()
+        };
+        q.at(ips).group_by_port().keys(ports).distinct_srcs()
     }
 
     /// Distinct (source IP, source AS) pairs across a set of vantages —
     /// Table 1's unique-scanner columns.
     pub fn unique_sources(&self, ips: &[Ipv4Addr]) -> (usize, usize) {
-        let mut srcs = std::collections::BTreeSet::new();
-        let mut asns = std::collections::BTreeSet::new();
-        for &ip in ips {
-            for e in self.events_at(ip) {
-                srcs.insert(e.event.src);
-                asns.insert(e.event.src_asn.0);
-            }
-        }
-        (srcs.len(), asns.len())
+        self.query().at(ips).unique_src_and_asn()
     }
 
     /// Encode the dataset into a snapshot payload: the interner, the

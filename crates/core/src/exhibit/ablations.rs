@@ -61,7 +61,11 @@ impl Exhibit for AblationMedian {
             let per: Vec<BTreeMap<String, u64>> = ips
                 .iter()
                 .map(|&ip| {
-                    CharKind::TopAs.freqs(&s.dataset.events_at_in(ip, TrafficSlice::SshPort22))
+                    s.dataset
+                        .query()
+                        .at(&[ip])
+                        .slice(TrafficSlice::SshPort22)
+                        .char_freqs(CharKind::TopAs)
                 })
                 .collect();
             if use_median {
@@ -110,8 +114,11 @@ impl Exhibit for AblationMedian {
             .1
             .iter()
             .map(|&ip| {
-                *CharKind::TopAs
-                    .freqs(&s.dataset.events_at_in(ip, TrafficSlice::SshPort22))
+                *s.dataset
+                    .query()
+                    .at(&[ip])
+                    .slice(TrafficSlice::SshPort22)
+                    .char_freqs(CharKind::TopAs)
                     .get("AS6503")
                     .unwrap_or(&0)
             })
@@ -179,7 +186,11 @@ impl Exhibit for AblationTopk {
                 let groups: Vec<BTreeMap<String, u64>> = ips
                     .iter()
                     .map(|&ip| {
-                        CharKind::TopAs.freqs(&s.dataset.events_at_in(ip, TrafficSlice::SshPort22))
+                        s.dataset
+                            .query()
+                            .at(&[ip])
+                            .slice(TrafficSlice::SshPort22)
+                            .char_freqs(CharKind::TopAs)
                     })
                     .collect();
                 if groups.iter().any(|g| g.values().sum::<u64>() < 8) {
@@ -270,7 +281,7 @@ impl Exhibit for AblationBonferroni {
                 // live on 2 of the 4 GreyNoise IPs per region).
                 let groups: Vec<BTreeMap<String, u64>> = ips
                     .iter()
-                    .map(|&ip| kind.freqs(&s.dataset.events_at_in(ip, slice)))
+                    .map(|&ip| s.dataset.query().at(&[ip]).slice(slice).char_freqs(kind))
                     .filter(|g| g.values().sum::<u64>() >= 8)
                     .collect();
                 if groups.len() < 2 {

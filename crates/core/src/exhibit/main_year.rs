@@ -77,7 +77,9 @@ impl Exhibit for Table1 {
             regions.sort();
             regions.dedup();
             let ips: Vec<_> = vantages.iter().map(|v| v.ip).collect();
-            let (srcs, asns) = s.dataset.unique_sources(&ips);
+            // One query per fleet row: dst pushdown, two distinct-counts
+            // in a single pass.
+            let (srcs, asns) = s.dataset.query().at(&ips).unique_src_and_asn();
             t.row(vec![
                 name.to_string(),
                 format!("{collector:?}"),

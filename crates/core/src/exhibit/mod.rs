@@ -96,8 +96,7 @@ impl ExhibitOptions {
 struct YearMemo {
     table2: OnceLock<Vec<NeighborhoodRow>>,
     table4: OnceLock<Vec<crate::geography::MostDifferentRegion>>,
-    table8: OnceLock<Vec<OverlapRow>>,
-    table9: OnceLock<Vec<MaliciousOverlapRow>>,
+    overlap: OnceLock<(Vec<OverlapRow>, Vec<MaliciousOverlapRow>)>,
     breakdown80: OnceLock<(Vec<ProtocolBreakdownRow>, Vec<UnexpectedShare>)>,
     breakdown8080: OnceLock<(Vec<ProtocolBreakdownRow>, Vec<UnexpectedShare>)>,
     composition: OnceLock<CompositionStats>,
@@ -158,20 +157,25 @@ impl<'a> ExhibitCx<'a> {
             .get_or_init(|| crate::geography::table4(&s.dataset, &Deployment::standard()))
     }
 
+    /// `need`'s Tables 8 *and* 9, computed together once per bundle: both
+    /// tables group by destination port over the same two fleets, so
+    /// [`crate::overlap::table8_and_9`] derives them from one shared
+    /// [`crate::query::Batch`] scan per fleet.
+    fn overlap_rows(&self, need: Need) -> &(Vec<OverlapRow>, Vec<MaliciousOverlapRow>) {
+        let (s, m) = self.memo(need);
+        m.overlap.get_or_init(|| {
+            crate::overlap::table8_and_9(&s.dataset, &Deployment::standard(), &s.telescope)
+        })
+    }
+
     /// `need`'s Table 8 telescope-overlap rows (computed once per bundle).
     pub fn table8_rows(&self, need: Need) -> &[OverlapRow] {
-        let (s, m) = self.memo(need);
-        m.table8.get_or_init(|| {
-            crate::overlap::table8(&s.dataset, &Deployment::standard(), &s.telescope)
-        })
+        &self.overlap_rows(need).0
     }
 
     /// `need`'s Table 9 attacker-overlap rows (computed once per bundle).
     pub fn table9_rows(&self, need: Need) -> &[MaliciousOverlapRow] {
-        let (s, m) = self.memo(need);
-        m.table9.get_or_init(|| {
-            crate::overlap::table9(&s.dataset, &Deployment::standard(), &s.telescope)
-        })
+        &self.overlap_rows(need).1
     }
 
     /// `need`'s Table 11 protocol breakdown for `port` (80 or 8080 only —

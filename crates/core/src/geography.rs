@@ -48,7 +48,7 @@ pub fn region_freqs(
 ) -> BTreeMap<String, u64> {
     let per_honeypot: Vec<BTreeMap<String, u64>> = ips
         .iter()
-        .map(|&ip| kind.freqs(&dataset.events_at_in(ip, slice)))
+        .map(|&ip| dataset.query().at(&[ip]).slice(slice).char_freqs(kind))
         .collect();
     median_freqs(&per_honeypot)
 }
@@ -302,8 +302,11 @@ mod tests {
             .1
             .iter()
             .map(|&ip| {
-                *CharKind::TopAs
-                    .freqs(&s.dataset.events_at_in(ip, TrafficSlice::SshPort22))
+                *s.dataset
+                    .query()
+                    .at(&[ip])
+                    .slice(TrafficSlice::SshPort22)
+                    .char_freqs(CharKind::TopAs)
                     .get("AS6503")
                     .unwrap_or(&0)
             })

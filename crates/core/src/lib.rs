@@ -9,6 +9,9 @@
 //! - [`dataset`] — the queryable event store, traffic slices
 //!   (SSH/22, Telnet/23, HTTP/80, HTTP/All-Ports), and CSV/JSONL export
 //!   (the "released dataset");
+//! - [`query`] — the typed filter → group → aggregate builder over the
+//!   columnar store: predicates push down onto the `Copy` ID columns and
+//!   string resolution stays at the render boundary (`docs/QUERY.md`);
 //! - [`axes`] — who / what / why extraction: top ASes, top usernames and
 //!   passwords, top normalized payloads, fraction malicious;
 //! - [`compare`] — the §3.3 comparison procedure: top-3 union contingency
@@ -51,6 +54,7 @@ pub mod neighborhood;
 pub mod network;
 pub mod overlap;
 pub mod ports;
+pub mod query;
 pub mod recommendations;
 pub mod report;
 pub mod scenario;
@@ -60,4 +64,12 @@ pub mod temporal;
 pub use bundle::SimBundle;
 pub use compare::{CharKind, GroupComparison};
 pub use dataset::{Dataset, TrafficSlice};
+pub use query::{Batch, Query};
 pub use scenario::{Scenario, ScenarioConfig};
+
+/// `docs/QUERY.md` compiled as doctests: every `rust` block in the query
+/// guide is built and run by `cargo test --doc`, so the guide cannot
+/// drift from the API it documents.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/QUERY.md")]
+pub struct QueryGuideDoctests;

@@ -99,9 +99,10 @@ pub fn analyze_cell(
         if ips.len() < 2 {
             continue;
         }
+        // One query per honeypot: destination pushdown + slice filter.
         let groups: Vec<Vec<crate::dataset::ClassifiedEvent<'_>>> = ips
             .iter()
-            .map(|&ip| dataset.events_at_in(ip, slice))
+            .map(|&ip| dataset.query().at(&[ip]).slice(slice).classified())
             .collect();
         if groups.iter().all(|g| g.len() >= MIN_EVENTS_PER_GROUP) {
             groups_per_hood.push(groups);

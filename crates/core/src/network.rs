@@ -158,10 +158,17 @@ pub fn honeytrap_pair(
     if matches!(kind, CharKind::TopUsername | CharKind::TopPassword) {
         return None; // Honeytrap never observes credentials.
     }
-    let a = dataset.events_at_group(&honeytrap_fleet_ips(deployment, fleet_a), slice);
-    let b = dataset.events_at_group(&honeytrap_fleet_ips(deployment, fleet_b), slice);
-    let fa = kind.freqs(&a);
-    let fb = kind.freqs(&b);
+    // One query per fleet: push the fleet down, slice, fold by interned id.
+    let fa = dataset
+        .query()
+        .at(&honeytrap_fleet_ips(deployment, fleet_a))
+        .slice(slice)
+        .char_freqs(kind);
+    let fb = dataset
+        .query()
+        .at(&honeytrap_fleet_ips(deployment, fleet_b))
+        .slice(slice)
+        .char_freqs(kind);
     compare_freqs(kind, &[fa, fb], alpha, family)
 }
 
@@ -245,8 +252,7 @@ pub fn telescope_vs_fleet(
     } else {
         ips
     };
-    let events = dataset.events_at_group(&ips, slice);
-    let fleet_freqs = CharKind::TopAs.freqs(&events);
+    let fleet_freqs = dataset.query().at(&ips).slice(slice).char_freqs(CharKind::TopAs);
     compare_freqs(CharKind::TopAs, &[tel_freqs, fleet_freqs], alpha, family)
 }
 

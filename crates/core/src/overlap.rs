@@ -7,6 +7,7 @@
 //! §3.2-malicious event).
 
 use crate::dataset::Dataset;
+use crate::query::Batch;
 use cw_honeypot::deployment::{CollectorKind, Deployment, NetworkKind};
 use cw_honeypot::telescope::Telescope;
 use cw_protocols::iana::POPULAR_PORTS;
@@ -82,22 +83,39 @@ fn set_overlap(a: &BTreeSet<Ipv4Addr>, b: &BTreeSet<Ipv4Addr>) -> Option<f64> {
     Some(100.0 * hits as f64 / a.len() as f64)
 }
 
-/// Table 8 over the paper's 10 popular ports.
-pub fn table8(
+/// Table 9's port list.
+pub const TABLE9_PORTS: [u16; 6] = [23, 2323, 80, 8080, 2222, 22];
+
+/// Tables 8 and 9 from **two shared column scans** (one per fleet).
+///
+/// Both tables group by destination port over the same cloud and education
+/// fleets — Table 8 over all sources, Table 9 over attacker sources only —
+/// so each fleet is swept once by a [`Batch`] whose two plans differ only
+/// in their residual verdict predicate. Four independent
+/// `port_source_sets` sweeps collapse to two passes with byte-identical
+/// sets.
+pub fn table8_and_9(
     dataset: &Dataset,
     deployment: &Deployment,
     telescope: &Telescope,
-) -> Vec<OverlapRow> {
+) -> (Vec<OverlapRow>, Vec<MaliciousOverlapRow>) {
     let cloud = cloud_ips(deployment);
     let edu = edu_ips(deployment);
-    // One sweep per fleet for all ports, not one per (fleet, port).
-    let cloud_sets = dataset.port_source_sets(&cloud, &POPULAR_PORTS, false);
-    let edu_sets = dataset.port_source_sets(&edu, &POPULAR_PORTS, false);
-    POPULAR_PORTS
+    let cloud_sets = Batch::at(dataset, &cloud)
+        .plan(dataset.query(), &POPULAR_PORTS)
+        .plan(dataset.query().malicious(), &TABLE9_PORTS)
+        .distinct_srcs();
+    // Honeytrap can only verify maliciousness from payloads: on the
+    // credential ports the Table 9 EDU column is the paper's ×.
+    let edu_sets = Batch::at(dataset, &edu)
+        .plan(dataset.query(), &POPULAR_PORTS)
+        .plan(dataset.query().malicious(), &[80, 8080])
+        .distinct_srcs();
+    let rows8 = POPULAR_PORTS
         .iter()
         .map(|&port| {
-            let cloud_srcs = &cloud_sets[&port];
-            let edu_srcs = &edu_sets[&port];
+            let cloud_srcs = &cloud_sets[0][&port];
+            let edu_srcs = &edu_sets[0][&port];
             OverlapRow {
                 port,
                 tel_cloud: overlap_fraction(cloud_srcs, telescope, port),
@@ -105,11 +123,33 @@ pub fn table8(
                 cloud_edu: set_overlap(cloud_srcs, edu_srcs),
             }
         })
-        .collect()
+        .collect();
+    let rows9 = TABLE9_PORTS
+        .iter()
+        .map(|&port| {
+            let edu_col = if matches!(port, 80 | 8080) {
+                overlap_fraction(&edu_sets[1][&port], telescope, port)
+            } else {
+                None
+            };
+            MaliciousOverlapRow {
+                port,
+                tel_cloud: overlap_fraction(&cloud_sets[1][&port], telescope, port),
+                tel_edu: edu_col,
+            }
+        })
+        .collect();
+    (rows8, rows9)
 }
 
-/// Table 9's port list.
-pub const TABLE9_PORTS: [u16; 6] = [23, 2323, 80, 8080, 2222, 22];
+/// Table 8 over the paper's 10 popular ports.
+pub fn table8(
+    dataset: &Dataset,
+    deployment: &Deployment,
+    telescope: &Telescope,
+) -> Vec<OverlapRow> {
+    table8_and_9(dataset, deployment, telescope).0
+}
 
 /// Table 9: attacker-IP overlap with the telescope.
 pub fn table9(
@@ -117,27 +157,7 @@ pub fn table9(
     deployment: &Deployment,
     telescope: &Telescope,
 ) -> Vec<MaliciousOverlapRow> {
-    let cloud = cloud_ips(deployment);
-    let edu = edu_ips(deployment);
-    let cloud_sets = dataset.port_source_sets(&cloud, &TABLE9_PORTS, true);
-    // Honeytrap can only verify maliciousness from payloads: on the
-    // credential ports the EDU column is the paper's ×.
-    let edu_sets = dataset.port_source_sets(&edu, &[80, 8080], true);
-    TABLE9_PORTS
-        .iter()
-        .map(|&port| {
-            let edu_col = if matches!(port, 80 | 8080) {
-                overlap_fraction(&edu_sets[&port], telescope, port)
-            } else {
-                None
-            };
-            MaliciousOverlapRow {
-                port,
-                tel_cloud: overlap_fraction(&cloud_sets[&port], telescope, port),
-                tel_edu: edu_col,
-            }
-        })
-        .collect()
+    table8_and_9(dataset, deployment, telescope).1
 }
 
 #[cfg(test)]

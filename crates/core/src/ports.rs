@@ -8,6 +8,7 @@
 
 use crate::dataset::{Dataset, TrafficSlice};
 use crate::network::honeytrap_fleet_ips;
+use crate::query::ObsKind;
 use cw_detection::{ActorLabel, ReputationDb, Verdict};
 use cw_honeypot::capture::Observed;
 use cw_honeypot::deployment::Deployment;
@@ -57,24 +58,19 @@ pub fn section6_fleets(deployment: &Deployment) -> Vec<Ipv4Addr> {
 
 /// Fingerprint scanners on one port: maps each source IP to the protocol it
 /// spoke (a source speaking several counts under each; the paper counts
-/// scanners, and multi-protocol sources are rare).
+/// scanners, and multi-protocol sources are rare). One grouped query:
+/// filter to the port, group by fingerprint, collect distinct sources.
 fn scanners_by_protocol(
     dataset: &Dataset,
     ips: &[Ipv4Addr],
     port: u16,
 ) -> BTreeMap<ProtocolId, BTreeSet<Ipv4Addr>> {
-    let mut out: BTreeMap<ProtocolId, BTreeSet<Ipv4Addr>> = BTreeMap::new();
-    for &ip in ips {
-        for e in dataset.events_at(ip) {
-            if e.event.dst_port != port {
-                continue;
-            }
-            if let Some(proto) = e.fingerprint {
-                out.entry(proto).or_default().insert(e.event.src);
-            }
-        }
-    }
-    out
+    dataset
+        .query()
+        .at(ips)
+        .port(port)
+        .group_by_fingerprint()
+        .distinct_srcs()
 }
 
 /// Table 11 (and Table 17's left column) for one port.
@@ -168,48 +164,48 @@ pub fn composition_stats(dataset: &Dataset, deployment: &Deployment) -> Composit
         .collect();
 
     let pct_non_auth = |slice: TrafficSlice| -> f64 {
-        let events = dataset.events_at_group(&greynoise, slice);
-        if events.is_empty() {
+        let total = dataset.query().at(&greynoise).slice(slice).count();
+        if total == 0 {
             return 0.0;
         }
-        let non_auth = events
-            .iter()
-            .filter(|e| !matches!(e.event.observed, Observed::Credentials { .. }))
+        let non_auth = dataset
+            .query()
+            .at(&greynoise)
+            .slice(slice)
+            .not_kind(ObsKind::Credentials)
             .count();
-        100.0 * non_auth as f64 / events.len() as f64
+        100.0 * non_auth as f64 / total as f64
     };
 
-    let http80 = dataset.events_at_group(&greynoise, TrafficSlice::HttpPort80);
-    let payloads: Vec<_> = http80
-        .iter()
-        .filter(|e| matches!(e.event.observed, Observed::Payload(_)))
-        .collect();
-    let benign = payloads
-        .iter()
-        .filter(|e| e.verdict == Verdict::Scanner)
-        .count();
-    let http80_benign_pct = if payloads.is_empty() {
+    let http80_payloads = dataset
+        .query()
+        .at(&greynoise)
+        .slice(TrafficSlice::HttpPort80)
+        .kind(ObsKind::Payload);
+    let payloads = http80_payloads.count();
+    let benign = http80_payloads.clone().verdict(Verdict::Scanner).count();
+    let http80_benign_pct = if payloads == 0 {
         0.0
     } else {
-        100.0 * benign as f64 / payloads.len() as f64
+        100.0 * benign as f64 / payloads as f64
     };
 
     // Distinct normalized HTTP payloads anywhere, labeled by the ruleset.
     // Interned ids make the dedup cheap: normalization and key rendering
-    // run once per distinct payload id, not once per event.
+    // run once per distinct payload id, not once per event. The query
+    // yields rows in table order, so the first (id, port) pair per
+    // normalized key is the first one ever captured — order-sensitive.
     let rules = cw_detection::RuleSet::builtin_cached();
     let interner = dataset.interner();
     let mut seen_ids: std::collections::HashSet<cw_netsim::intern::PayloadId> =
         std::collections::HashSet::new();
     let mut distinct: BTreeMap<String, (cw_netsim::intern::PayloadId, u16)> = BTreeMap::new();
-    for e in dataset.events() {
-        if e.fingerprint == Some(ProtocolId::Http) {
-            if let Observed::Payload(p) = e.event.observed {
-                if seen_ids.insert(p) {
-                    let normalized = cw_protocols::http::normalize(interner.payload(p));
-                    let key = crate::axes::payload_key(&normalized);
-                    distinct.entry(key).or_insert((p, e.event.dst_port));
-                }
+    for i in dataset.query().fingerprint(ProtocolId::Http).indices() {
+        if let Observed::Payload(p) = dataset.table().observed()[i] {
+            if seen_ids.insert(p) {
+                let normalized = cw_protocols::http::normalize(interner.payload(p));
+                let key = crate::axes::payload_key(&normalized);
+                distinct.entry(key).or_insert((p, dataset.table().dst_ports()[i]));
             }
         }
     }

@@ -86,10 +86,12 @@ pub fn stability_with(
             .map(|v| v.ip)
             .collect();
         let tops = |d: &Dataset| -> BTreeSet<String> {
-            let events = d.events_at_group(&ips, TrafficSlice::TelnetPort23);
-            top_k_of(&CharKind::TopAs.freqs(&events), 3)
-                .into_iter()
-                .collect()
+            let freqs = d
+                .query()
+                .at(&ips)
+                .slice(TrafficSlice::TelnetPort23)
+                .char_freqs(CharKind::TopAs);
+            top_k_of(&freqs, 3).into_iter().collect()
         };
         let ta = tops(a.dataset);
         let tb = tops(b.dataset);

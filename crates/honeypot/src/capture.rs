@@ -140,6 +140,21 @@ impl EventTable {
         (0..self.len()).map(move |i| self.get(i))
     }
 
+    /// The arrival-time column (dense; one entry per row).
+    pub fn times(&self) -> &[SimTime] {
+        &self.times
+    }
+
+    /// The source-address column.
+    pub fn srcs(&self) -> &[Ipv4Addr] {
+        &self.srcs
+    }
+
+    /// The source-AS column.
+    pub fn src_asns(&self) -> &[Asn] {
+        &self.src_asns
+    }
+
     /// The destination-address column (dense; one entry per row).
     pub fn dsts(&self) -> &[Ipv4Addr] {
         &self.dsts

@@ -29,10 +29,15 @@ fn main() {
         .filter(|v| v.id.starts_with("greynoise/aws/AP-SG"))
         .map(|v| v.ip)
         .collect();
-    let events = scenario
+    // Questions about the dataset are query expressions (docs/QUERY.md):
+    // predicates run on the interned ID columns, strings appear only in
+    // the rendered answer.
+    let sg_ssh = scenario
         .dataset
-        .events_at_group(&sg_ips, TrafficSlice::SshPort22);
-    let who = CharKind::TopAs.freqs(&events);
+        .query()
+        .at(&sg_ips)
+        .slice(TrafficSlice::SshPort22);
+    let who = sg_ssh.char_freqs(CharKind::TopAs);
     println!("\nAWS Singapore SSH/22 — top scanning ASes:");
     for asn in top_k_of(&who, 3) {
         println!(
@@ -46,13 +51,14 @@ fn main() {
     }
 
     // 3. What credentials do attackers try there?
-    let usernames = CharKind::TopUsername.freqs(&events);
+    let usernames = sg_ssh.char_freqs(CharKind::TopUsername);
     println!("\nAWS Singapore SSH/22 — top usernames:");
     for u in top_k_of(&usernames, 3) {
         println!("  {:<12} {:>6} attempts", u, usernames[&u]);
     }
 
     // 4. How much of the traffic is verifiably malicious (§3.2)?
+    let events = sg_ssh.classified();
     let (attackers, scanners) = cloud_watching::core::axes::maliciousness_counts(&events);
     println!(
         "\nmaliciousness: {attackers} attacker events vs {scanners} scanner events \
@@ -63,7 +69,7 @@ fn main() {
     // 5. And the headline: how many SSH scanners also touch the telescope?
     let tel = scenario.telescope.borrow();
     let cloud_ips = cloud_watching::core::overlap::cloud_ips(&scenario.deployment);
-    let srcs = scenario.dataset.sources_on_port(&cloud_ips, 22);
+    let srcs = scenario.dataset.query().at(&cloud_ips).port(22).distinct_srcs();
     let overlap = srcs
         .iter()
         .filter(|&&s| tel.saw_source_on_port(s, 22))

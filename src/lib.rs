@@ -15,7 +15,8 @@
 //! - [`honeypot`] — the instruments and the Table 1 deployment;
 //! - [`scanners`] — the attacker/scanner population;
 //! - [`stats`] — chi², Cramér's V, Bonferroni, Mann–Whitney, KS, top-3;
-//! - [`core`] — scenarios, analyses, and table rendering.
+//! - [`core`] — scenarios, analyses, the columnar query layer
+//!   ([`core::query`], see `docs/QUERY.md`), and table rendering.
 //!
 //! ## Quickstart
 //!
@@ -28,6 +29,11 @@
 //!     ScenarioConfig::fast(ScenarioYear::Y2021).with_scale(0.02),
 //! );
 //! assert!(scenario.dataset.len() > 0);
+//!
+//! // Ask questions through the typed query layer: how many distinct
+//! // sources probed SSH anywhere in the fleet?
+//! let ssh_scanners = scenario.dataset.query().port(22).distinct_srcs();
+//! assert!(ssh_scanners.len() <= scenario.dataset.len());
 //! ```
 
 #![forbid(unsafe_code)]
