@@ -3,7 +3,11 @@
 //! Runs the 2021 scenario, times the engine phase and the
 //! classification+dataset-build phase separately, and writes
 //! `BENCH_scenario.json` into the current directory so successive PRs can
-//! record before/after numbers. Fleet wall time is measured at requested
+//! record before/after numbers. The same world is then re-run through the
+//! sharded path (`shards` / `sharded_scenario_wall_secs` /
+//! `shard_busy_secs`), gated on event-count invariants against the
+//! single-engine run — the bench fails before reporting timings if the
+//! two worlds disagree. Fleet wall time is measured at requested
 //! thread counts 1 and 8 (`run_replicates_timed`, so the thread axis
 //! exercises the merge path too), with per-worker wall clocks and the
 //! machine's hardware parallelism recorded alongside — each fleet entry
@@ -45,11 +49,50 @@ fn main() {
         .with_seed(opts.seed)
         .with_scale(opts.scale);
 
-    // Phase 1: one full scenario (engine + first dataset build).
+    // Phase 1: one full scenario (engine + first dataset build), pinned to
+    // the single-engine path so `scenario_wall_secs` keeps its historical
+    // meaning across machines.
     let t0 = Instant::now();
-    let s = run_config(config);
+    let s = run_config(config.with_shards(1));
     let scenario_secs = t0.elapsed().as_secs_f64();
     let events = s.dataset.len() as u64;
+
+    // Phase 1b: the same world through the sharded path. `--shards`/
+    // `CW_SHARDS` is honored; auto picks at least 2 so the merge machinery
+    // is always exercised. The event-count invariants gate the run: if the
+    // sharded world disagrees with the single-engine world, fail loudly
+    // before any timing is reported.
+    let n_shards = match fleet::resolve_shards(opts.shards) {
+        0 => config.effective_shards().max(2),
+        k => k,
+    };
+    let t = Instant::now();
+    let sh = run_config(config.with_shards(n_shards));
+    let sharded_scenario_secs = t.elapsed().as_secs_f64();
+    assert_eq!(
+        sh.dataset.len() as u64,
+        events,
+        "sharded run changed the event count"
+    );
+    assert_eq!(sh.stats, s.stats, "sharded run changed the engine counters");
+    assert_eq!(
+        sh.telescope.borrow().total_packets(),
+        s.telescope.borrow().total_packets(),
+        "sharded run changed the telescope packet count"
+    );
+    let shard_busy = sh.shard_busy_secs.clone();
+    eprintln!(
+        "[bench] sharded scenario @ {n_shards} shards: {:.2}s (single-engine {:.2}s) [{}]",
+        sharded_scenario_secs,
+        scenario_secs,
+        shard_busy
+            .iter()
+            .enumerate()
+            .map(|(i, b)| format!("s{i}: {b:.2}s"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    drop(sh);
 
     // Phase 2: classification + dataset build alone, re-run on the retained
     // captures (the honeypots stay alive inside the scenario).
@@ -185,6 +228,7 @@ fn main() {
         scale: opts.scale,
         seed: opts.seed,
         year: opts.year,
+        shards: fleet::resolve_shards(opts.shards),
     };
     let n_threads = fleet::resolve_threads(opts.threads);
     let configs = exhibit::required_configs(exhibit::REGISTRY, &ex_opts);
@@ -243,6 +287,9 @@ fn main() {
             "  \"distinct_payloads\": {},\n",
             "  \"distinct_payload_ratio\": {:.6},\n",
             "  \"scenario_wall_secs\": {:.4},\n",
+            "  \"shards\": {},\n",
+            "  \"sharded_scenario_wall_secs\": {:.4},\n",
+            "  \"shard_busy_secs\": [{}],\n",
             "  \"dataset_build_secs\": {:.4},\n",
             "  \"classification_events_per_sec\": {:.1},\n",
             "  \"snapshot_write_secs\": {:.4},\n",
@@ -262,6 +309,13 @@ fn main() {
         distinct_payloads,
         distinct_ratio,
         scenario_secs,
+        n_shards,
+        sharded_scenario_secs,
+        shard_busy
+            .iter()
+            .map(|b| format!("{b:.4}"))
+            .collect::<Vec<_>>()
+            .join(", "),
         build_secs,
         events_per_sec,
         snapshot_write_secs,

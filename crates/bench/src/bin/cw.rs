@@ -55,6 +55,7 @@ fn exhibit_options(opts: RunOptions) -> ExhibitOptions {
         scale: opts.scale,
         seed: opts.seed,
         year: opts.year,
+        shards: fleet::resolve_shards(opts.shards),
     }
 }
 

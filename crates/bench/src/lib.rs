@@ -1,8 +1,9 @@
 //! Shared plumbing for the `cw` multicall CLI and the benchmark harness.
 //!
 //! Every command accepts `--scale <f64>`, `--seed <u64>`, `--threads <N>`,
-//! `--no-cache` and (where relevant) `--year <2020|2021|2022>`; defaults
-//! regenerate the published EXPERIMENTS.md values.
+//! `--shards <K>`, `--no-cache` and (where relevant) `--year
+//! <2020|2021|2022>`; defaults regenerate the published EXPERIMENTS.md
+//! values.
 //!
 //! Commands that need more than one simulated world go through
 //! [`cw_core::fleet`]: each world is obtained (snapshot cache or fresh
@@ -28,6 +29,10 @@ pub struct RunOptions {
     /// Worker threads for fleet commands (`None` = `CW_THREADS` or
     /// autodetect; see [`cw_core::fleet::resolve_threads`]).
     pub threads: Option<usize>,
+    /// Engine shards per scenario (`None` = `CW_SHARDS` or autodetect; see
+    /// [`cw_core::fleet::resolve_shards`]). Output is byte-identical for
+    /// any value — a purely wall-clock knob.
+    pub shards: Option<usize>,
     /// Bypass the snapshot cache (always simulate, never read or write
     /// `out/.cache`). Results are identical either way.
     pub no_cache: bool,
@@ -40,6 +45,7 @@ impl Default for RunOptions {
             seed: DEFAULT_SEED,
             year: None,
             threads: None,
+            shards: None,
             no_cache: false,
         }
     }
@@ -47,7 +53,7 @@ impl Default for RunOptions {
 
 /// The flag summary shared by usage/error messages.
 pub const USAGE: &str = "usage: cw <exhibit|list|all|export> [--scale <f64>] [--seed <u64>] \
-     [--year <2020|2021|2022>] [--threads <N>] [--no-cache]";
+     [--year <2020|2021|2022>] [--threads <N>] [--shards <K>] [--no-cache]";
 
 fn usage_exit(problem: &str) -> ! {
     eprintln!("error: {problem}");
@@ -97,6 +103,15 @@ pub fn parse_from(args: impl Iterator<Item = String>) -> RunOptions {
                 }
                 opts.threads = Some(n);
             }
+            "--shards" => {
+                let n: usize = value("--shards")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("--shards expects an unsigned integer"));
+                if n == 0 {
+                    usage_exit("--shards must be at least 1");
+                }
+                opts.shards = Some(n);
+            }
             "--no-cache" => {
                 opts.no_cache = true;
             }
@@ -122,12 +137,15 @@ pub fn threads(opts: RunOptions) -> usize {
     cw_core::fleet::resolve_threads(opts.threads)
 }
 
-/// The scenario configuration these options select for a year.
+/// The scenario configuration these options select for a year. The shard
+/// count resolves flag → `CW_SHARDS` → auto (0, resolved to the machine's
+/// parallelism at run time); any value yields the same bytes.
 pub fn config_for(opts: RunOptions, default_year: ScenarioYear) -> ScenarioConfig {
     let year = opts.year.unwrap_or(default_year);
     ScenarioConfig::paper(year)
         .with_seed(opts.seed)
         .with_scale(opts.scale)
+        .with_shards(cw_core::fleet::resolve_shards(opts.shards))
 }
 
 /// Run one configured scenario with progress logging on stderr.
@@ -169,15 +187,18 @@ mod tests {
         assert_eq!(d.seed, DEFAULT_SEED);
         assert!(d.year.is_none());
         assert!(d.threads.is_none());
+        assert!(d.shards.is_none());
         assert!(!d.no_cache);
 
         let o = parse_from(strs(&[
-            "--scale", "0.25", "--seed", "7", "--year", "2020", "--threads", "3", "--no-cache",
+            "--scale", "0.25", "--seed", "7", "--year", "2020", "--threads", "3", "--shards",
+            "4", "--no-cache",
         ]));
         assert_eq!(o.scale, 0.25);
         assert_eq!(o.seed, 7);
         assert_eq!(o.year, Some(ScenarioYear::Y2020));
         assert_eq!(o.threads, Some(3));
+        assert_eq!(o.shards, Some(4));
         assert!(o.no_cache);
     }
 }

@@ -63,6 +63,10 @@ pub struct ExhibitOptions {
     pub seed: u64,
     /// Year override for [`Need::Year`] needs.
     pub year: Option<ScenarioYear>,
+    /// Engine shards per scenario (0 = auto; see
+    /// [`ScenarioConfig::effective_shards`]). Purely a wall-clock knob —
+    /// every rendered byte is identical for any value.
+    pub shards: usize,
 }
 
 impl Default for ExhibitOptions {
@@ -71,6 +75,7 @@ impl Default for ExhibitOptions {
             scale: 1.0,
             seed: DEFAULT_SEED,
             year: None,
+            shards: 0,
         }
     }
 }
@@ -81,6 +86,7 @@ impl ExhibitOptions {
         ScenarioConfig::paper(year)
             .with_seed(self.seed)
             .with_scale(self.scale)
+            .with_shards(self.shards)
     }
 }
 

@@ -77,6 +77,24 @@ pub fn resolve_threads(explicit: Option<usize>) -> usize {
         .max(1)
 }
 
+/// Decide how many simulation shards a scenario should run with when the
+/// caller did not set [`ScenarioConfig::shards`] directly.
+///
+/// Precedence mirrors [`resolve_threads`]: an explicit request (e.g. a
+/// `--shards N` flag) wins; then the `CW_SHARDS` environment variable;
+/// otherwise 0 — the "auto" sentinel [`Scenario::run`] resolves to the
+/// machine's available parallelism. Unparseable `CW_SHARDS` values are
+/// ignored rather than fatal.
+pub fn resolve_shards(explicit: Option<usize>) -> usize {
+    explicit
+        .or_else(|| {
+            std::env::var("CW_SHARDS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+        })
+        .unwrap_or(0)
+}
+
 /// Wall-clock accounting for one fleet worker, as reported by
 /// [`map_timed`]. Timing is observability only — it never feeds back into
 /// scheduling, so recording it cannot perturb results.
@@ -102,11 +120,13 @@ pub struct WorkerTiming {
 /// thread machinery at all.
 ///
 /// The worker count is additionally capped at the machine's available
-/// parallelism (but never below 2 once parallelism was requested):
-/// spawning more compute-bound workers than cores cannot finish any
-/// sooner — it only adds context-switch and cache-thrash cost. The cap is
-/// safe *because* of the contract: results are reassembled by input index,
-/// so the number of workers is unobservable in the output.
+/// parallelism: spawning more compute-bound workers than cores cannot
+/// finish any sooner — it only adds context-switch and cache-thrash cost —
+/// and on a single-core box the cap degrades all the way to the serial
+/// loop (an earlier floor of 2 workers made `--threads 8` *slower* than
+/// serial there; see `BENCH_scenario.json` history). The cap is safe
+/// *because* of the contract: results are reassembled by input index, so
+/// the number of workers is unobservable in the output.
 ///
 /// `job` receives `(index, spec)` so per-run seeds can be derived from the
 /// stream id. Specs move into their worker; only `Send` results come back.
@@ -130,7 +150,15 @@ where
     F: Fn(usize, S) -> T + Sync,
 {
     let n = specs.len();
-    if threads <= 1 || n <= 1 {
+    // Cap workers at the hardware: an oversubscribed CPU-bound fleet is
+    // strictly slower than a right-sized one, and the input-order merge
+    // makes the cap invisible in the results. On a single-core machine the
+    // cap collapses to the serial loop below.
+    let hardware = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let workers = threads.min(n).min(hardware).max(1);
+    if workers <= 1 || n <= 1 {
         let start = std::time::Instant::now();
         let out: Vec<T> = specs
             .into_iter()
@@ -144,13 +172,6 @@ where
         };
         return (out, vec![timing]);
     }
-    // Cap workers at the hardware (floor 2): an oversubscribed CPU-bound
-    // fleet is strictly slower than a right-sized one, and the input-order
-    // merge makes the cap invisible in the results.
-    let hardware = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
-    let workers = threads.min(n).min(hardware.max(2));
     // Static shards: worker w owns specs w, w+workers, w+2*workers, …
     let mut shards: Vec<Vec<(usize, S)>> = (0..workers).map(|_| Vec::new()).collect();
     for (i, s) in specs.into_iter().enumerate() {

@@ -5,14 +5,48 @@
 //! bundles everything every analysis needs — the classified [`Dataset`],
 //! the telescope handle, the search-engine indexes, and the reputation
 //! oracle.
+//!
+//! # Sharded simulation
+//!
+//! The discrete-event loop is single-threaded, so one world historically
+//! cost one core-width of wall clock no matter the machine. With
+//! [`ScenarioConfig::shards`] > 1 the actor population is partitioned into
+//! K shards — ownership is the pure function
+//! [`population::shard_of`]`(seed, actor_id, K)` — and each shard runs its
+//! own [`Engine`] over its own copy of the deterministic world, in
+//! parallel via [`crate::fleet::map`] (worker threads capped at hardware
+//! parallelism). The shard outputs are then merged back into exactly the
+//! record the unsharded engine would have produced:
+//!
+//! - every flow carries `(time, agent, seq)` stamps whose lexicographic
+//!   order *is* the unsharded engine's delivery order (the wake queue pops
+//!   `(time, agent-id)` ascending and `seq` orders the sends of one wake),
+//!   so a K-way cursor merge over the per-shard capture tables restores
+//!   the global event order;
+//! - interned payload/credential ids are re-interned into a fresh shared
+//!   interner while walking that order, reproducing the unsharded
+//!   first-occurrence id assignment byte-for-byte;
+//! - telescope counters and [`RunStats`] fold with their order-independent
+//!   `absorb` merges, in shard order.
+//!
+//! The result is byte-identical to the unsharded run for any shard count
+//! (see `tests/determinism.rs` and docs/ARCHITECTURE.md §"Sharded
+//! simulation"); snapshots are therefore keyed without the shard count.
 
 use crate::dataset::Dataset;
+use cw_honeypot::capture::{Capture, EventTable, Observed};
 use cw_honeypot::deployment::Deployment;
 use cw_honeypot::telescope::Telescope;
+use cw_netsim::asn::AsRegistry;
 use cw_netsim::engine::{Engine, RunStats};
+use cw_netsim::intern::{CredId, Interner, PayloadId};
 use cw_netsim::time::{SimDuration, SimTime};
 use cw_scanners::population::{self, PopulationConfig, PopulationHandles, ScenarioYear};
+use cw_scanners::search_engine::SearchIndex;
 use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::net::Ipv4Addr;
 use std::rc::Rc;
 
 /// Scenario parameters.
@@ -26,6 +60,12 @@ pub struct ScenarioConfig {
     pub scale: f64,
     /// Collection window length.
     pub horizon: SimDuration,
+    /// Number of simulation shards; 0 means "auto" (the machine's
+    /// available parallelism). Purely a wall-clock knob: output is
+    /// byte-identical for every value, so it is not part of a world's
+    /// identity (snapshot keys and [`crate::bundle::SimBundle::matches`]
+    /// ignore it).
+    pub shards: usize,
 }
 
 impl ScenarioConfig {
@@ -36,6 +76,7 @@ impl ScenarioConfig {
             seed: DEFAULT_SEED,
             scale: 1.0,
             horizon: SimDuration::WEEK,
+            shards: 0,
         }
     }
 
@@ -46,6 +87,7 @@ impl ScenarioConfig {
             seed: DEFAULT_SEED,
             scale: 0.06,
             horizon: SimDuration::WEEK,
+            shards: 0,
         }
     }
 
@@ -59,6 +101,24 @@ impl ScenarioConfig {
     pub fn with_scale(mut self, scale: f64) -> Self {
         self.scale = scale;
         self
+    }
+
+    /// Override the shard count (builder style). 0 restores the default:
+    /// one shard per unit of available parallelism.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// The effective shard count: the explicit value, or available
+    /// parallelism when set to 0 ("auto").
+    pub fn effective_shards(&self) -> usize {
+        match self.shards {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
     }
 }
 
@@ -80,11 +140,29 @@ pub struct Scenario {
     pub handles: PopulationHandles,
     /// Engine statistics for the run.
     pub stats: RunStats,
+    /// Wall-clock seconds each shard's engine spent (build + run + fold),
+    /// indexed by shard. Empty on the single-engine path. Diagnostic only —
+    /// never part of any rendered byte.
+    pub shard_busy_secs: Vec<f64>,
 }
 
 impl Scenario {
     /// Build the world and run the collection window.
+    ///
+    /// With an effective shard count of 1 this is the legacy single-engine
+    /// path; otherwise the population is split across K parallel engines
+    /// and merged back byte-identically (see the module docs).
     pub fn run(config: ScenarioConfig) -> Scenario {
+        let shards = config.effective_shards();
+        if shards <= 1 {
+            Scenario::run_single(config)
+        } else {
+            Scenario::run_sharded(config, shards)
+        }
+    }
+
+    /// The unsharded path: one engine runs the whole population.
+    fn run_single(config: ScenarioConfig) -> Scenario {
         let deployment = Deployment::standard();
         let mut engine = Engine::new();
         deployment.register(&mut engine);
@@ -98,7 +176,59 @@ impl Scenario {
         );
         let handles = pop.register(&mut engine);
         let stats = engine.run(SimTime::ZERO + config.horizon);
+        Scenario::finish(config, deployment, handles, stats, Vec::new())
+    }
 
+    /// The sharded path: K engines each run the agents their shard owns,
+    /// then the captures are merged back into global record order.
+    fn run_sharded(config: ScenarioConfig, shards: usize) -> Scenario {
+        // Each worker rebuilds the deterministic world locally (the
+        // ScenarioFactory pattern: nothing non-`Send` crosses threads) and
+        // folds its engine's output to a `Send` ShardRun. One worker
+        // thread per shard, capped at hardware parallelism by `map`.
+        let mut runs = crate::fleet::map((0..shards).collect(), shards, |_, shard| {
+            run_one_shard(config, shard, shards)
+        });
+
+        // Merge on the calling thread, into a fresh deployment whose
+        // listeners share one interner — exactly the unsharded layout.
+        let deployment = Deployment::standard();
+        let stats = runs.iter().fold(RunStats::default(), |mut acc, r| {
+            acc.absorb(r.stats);
+            acc
+        });
+        {
+            let mut telescope = deployment.telescope.borrow_mut();
+            for r in &runs {
+                telescope.absorb(&r.telescope);
+            }
+        }
+        merge_captures(&deployment, &runs);
+        let coupled = runs
+            .iter_mut()
+            .find_map(|r| r.handles.take())
+            .expect("exactly one shard owns the coupled actor group");
+        let handles = PopulationHandles {
+            censys: Rc::new(RefCell::new(coupled.censys)),
+            shodan: Rc::new(RefCell::new(coupled.shodan)),
+            censys_srcs: coupled.censys_srcs,
+            shodan_srcs: coupled.shodan_srcs,
+            reputation: coupled.reputation,
+            registry: coupled.registry,
+        };
+        let shard_busy = runs.iter().map(|r| r.busy_secs).collect();
+        Scenario::finish(config, deployment, handles, stats, shard_busy)
+    }
+
+    /// Shared tail: build the classified dataset from the deployment's
+    /// captures and assemble the result.
+    fn finish(
+        config: ScenarioConfig,
+        deployment: Deployment,
+        handles: PopulationHandles,
+        stats: RunStats,
+        shard_busy_secs: Vec<f64>,
+    ) -> Scenario {
         // Collect captures without cloning event storage.
         let caps: Vec<_> = deployment
             .honeypots
@@ -120,6 +250,195 @@ impl Scenario {
             telescope,
             handles,
             stats,
+            shard_busy_secs,
+        }
+    }
+}
+
+/// The `Send` parts of the coupled shard's population handles (the search
+/// indexes plus build-time oracles), cloned out of their `Rc` wrappers so
+/// they can cross back to the merging thread.
+struct ShardHandles {
+    censys: SearchIndex,
+    shodan: SearchIndex,
+    censys_srcs: Vec<Ipv4Addr>,
+    shodan_srcs: Vec<Ipv4Addr>,
+    reputation: cw_detection::ReputationDb,
+    registry: AsRegistry,
+}
+
+/// Everything one shard's engine produced, folded to `Send` plain data.
+struct ShardRun {
+    /// Per honeypot listener (deployment registration order): the capture
+    /// table plus its parallel `(agent, seq)` order stamps.
+    tables: Vec<(EventTable, Vec<(u32, u64)>)>,
+    /// The shard-local interner the tables' ids resolve against.
+    interner: Interner,
+    /// The shard's telescope counters.
+    telescope: Telescope,
+    /// The shard engine's counters.
+    stats: RunStats,
+    /// `Some` only on the shard owning the coupled actor group.
+    handles: Option<ShardHandles>,
+    /// Wall-clock seconds this shard spent (build + run + fold).
+    busy_secs: f64,
+}
+
+/// Build the world, register only shard `shard`'s agents (under their
+/// global ids), run the window, and fold the results to `Send` data.
+fn run_one_shard(config: ScenarioConfig, shard: usize, shards: usize) -> ShardRun {
+    let started = std::time::Instant::now();
+    let deployment = Deployment::standard();
+    let mut engine = Engine::new();
+    deployment.register(&mut engine);
+    let pop = population::build(
+        &PopulationConfig {
+            year: config.year,
+            seed: config.seed,
+            scale: config.scale,
+        },
+        &deployment,
+    );
+    let anchor = pop.coupled.first().copied().unwrap_or(0);
+    let owns_coupled = population::shard_of(config.seed, anchor as u32, shards) == shard;
+    let handles = pop.register_shard(&mut engine, config.seed, shard, shards);
+    let stats = engine.run(SimTime::ZERO + config.horizon);
+
+    let tables = deployment
+        .honeypots
+        .iter()
+        .map(|h| {
+            let cap = h.borrow().capture();
+            let cap = cap.borrow();
+            (cap.table().clone(), cap.order().to_vec())
+        })
+        .collect();
+    let interner_rc = deployment.honeypots[0].borrow().capture();
+    let interner_rc = interner_rc.borrow().interner();
+    let interner = interner_rc.borrow().clone();
+    let telescope = deployment.telescope.borrow().clone();
+    let handles = owns_coupled.then(|| ShardHandles {
+        censys: handles.censys.borrow().clone(),
+        shodan: handles.shodan.borrow().clone(),
+        censys_srcs: handles.censys_srcs,
+        shodan_srcs: handles.shodan_srcs,
+        reputation: handles.reputation,
+        registry: handles.registry,
+    });
+    ShardRun {
+        tables,
+        interner,
+        telescope,
+        stats,
+        handles,
+        busy_secs: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Replay every shard's events into `deployment`'s captures in global
+/// `(time, agent, seq)` order, re-interning payload/credential values into
+/// the deployment's shared interner as they are first encountered.
+///
+/// Correctness of the byte-identity claim rests on two facts:
+///
+/// - `(time, agent, seq)` is the unsharded engine's delivery order: the
+///   wake queue pops `(time, agent-id)` ascending, agents are disjoint
+///   across shards (so cross-shard keys never tie), and within one shard
+///   `seq` is monotone in delivery order.
+/// - Every intern the record path performs belongs to exactly one recorded
+///   event, in within-event order (payload; or username then password) —
+///   so lazily re-interning while walking the merged order reproduces the
+///   unsharded interner's first-occurrence id assignment exactly.
+fn merge_captures(deployment: &Deployment, runs: &[ShardRun]) {
+    let captures: Vec<Rc<RefCell<Capture>>> = deployment
+        .honeypots
+        .iter()
+        .map(|h| h.borrow().capture())
+        .collect();
+    if captures.is_empty() {
+        return;
+    }
+    let interner_rc = captures[0].borrow().interner();
+    let mut interner = interner_rc.borrow_mut();
+
+    // Per-shard memo of old id → merged id (dense; ids are arena indexes).
+    struct Memo {
+        payloads: Vec<Option<PayloadId>>,
+        creds: Vec<Option<CredId>>,
+    }
+    let mut memos: Vec<Memo> = runs
+        .iter()
+        .map(|r| Memo {
+            payloads: vec![None; r.interner.payload_count()],
+            creds: vec![None; r.interner.cred_count()],
+        })
+        .collect();
+
+    // K-way merge over (shard, listener) cursors, min-heap keyed by the
+    // global order stamp (shard/listener indexes only break impossible
+    // ties deterministically).
+    type Key = Reverse<(SimTime, u32, u64, usize, usize)>;
+    let key = |s: usize, l: usize, i: usize| -> Key {
+        let (table, order) = &runs[s].tables[l];
+        let (agent, seq) = order[i];
+        Reverse((table.times()[i], agent, seq, s, l))
+    };
+    let mut cursors: Vec<Vec<usize>> = runs
+        .iter()
+        .map(|r| vec![0usize; r.tables.len()])
+        .collect();
+    let mut heap: BinaryHeap<Key> = BinaryHeap::new();
+    for (s, r) in runs.iter().enumerate() {
+        for (l, (table, _)) in r.tables.iter().enumerate() {
+            if !table.is_empty() {
+                heap.push(key(s, l, 0));
+            }
+        }
+    }
+    while let Some(Reverse((_, _, _, s, l))) = heap.pop() {
+        let i = cursors[s][l];
+        cursors[s][l] += 1;
+        let (table, _) = &runs[s].tables[l];
+        let mut event = table.get(i);
+        let memo = &mut memos[s];
+        let shard_interner = &runs[s].interner;
+        event.observed = match event.observed {
+            Observed::Payload(p) => {
+                let slot = &mut memo.payloads[p.index()];
+                let id = *slot.get_or_insert_with(|| {
+                    interner.intern_payload(shard_interner.payload(p))
+                });
+                Observed::Payload(id)
+            }
+            Observed::Credentials {
+                service,
+                username,
+                password,
+            } => {
+                // Within-event intern order is username then password.
+                let username = {
+                    let slot = &mut memo.creds[username.index()];
+                    *slot.get_or_insert_with(|| interner.intern_cred(shard_interner.cred(username)))
+                };
+                let password = {
+                    let slot = &mut memo.creds[password.index()];
+                    *slot.get_or_insert_with(|| interner.intern_cred(shard_interner.cred(password)))
+                };
+                Observed::Credentials {
+                    service,
+                    username,
+                    password,
+                }
+            }
+            other => other,
+        };
+        captures[l].borrow_mut().record_from(
+            event,
+            runs[s].tables[l].1[i].0,
+            runs[s].tables[l].1[i].1,
+        );
+        if i + 1 < table.len() {
+            heap.push(key(s, l, i + 1));
         }
     }
 }

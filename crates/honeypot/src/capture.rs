@@ -291,6 +291,13 @@ pub struct Capture {
     /// Label of the vantage point that recorded these events.
     pub vantage: String,
     table: EventTable,
+    /// Per-row `(sending agent, engine send seq)` stamps, parallel to the
+    /// table. `(time, agent, seq)` totally orders every record an engine
+    /// produced, which is what lets sharded simulation runs merge back into
+    /// the exact unsharded record (and intern) order. Run-local bookkeeping
+    /// only: not part of the snapshot format, and empty `(0, 0)` stamps are
+    /// recorded by the plain [`Capture::record`] path.
+    order: Vec<(u32, u64)>,
     interner: Rc<RefCell<Interner>>,
 }
 
@@ -306,6 +313,7 @@ impl Capture {
         Capture {
             vantage: vantage.into(),
             table: EventTable::new(),
+            order: Vec::new(),
             interner: Interner::shared(),
         }
     }
@@ -334,7 +342,19 @@ impl Capture {
 
     /// Append one event.
     pub fn record(&mut self, e: ScanEvent) {
+        self.record_from(e, 0, 0);
+    }
+
+    /// Append one event stamped with the sending agent's id and the
+    /// engine's send sequence number (see the `order` field).
+    pub fn record_from(&mut self, e: ScanEvent, agent: u32, seq: u64) {
         self.table.push(e);
+        self.order.push((agent, seq));
+    }
+
+    /// Per-row `(agent, seq)` order stamps, parallel to [`Capture::table`].
+    pub fn order(&self) -> &[(u32, u64)] {
+        &self.order
     }
 
     /// Number of recorded events.
@@ -412,6 +432,20 @@ mod tests {
         assert_eq!(cap.events_for_ip(a).count(), 2);
         assert_eq!(cap.events_on_port(23).count(), 1);
         assert_eq!(cap.event(1).dst, b);
+    }
+
+    /// The `(agent, seq)` order stamps ride beside the table row for row
+    /// `i`; plain `record` is the `(0, 0)` degenerate stamp.
+    #[test]
+    fn record_from_keeps_order_stamps_parallel_to_rows() {
+        let mut cap = Capture::new("test");
+        let a = Ipv4Addr::new(10, 0, 0, 1);
+        cap.record_from(ev(a, 22, Observed::Syn), 7, 3);
+        cap.record(ev(a, 23, Observed::Handshake));
+        cap.record_from(ev(a, 80, Observed::Syn), 2, 9);
+        assert_eq!(cap.len(), 3);
+        assert_eq!(cap.order(), &[(7, 3), (0, 0), (2, 9)]);
+        assert_eq!(cap.event(2).dst_port, 80);
     }
 
     #[test]

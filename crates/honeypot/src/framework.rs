@@ -232,14 +232,18 @@ impl Listener for HoneypotListener {
                 },
             }
         };
-        self.capture.borrow_mut().record(ScanEvent {
-            time: flow.time,
-            src: flow.src,
-            src_asn: flow.src_asn,
-            dst: flow.dst,
-            dst_port: flow.dst_port,
-            observed,
-        });
+        self.capture.borrow_mut().record_from(
+            ScanEvent {
+                time: flow.time,
+                src: flow.src,
+                src_asn: flow.src_asn,
+                dst: flow.dst,
+                dst_port: flow.dst_port,
+                observed,
+            },
+            flow.agent,
+            flow.seq,
+        );
         match (policy, self.reply_for(flow.dst_port)) {
             (_, Some(p)) => FlowOutcome::replied(&p.protocol, &p.banner),
             (PortPolicy::Interactive(service), None) => {

@@ -181,6 +181,54 @@ impl Telescope {
         w.put_u64(self.total_packets);
     }
 
+    /// Fold another telescope's observations into this one — the shard
+    /// merge step.
+    ///
+    /// All state here is order-independent (sets union, counters add), with
+    /// one subtlety: `per_ip_counts` are *unique-scanner* counts deduped
+    /// through `seen_src_dst`, so the merge replays the other telescope's
+    /// `(src, dst)` pairs against this one's dedup sets and only counts
+    /// fresh pairs. Folding shard telescopes in shard order therefore
+    /// reproduces the unsharded telescope exactly, even if two shards saw
+    /// the same (src, dst) pair (they cannot — sources are owned by one
+    /// shard — but the merge does not rely on that).
+    ///
+    /// Requires both telescopes to cover the same block with the same
+    /// tracked ports (they are built by the same deployment constructor).
+    pub fn absorb(&mut self, other: &Telescope) {
+        assert_eq!(self.block, other.block, "telescope merge across blocks");
+        self.total_packets += other.total_packets;
+        self.unique_srcs.extend(other.unique_srcs.iter().copied());
+        self.unique_asns.extend(other.unique_asns.iter().copied());
+        self.seen_src_port.extend(other.seen_src_port.iter().copied());
+        for (port, by_asn) in &other.asn_counts {
+            let dst = self.asn_counts.entry(*port).or_default();
+            for (asn, count) in by_asn {
+                *dst.entry(*asn).or_insert(0) += count;
+            }
+        }
+        for (asn, count) in &other.asn_counts_all {
+            *self.asn_counts_all.entry(*asn).or_insert(0) += count;
+        }
+        for (port, pairs) in &other.seen_src_dst {
+            let counts = self
+                .per_ip_counts
+                .get_mut(port)
+                .expect("same tracked ports");
+            let seen = self.seen_src_dst.get_mut(port).expect("same tracked ports");
+            for &(src, dst) in pairs {
+                if seen.insert((src, dst)) {
+                    let offset = self
+                        .block
+                        .offset_of(Ipv4Addr::from(dst))
+                        .expect("pair recorded inside the block")
+                        as usize;
+                    counts[offset] += 1;
+                }
+            }
+        }
+    }
+
     /// Decode a telescope from a snapshot payload (see
     /// [`Telescope::snap_write`] for what travels).
     pub fn snap_read(r: &mut SnapReader<'_>) -> Result<Telescope, SnapError> {
@@ -358,6 +406,43 @@ mod tests {
         assert!(t.saw_source_on_port(Ipv4Addr::new(3, 3, 3, 3), 80));
         assert!(!t.saw_source_on_port(Ipv4Addr::new(3, 3, 3, 3), 22));
         assert_eq!(t.sources_on_port(80).len(), 1);
+    }
+
+    /// Sharded merge contract: splitting a flow stream across two
+    /// telescopes and absorbing one into the other reproduces the
+    /// counters of the telescope that saw everything — including the
+    /// unique-scanner dedup when both halves saw the same (src, dst).
+    #[test]
+    fn absorb_reproduces_the_unsplit_telescope() {
+        let dst = Ipv4Addr::new(10, 0, 0, 9);
+        let flows = [
+            flow(Ipv4Addr::new(1, 1, 1, 1), dst, 22),
+            flow(Ipv4Addr::new(2, 2, 2, 2), dst, 22),
+            flow(Ipv4Addr::new(1, 1, 1, 1), dst, 22), // repeat scanner
+            flow(Ipv4Addr::new(3, 3, 3, 3), Ipv4Addr::new(10, 0, 0, 1), 80),
+        ];
+        let mut whole = scope();
+        for f in &flows {
+            whole.on_flow(f);
+        }
+        let mut a = scope();
+        let mut b = scope();
+        // The repeat of scanner 1.1.1.1 lands in the *other* shard, so
+        // dedup must happen at absorb time, not within one shard.
+        a.on_flow(&flows[0]);
+        a.on_flow(&flows[3]);
+        b.on_flow(&flows[1]);
+        b.on_flow(&flows[2]);
+        a.absorb(&b);
+        assert_eq!(a.total_packets(), whole.total_packets());
+        assert_eq!(a.unique_source_count(), whole.unique_source_count());
+        assert_eq!(a.unique_asn_count(), whole.unique_asn_count());
+        assert_eq!(
+            a.unique_scanners_per_ip(22),
+            whole.unique_scanners_per_ip(22)
+        );
+        assert_eq!(a.sources_on_port(80), whole.sources_on_port(80));
+        assert_eq!(a.sources_on_port(22), whole.sources_on_port(22));
     }
 
     #[test]

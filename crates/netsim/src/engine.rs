@@ -137,6 +137,7 @@ struct NetworkCtx<'a> {
     agent: AgentId,
     listeners: &'a [Rc<RefCell<dyn Listener>>],
     stats: &'a mut RunStats,
+    flow_seq: &'a mut u64,
 }
 
 impl Network for NetworkCtx<'_> {
@@ -145,7 +146,9 @@ impl Network for NetworkCtx<'_> {
     }
 
     fn send(&mut self, spec: FlowSpec) -> FlowOutcome {
-        let flow = Flow::from_spec(spec, self.now, self.agent);
+        let mut flow = Flow::from_spec(spec, self.now, self.agent);
+        flow.seq = *self.flow_seq;
+        *self.flow_seq += 1;
         for l in self.listeners {
             // A listener must not send flows, so borrowing here cannot
             // re-enter; `covers` is checked on the same borrow.
@@ -166,6 +169,7 @@ pub struct Engine {
     listeners: Vec<Rc<RefCell<dyn Listener>>>,
     queue: BinaryHeap<Reverse<(SimTime, AgentId)>>,
     stats: RunStats,
+    flow_seq: u64,
 }
 
 impl Default for Engine {
@@ -182,6 +186,7 @@ impl Engine {
             listeners: Vec::new(),
             queue: BinaryHeap::new(),
             stats: RunStats::default(),
+            flow_seq: 0,
         }
     }
 
@@ -191,6 +196,28 @@ impl Engine {
         self.agents.push(Some(agent));
         self.queue.push(Reverse((first_wake, id)));
         id
+    }
+
+    /// Register an agent under a caller-chosen id, leaving gaps for the ids
+    /// the caller skips. This is how a simulation shard keeps the *global*
+    /// agent-id space of the unsharded world: the wake queue orders by
+    /// `(time, id)`, so preserving ids preserves the relative interleaving
+    /// of the agents this shard owns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already occupied.
+    pub fn add_agent_with_id(&mut self, id: AgentId, agent: Box<dyn Agent>, first_wake: SimTime) {
+        let idx = id as usize;
+        if idx >= self.agents.len() {
+            self.agents.resize_with(idx + 1, || None);
+        }
+        assert!(
+            self.agents[idx].is_none(),
+            "agent id {id} registered twice"
+        );
+        self.agents[idx] = Some(agent);
+        self.queue.push(Reverse((first_wake, id)));
     }
 
     /// Register a listener. Listeners are consulted in registration order;
@@ -241,6 +268,7 @@ impl Engine {
                     agent: id,
                     listeners: &self.listeners,
                     stats: &mut self.stats,
+                    flow_seq: &mut self.flow_seq,
                 };
                 agent.on_wake(t, &mut ctx)
             };
@@ -344,6 +372,45 @@ mod tests {
         assert_eq!(seen.len(), 3);
         assert_eq!(seen[0].0, SimTime(0));
         assert_eq!(seen[2].0, SimTime(2));
+    }
+
+    /// Sharding registers agents under their *global* ids, leaving `None`
+    /// gaps; flows must carry that id and the engine's monotone send
+    /// sequence, in wake-queue pop order.
+    #[test]
+    fn add_agent_with_id_leaves_gaps_and_stamps_send_order() {
+        struct SeqSink {
+            seen: Vec<(u32, u64)>,
+        }
+        impl Listener for SeqSink {
+            fn name(&self) -> &str {
+                "seqsink"
+            }
+            fn covers(&self, ip: Ipv4Addr) -> bool {
+                ip.octets()[0] == 10
+            }
+            fn on_flow(&mut self, flow: &Flow) -> FlowOutcome {
+                self.seen.push((flow.agent, flow.seq));
+                FlowOutcome::accepted()
+            }
+        }
+        let mut e = Engine::new();
+        let sink = Rc::new(RefCell::new(SeqSink { seen: vec![] }));
+        e.add_listener(sink.clone());
+        let pinger = |remaining, last| {
+            Box::new(Pinger {
+                remaining,
+                dst: Ipv4Addr::new(10, 0, 0, last),
+                outcomes: vec![],
+            })
+        };
+        e.add_agent_with_id(5, pinger(2, 1), SimTime(0));
+        e.add_agent_with_id(9, pinger(1, 2), SimTime(0));
+        let stats = e.run(SimTime(10));
+        assert_eq!(stats.flows_delivered, 3);
+        // (time 0, agent 5) pops before (time 0, agent 9); agent 5 wakes
+        // again at time 1. seq is global send order across both agents.
+        assert_eq!(sink.borrow().seen, vec![(5, 0), (9, 1), (5, 2)]);
     }
 
     #[test]

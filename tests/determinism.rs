@@ -2,12 +2,15 @@
 //! analyses — the property that makes the published EXPERIMENTS.md values
 //! regenerable anywhere.
 
+use cloud_watching::core::bundle::SimBundle;
+use cloud_watching::core::exhibit::{ExhibitCx, ExhibitOptions, REGISTRY};
 use cloud_watching::core::fleet;
 use cloud_watching::core::neighborhood;
-use cloud_watching::core::scenario::{Scenario, ScenarioConfig};
+use cloud_watching::core::scenario::{Scenario, ScenarioConfig, DEFAULT_SEED};
 use cloud_watching::netsim::rng::{fork_seed, SimRng};
-use cloud_watching::scanners::population::ScenarioYear;
+use cloud_watching::scanners::population::{self, ScenarioYear};
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 fn run(seed: u64) -> Scenario {
     Scenario::run(
@@ -62,6 +65,88 @@ fn different_seeds_different_worlds() {
     );
 }
 
+/// The tentpole contract: partitioning one scenario's actors into K
+/// engine shards and merging must reproduce the single-engine run
+/// byte-for-byte — same events (including interned payload/credential
+/// ids), same verdicts, same telescope counters, same index sizes.
+#[test]
+fn sharded_run_is_byte_identical_to_unsharded() {
+    let base = ScenarioConfig::fast(ScenarioYear::Y2021).with_scale(0.03);
+    let a = Scenario::run(base.with_shards(1));
+    for shards in [3, 8] {
+        let b = Scenario::run(base.with_shards(shards));
+        assert_eq!(a.stats, b.stats, "shards={shards}");
+        assert_eq!(a.dataset.len(), b.dataset.len(), "shards={shards}");
+        for (ea, eb) in a.dataset.events().zip(b.dataset.events()) {
+            // ScanEvent equality covers interner reconstruction too:
+            // payload/credential ids must match, not just values.
+            assert_eq!(ea.event, eb.event, "shards={shards}");
+            assert_eq!(ea.verdict, eb.verdict, "shards={shards}");
+        }
+        let ta = a.telescope.borrow();
+        let tb = b.telescope.borrow();
+        assert_eq!(ta.total_packets(), tb.total_packets(), "shards={shards}");
+        assert_eq!(
+            ta.unique_scanners_per_ip(22).unwrap(),
+            tb.unique_scanners_per_ip(22).unwrap(),
+            "shards={shards}"
+        );
+        assert_eq!(
+            a.handles.censys.borrow().len(),
+            b.handles.censys.borrow().len(),
+            "shards={shards}"
+        );
+        assert_eq!(
+            a.handles.shodan.borrow().len(),
+            b.handles.shodan.borrow().len(),
+            "shards={shards}"
+        );
+    }
+}
+
+/// Render every registered exhibit from fast bundles of all three years.
+fn render_all(shards: usize, threads: usize) -> BTreeMap<&'static str, String> {
+    let opts = ExhibitOptions {
+        scale: 0.02,
+        seed: DEFAULT_SEED,
+        year: None,
+        shards,
+    };
+    let years = [ScenarioYear::Y2020, ScenarioYear::Y2021, ScenarioYear::Y2022];
+    let configs: Vec<ScenarioConfig> = years
+        .iter()
+        .map(|&y| {
+            ScenarioConfig::fast(y)
+                .with_scale(opts.scale)
+                .with_shards(shards)
+        })
+        .collect();
+    let bundles: BTreeMap<u16, SimBundle> = fleet::map(configs, threads, |_, c| SimBundle::run(c))
+        .into_iter()
+        .map(|b| (b.config.year.year(), b))
+        .collect();
+    let cx = ExhibitCx::new(opts, &bundles);
+    REGISTRY.iter().map(|e| (e.name(), e.run(&cx))).collect()
+}
+
+/// All 25 exhibits render the exact same bytes whatever the shard count
+/// and whatever the fleet worker-thread count — the user-facing face of
+/// the byte-identical merge contract.
+#[test]
+fn exhibits_byte_identical_across_shard_and_thread_matrix() {
+    let baseline = render_all(1, 1);
+    assert_eq!(baseline.len(), REGISTRY.len());
+    for (shards, threads) in [(1, 8), (3, 1), (3, 8), (8, 1), (8, 8)] {
+        let rendered = render_all(shards, threads);
+        for (name, text) in &baseline {
+            assert_eq!(
+                text, &rendered[name],
+                "exhibit {name} drifted at shards={shards} threads={threads}"
+            );
+        }
+    }
+}
+
 /// The fleet determinism contract on real scenario runs: replicate fleets
 /// merged at thread counts 1, 2 and 8 are event-for-event identical.
 #[test]
@@ -84,8 +169,44 @@ fn fleet_replicates_invariant_under_thread_count() {
     }
 }
 
+/// Shard assignment is a pure function of (seed, actor id): the key never
+/// sees the shard count, so growing K from 1 to 8 only re-buckets the same
+/// fixed keys — it cannot reshuffle any actor's RNG stream.
+#[test]
+fn shard_assignment_is_pure_in_seed_and_actor_id() {
+    for seed in [0u64, 42, DEFAULT_SEED] {
+        for id in [0u32, 1, 7, 1000] {
+            let key = population::shard_key(seed, id);
+            assert_eq!(key, fork_seed(seed, id as u64));
+            for k in 1..=8 {
+                assert_eq!(
+                    population::shard_of(seed, id, k),
+                    (key % k as u64) as usize,
+                    "shard_of must be shard_key reduced mod K, nothing else"
+                );
+            }
+        }
+    }
+    // K = 0 is tolerated as "one shard" rather than a divide-by-zero.
+    assert_eq!(population::shard_of(1, 2, 0), 0);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property form of the purity contract: for any (seed, actor, K) the
+    /// assignment is the K-independent key reduced mod K.
+    #[test]
+    fn shard_key_is_independent_of_shard_count(
+        seed in any::<u64>(),
+        id in any::<u32>(),
+        k in 1usize..64,
+    ) {
+        let key = population::shard_key(seed, id);
+        prop_assert_eq!(key, fork_seed(seed, id as u64));
+        prop_assert_eq!(population::shard_of(seed, id, k), (key % k as u64) as usize);
+        prop_assert!(population::shard_of(seed, id, k) < k);
+    }
 
     /// Fleet results are a pure function of the input list: invariant
     /// under worker-thread count (1, 2, 8) and under any permutation of
