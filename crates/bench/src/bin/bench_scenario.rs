@@ -229,15 +229,16 @@ fn main() {
         seed: opts.seed,
         year: opts.year,
         shards: fleet::resolve_shards(opts.shards),
+        fault: opts.fault,
     };
     let n_threads = fleet::resolve_threads(opts.threads);
     let configs = exhibit::required_configs(exhibit::REGISTRY, &ex_opts);
     fleet::map(configs.clone(), n_threads, |_, cfg| {
-        snapshot::load_or_run(cfg, true).1.is_hit()
+        snapshot::load_or_run(*cfg, true).1.is_hit()
     });
     let t = Instant::now();
     let bundles: BTreeMap<u16, SimBundle> =
-        fleet::map(configs, n_threads, |_, cfg| snapshot::load_or_run(cfg, true).0)
+        fleet::map(configs, n_threads, |_, cfg| snapshot::load_or_run(*cfg, true).0)
             .into_iter()
             .map(|b| (b.config.year.year(), b))
             .collect();

@@ -7,6 +7,7 @@
 //! cw table1               # render one exhibit to stdout
 //! cw all                  # render all 25 exhibits into out/<name>.txt
 //! cw export               # write the released dataset under out/
+//! cw degrade              # finding stability under injected faults
 //! ```
 //!
 //! The driver resolves the union of simulated worlds the requested
@@ -16,13 +17,30 @@
 //! the shared bundles out to every render. Renders are byte-identical to
 //! the retired binaries for any `--threads` value, with or without the
 //! cache.
+//!
+//! # Graceful degradation and exit codes
+//!
+//! `cw all` isolates every world-obtain and every render with the fleet's
+//! `catch_unwind` + one-retry machinery ([`cw_core::fleet::try_map`]): a
+//! panicking exhibit costs only its own `out/<name>.txt`, every other
+//! exhibit still renders, and a per-job failure summary lands on stderr.
+//! Exit codes are distinct by failure class:
+//!
+//! - `0` — success;
+//! - `2` — usage error (unknown command/flag);
+//! - `3` — I/O error writing outputs;
+//! - `4` — one or more worlds or renders failed (after retries).
+//!
+//! Setting `CW_INJECT_PANIC=<exhibit>` makes exactly that render panic —
+//! the hook `scripts/verify.sh` uses to prove the isolation contract.
 
 use cw_bench::{parse_from, threads, RunOptions, USAGE};
 use cw_core::exhibit::{self, Exhibit, ExhibitCx, ExhibitOptions};
-use cw_core::fleet;
+use cw_core::fleet::{self, JobError};
 use cw_core::scenario::ScenarioConfig;
 use cw_core::snapshot::{self, Provenance};
 use cw_core::SimBundle;
+use cw_scanners::population::ScenarioYear;
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::time::Instant;
@@ -35,19 +53,24 @@ fn main() {
         std::process::exit(2);
     };
     let opts = parse_from(args);
-    match command.as_str() {
-        "list" => cmd_list(),
+    let code = match command.as_str() {
+        "list" => {
+            cmd_list();
+            0
+        }
         "all" => cmd_all(opts),
         "export" => cmd_export(opts),
+        "degrade" => cmd_degrade(opts),
         name => match exhibit::find(name) {
             Some(e) => cmd_exhibit(e, opts),
             None => {
                 eprintln!("error: unknown command or exhibit '{name}' (try `cw list`)");
                 eprintln!("{USAGE}");
-                std::process::exit(2);
+                2
             }
         },
-    }
+    };
+    std::process::exit(code);
 }
 
 fn exhibit_options(opts: RunOptions) -> ExhibitOptions {
@@ -56,6 +79,7 @@ fn exhibit_options(opts: RunOptions) -> ExhibitOptions {
         seed: opts.seed,
         year: opts.year,
         shards: fleet::resolve_shards(opts.shards),
+        fault: opts.fault,
     }
 }
 
@@ -90,16 +114,42 @@ fn obtain(config: ScenarioConfig, use_cache: bool) -> SimBundle {
     bundle
 }
 
-/// Obtain every world in `configs`, in parallel, keyed by scenario year.
+/// Obtain every world in `configs` in parallel with per-job fault
+/// isolation, keyed by scenario year. Failed worlds come back as
+/// [`JobError`]s instead of poisoning the whole run.
 fn obtain_all(
     configs: Vec<ScenarioConfig>,
     n_threads: usize,
     use_cache: bool,
-) -> BTreeMap<u16, SimBundle> {
-    fleet::map(configs, n_threads, |_, cfg| obtain(cfg, use_cache))
-        .into_iter()
-        .map(|b| (b.config.year.year(), b))
-        .collect()
+) -> (BTreeMap<u16, SimBundle>, Vec<JobError>) {
+    let results = fleet::try_map(configs, n_threads, |_, cfg| obtain(*cfg, use_cache));
+    let mut bundles = BTreeMap::new();
+    let mut errors = Vec::new();
+    for r in results {
+        match r {
+            Ok(b) => {
+                bundles.insert(b.config.year.year(), b);
+            }
+            Err(e) => errors.push(e),
+        }
+    }
+    (bundles, errors)
+}
+
+/// Print the per-job failure summary `cw all` / `cw <exhibit>` report on
+/// stderr before exiting nonzero.
+fn print_failure_summary(world_errors: &[JobError], render_errors: &[(String, JobError)]) {
+    eprintln!(
+        "[cw] failure summary: {} world(s), {} render(s) failed",
+        world_errors.len(),
+        render_errors.len()
+    );
+    for e in world_errors {
+        eprintln!("[cw]   world {e}");
+    }
+    for (name, e) in render_errors {
+        eprintln!("[cw]   exhibit '{name}': {e}");
+    }
 }
 
 fn cmd_list() {
@@ -108,71 +158,157 @@ fn cmd_list() {
     }
 }
 
-fn cmd_exhibit(e: &'static dyn Exhibit, opts: RunOptions) {
+fn cmd_exhibit(e: &'static dyn Exhibit, opts: RunOptions) -> i32 {
     let ex_opts = exhibit_options(opts);
     let configs = exhibit::required_configs(&[e], &ex_opts);
-    let bundles = obtain_all(configs, threads(opts), !opts.no_cache);
+    let (bundles, world_errors) = obtain_all(configs, threads(opts), !opts.no_cache);
+    if !world_errors.is_empty() {
+        print_failure_summary(&world_errors, &[]);
+        return 4;
+    }
     let cx = ExhibitCx::new(ex_opts, &bundles);
     print!("{}", e.run(&cx));
+    0
 }
 
-fn cmd_all(opts: RunOptions) {
+fn cmd_all(opts: RunOptions) -> i32 {
     let started = Instant::now();
     let ex_opts = exhibit_options(opts);
     let n_threads = threads(opts);
     let configs = exhibit::required_configs(exhibit::REGISTRY, &ex_opts);
     let n_worlds = configs.len();
-    let bundles = obtain_all(configs, n_threads, !opts.no_cache);
+    let (bundles, world_errors) = obtain_all(configs, n_threads, !opts.no_cache);
     let cx = ExhibitCx::new(ex_opts, &bundles);
 
-    std::fs::create_dir_all("out").expect("create out/");
-    let rendered = fleet::map(exhibit::REGISTRY.to_vec(), n_threads, |_, e| {
+    if let Err(e) = std::fs::create_dir_all("out") {
+        eprintln!("[cw] error: create out/: {e}");
+        return 3;
+    }
+    // Every render is isolated: a panicking exhibit (including one whose
+    // world failed to obtain — its `cx.bundle` lookup panics) becomes a
+    // JobError for its slot while the siblings keep rendering.
+    let inject = std::env::var("CW_INJECT_PANIC").ok();
+    let rendered = fleet::try_map(exhibit::REGISTRY.to_vec(), n_threads, |_, e| {
+        if inject.as_deref() == Some(e.name()) {
+            panic!("injected render panic for '{}'", e.name());
+        }
         (e.name(), e.run(&cx))
     });
-    for (name, text) in &rendered {
-        let path = format!("out/{name}.txt");
-        let mut f = std::fs::File::create(&path)
-            .unwrap_or_else(|e| panic!("create {path}: {e}"));
-        f.write_all(text.as_bytes())
-            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+
+    let mut render_errors: Vec<(String, JobError)> = Vec::new();
+    let mut io_error = false;
+    let mut written = 0usize;
+    for (i, r) in rendered.into_iter().enumerate() {
+        match r {
+            Ok((name, text)) => {
+                let path = format!("out/{name}.txt");
+                let write = std::fs::File::create(&path)
+                    .and_then(|mut f| f.write_all(text.as_bytes()));
+                match write {
+                    Ok(()) => written += 1,
+                    Err(e) => {
+                        eprintln!("[cw] error: write {path}: {e}");
+                        io_error = true;
+                    }
+                }
+            }
+            Err(e) => render_errors.push((exhibit::REGISTRY[i].name().to_string(), e)),
+        }
     }
     eprintln!(
-        "[cw] rendered {} exhibits from {} simulated worlds into out/ in {:.1}s",
-        rendered.len(),
-        n_worlds,
+        "[cw] rendered {written} of {} exhibits from {n_worlds} simulated worlds into out/ in {:.1}s",
+        exhibit::REGISTRY.len(),
         started.elapsed().as_secs_f64()
     );
+    if !world_errors.is_empty() || !render_errors.is_empty() {
+        print_failure_summary(&world_errors, &render_errors);
+    }
+    if io_error {
+        3
+    } else if !world_errors.is_empty() || !render_errors.is_empty() {
+        4
+    } else {
+        0
+    }
 }
 
-fn cmd_export(opts: RunOptions) {
+fn cmd_degrade(opts: RunOptions) -> i32 {
+    let ex_opts = exhibit_options(opts);
+    let base = ex_opts.config(opts.year.unwrap_or(ScenarioYear::Y2021));
+    let use_cache = !opts.no_cache;
+    let report = cw_core::degrade::report(base, opts.seed ^ 0x1EA4, &|cfg| {
+        obtain(cfg, use_cache)
+    });
+    print!("{report}");
+    0
+}
+
+fn cmd_export(opts: RunOptions) -> i32 {
+    match export(opts) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("[cw] error: export failed: {e}");
+            match e {
+                ExportError::World(_) => 4,
+                ExportError::Io(..) => 3,
+            }
+        }
+    }
+}
+
+/// Distinguish the export stages so I/O failures exit 3 and world
+/// failures exit 4 without stringly-typed matching at the call site.
+enum ExportError {
+    World(JobError),
+    Io(&'static str, std::io::Error),
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExportError::World(e) => write!(f, "obtaining world: {e}"),
+            ExportError::Io(what, e) => write!(f, "{what}: {e}"),
+        }
+    }
+}
+
+fn export(opts: RunOptions) -> Result<(), ExportError> {
     use std::io::BufWriter;
     let ex_opts = exhibit_options(opts);
     let configs = exhibit::required_configs(
         &[exhibit::find("table1").expect("table1 registered")],
         &ex_opts,
     );
-    let bundles = obtain_all(configs, threads(opts), !opts.no_cache);
+    let (bundles, mut world_errors) = obtain_all(configs, threads(opts), !opts.no_cache);
+    if let Some(e) = world_errors.pop() {
+        return Err(ExportError::World(e));
+    }
     let (_, bundle) = bundles.iter().next().expect("one world");
     print!("{}", cw_core::report::header_str("Dataset export"));
-    std::fs::create_dir_all("out").expect("create out/");
-    let csv = std::fs::File::create("out/cloud_watching_2021.csv").expect("create csv");
+    let io = |what: &'static str| move |e: std::io::Error| ExportError::Io(what, e);
+    std::fs::create_dir_all("out").map_err(io("create out/"))?;
+    let csv = std::fs::File::create("out/cloud_watching_2021.csv")
+        .map_err(io("create out/cloud_watching_2021.csv"))?;
     bundle
         .dataset
         .write_csv(BufWriter::new(csv))
-        .expect("write csv");
-    let jsonl = std::fs::File::create("out/cloud_watching_2021.jsonl").expect("create jsonl");
+        .map_err(io("write out/cloud_watching_2021.csv"))?;
+    let jsonl = std::fs::File::create("out/cloud_watching_2021.jsonl")
+        .map_err(io("create out/cloud_watching_2021.jsonl"))?;
     bundle
         .dataset
         .write_jsonl(BufWriter::new(jsonl))
-        .expect("write jsonl");
-    let pcap = std::fs::File::create("out/cloud_watching_2021.pcap").expect("create pcap");
+        .map_err(io("write out/cloud_watching_2021.jsonl"))?;
+    let pcap = std::fs::File::create("out/cloud_watching_2021.pcap")
+        .map_err(io("create out/cloud_watching_2021.pcap"))?;
     // 2021-07-01T00:00:00Z.
     bundle
         .dataset
         .write_pcap(BufWriter::new(pcap), 1_625_097_600)
-        .expect("write pcap");
+        .map_err(io("write out/cloud_watching_2021.pcap"))?;
     println!(
         "wrote {} events to out/cloud_watching_2021.{{csv,jsonl,pcap}}",
         bundle.dataset.len()
     );
+    Ok(())
 }

@@ -15,6 +15,7 @@
 //! so `--no-cache` is purely a wall-clock/debugging knob.
 
 use cw_core::scenario::{Scenario, ScenarioConfig, DEFAULT_SEED};
+use cw_netsim::fault::FaultPlan;
 use cw_scanners::population::ScenarioYear;
 
 /// Parsed command-line options.
@@ -36,6 +37,12 @@ pub struct RunOptions {
     /// Bypass the snapshot cache (always simulate, never read or write
     /// `out/.cache`). Results are identical either way.
     pub no_cache: bool,
+    /// Deterministic measurement-fault plan (`--loss`, `--outage`,
+    /// `--outage-windows`, `--truncate`, `--truncate-to`,
+    /// `--telescope-sample`). Unlike threads/shards/cache this *is* part
+    /// of world identity: any non-none plan changes the output bytes and
+    /// the snapshot addresses.
+    pub fault: FaultPlan,
 }
 
 impl Default for RunOptions {
@@ -47,13 +54,16 @@ impl Default for RunOptions {
             threads: None,
             shards: None,
             no_cache: false,
+            fault: FaultPlan::none(),
         }
     }
 }
 
 /// The flag summary shared by usage/error messages.
-pub const USAGE: &str = "usage: cw <exhibit|list|all|export> [--scale <f64>] [--seed <u64>] \
-     [--year <2020|2021|2022>] [--threads <N>] [--shards <K>] [--no-cache]";
+pub const USAGE: &str = "usage: cw <exhibit|list|all|export|degrade> [--scale <f64>] [--seed <u64>] \
+     [--year <2020|2021|2022>] [--threads <N>] [--shards <K>] [--no-cache] \
+     [--loss <f64>] [--outage <f64>] [--outage-windows <N>] \
+     [--truncate <f64>] [--truncate-to <bytes>] [--telescope-sample <N>]";
 
 fn usage_exit(problem: &str) -> ! {
     eprintln!("error: {problem}");
@@ -115,6 +125,55 @@ pub fn parse_from(args: impl Iterator<Item = String>) -> RunOptions {
             "--no-cache" => {
                 opts.no_cache = true;
             }
+            "--loss" => {
+                opts.fault.flow_loss = value("--loss")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("--loss expects a number"));
+                if !(0.0..=1.0).contains(&opts.fault.flow_loss) {
+                    usage_exit("--loss must be in [0, 1]");
+                }
+            }
+            "--outage" => {
+                opts.fault.outage = value("--outage")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("--outage expects a number"));
+                if !(0.0..1.0).contains(&opts.fault.outage) {
+                    usage_exit("--outage must be in [0, 1)");
+                }
+            }
+            "--outage-windows" => {
+                let n: u32 = value("--outage-windows")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("--outage-windows expects an unsigned integer"));
+                if n == 0 {
+                    usage_exit("--outage-windows must be at least 1");
+                }
+                opts.fault.outage_windows = n;
+            }
+            "--truncate" => {
+                opts.fault.truncation = value("--truncate")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("--truncate expects a number"));
+                if !(0.0..=1.0).contains(&opts.fault.truncation) {
+                    usage_exit("--truncate must be in [0, 1]");
+                }
+            }
+            "--truncate-to" => {
+                opts.fault.truncate_to = value("--truncate-to")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("--truncate-to expects a byte count"));
+            }
+            "--telescope-sample" => {
+                let n: u32 = value("--telescope-sample")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        usage_exit("--telescope-sample expects an unsigned integer")
+                    });
+                if n == 0 {
+                    usage_exit("--telescope-sample must be at least 1");
+                }
+                opts.fault.telescope_sample = n;
+            }
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 std::process::exit(0);
@@ -146,6 +205,7 @@ pub fn config_for(opts: RunOptions, default_year: ScenarioYear) -> ScenarioConfi
         .with_seed(opts.seed)
         .with_scale(opts.scale)
         .with_shards(cw_core::fleet::resolve_shards(opts.shards))
+        .with_fault(opts.fault)
 }
 
 /// Run one configured scenario with progress logging on stderr.
@@ -200,5 +260,34 @@ mod tests {
         assert_eq!(o.threads, Some(3));
         assert_eq!(o.shards, Some(4));
         assert!(o.no_cache);
+    }
+
+    #[test]
+    fn parse_from_fault_flags() {
+        assert!(parse_from(strs(&[])).fault.is_none());
+        let o = parse_from(strs(&[
+            "--loss",
+            "0.1",
+            "--outage",
+            "0.05",
+            "--outage-windows",
+            "2",
+            "--truncate",
+            "0.25",
+            "--truncate-to",
+            "32",
+            "--telescope-sample",
+            "4",
+        ]));
+        assert!(!o.fault.is_none());
+        assert_eq!(o.fault.flow_loss, 0.1);
+        assert_eq!(o.fault.outage, 0.05);
+        assert_eq!(o.fault.outage_windows, 2);
+        assert_eq!(o.fault.truncation, 0.25);
+        assert_eq!(o.fault.truncate_to, 32);
+        assert_eq!(o.fault.telescope_sample, 4);
+        // The parsed plan lands in the scenario config bit-for-bit.
+        let cfg = config_for(o, ScenarioYear::Y2021);
+        assert!(cfg.fault.same_bits(&o.fault));
     }
 }

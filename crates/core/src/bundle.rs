@@ -21,6 +21,7 @@ use cw_detection::ReputationDb;
 use cw_honeypot::deployment::Deployment;
 use cw_honeypot::telescope::Telescope;
 use cw_netsim::engine::RunStats;
+use cw_netsim::fault::FaultPlan;
 use cw_netsim::snap::{SnapError, SnapReader, SnapWriter};
 use cw_netsim::time::{SimDuration, SimTime};
 use cw_scanners::population::ScenarioYear;
@@ -84,13 +85,15 @@ impl SimBundle {
         Scenario::run(config).into_bundle()
     }
 
-    /// Does this bundle carry the result of exactly `config`? Scale is
-    /// compared bit-for-bit — any difference means a different world.
+    /// Does this bundle carry the result of exactly `config`? Scale and
+    /// fault-plan rates are compared bit-for-bit — any difference means a
+    /// different world.
     pub fn matches(&self, config: &ScenarioConfig) -> bool {
         year_tag(self.config.year) == year_tag(config.year)
             && self.config.seed == config.seed
             && self.config.scale.to_bits() == config.scale.to_bits()
             && self.config.horizon == config.horizon
+            && self.config.fault.same_bits(&config.fault)
     }
 
     /// Encode the bundle into a snapshot payload.
@@ -99,9 +102,11 @@ impl SimBundle {
         w.put_u64(self.config.seed);
         w.put_f64(self.config.scale);
         w.put_u64(self.config.horizon.secs());
+        self.config.fault.snap_write(w);
         w.put_u64(self.stats.wakes);
         w.put_u64(self.stats.flows_delivered);
         w.put_u64(self.stats.flows_unrouted);
+        w.put_u64(self.stats.flows_lost);
         w.put_u64(self.stats.last_time.secs());
         w.put_u64(self.censys_indexed);
         w.put_u64(self.shodan_indexed);
@@ -131,11 +136,13 @@ impl SimBundle {
             scale: r.get_f64()?,
             horizon: SimDuration::from_secs(r.get_u64()?),
             shards: 0,
+            fault: FaultPlan::snap_read(r)?,
         };
         let stats = RunStats {
             wakes: r.get_u64()?,
             flows_delivered: r.get_u64()?,
             flows_unrouted: r.get_u64()?,
+            flows_lost: r.get_u64()?,
             last_time: SimTime(r.get_u64()?),
         };
         let censys_indexed = r.get_u64()?;
@@ -174,6 +181,10 @@ mod tests {
         let bundle = SimBundle::run(config);
         assert!(bundle.matches(&config));
         assert!(!bundle.matches(&config.with_seed(18)));
+        assert!(!bundle.matches(&config.with_fault(FaultPlan {
+            flow_loss: 0.1,
+            ..FaultPlan::none()
+        })));
 
         let mut w = SnapWriter::new();
         bundle.snap_write(&mut w);

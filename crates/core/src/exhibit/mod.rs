@@ -67,6 +67,11 @@ pub struct ExhibitOptions {
     /// [`ScenarioConfig::effective_shards`]). Purely a wall-clock knob —
     /// every rendered byte is identical for any value.
     pub shards: usize,
+    /// Deterministic measurement-fault plan applied to every simulated
+    /// world this invocation obtains (including the leak worlds). Unlike
+    /// `shards`, this *is* part of world identity: any non-none plan
+    /// changes the rendered bytes and the snapshot cache addresses.
+    pub fault: cw_netsim::fault::FaultPlan,
 }
 
 impl Default for ExhibitOptions {
@@ -76,6 +81,7 @@ impl Default for ExhibitOptions {
             seed: DEFAULT_SEED,
             year: None,
             shards: 0,
+            fault: cw_netsim::fault::FaultPlan::none(),
         }
     }
 }
@@ -87,6 +93,7 @@ impl ExhibitOptions {
             .with_seed(self.seed)
             .with_scale(self.scale)
             .with_shards(self.shards)
+            .with_fault(self.fault)
     }
 }
 
@@ -229,6 +236,7 @@ impl<'a> ExhibitCx<'a> {
                 seed: self.opts.seed ^ 0x1EA4,
                 scale: self.opts.scale,
                 horizon: cw_netsim::time::SimDuration::WEEK,
+                fault: self.opts.fault,
             });
             eprintln!("[cw] leak experiment complete in {:.1?}", started.elapsed());
             outcome

@@ -34,6 +34,22 @@
 //! [`map_timed`] exposes per-worker wall clocks so that kind of contention
 //! is visible in bench output instead of inferred.
 //!
+//! # Panic isolation and graceful degradation
+//!
+//! A fleet job that panics must not take its siblings' finished work with
+//! it. Every job runs under `catch_unwind`, is retried **once** with
+//! identical inputs (deterministic: a reproducible panic fails twice, a
+//! flaky environmental one gets a second chance), and a job that fails
+//! both attempts becomes a structured [`JobError`] in that input slot —
+//! the other slots still carry their results. [`try_map`] /
+//! [`try_map_timed`] expose the per-job `Result`s; the infallible [`map`]
+//! / [`map_timed`] wrappers run *every* job first and only then panic
+//! with an aggregate report, so a caller that can't degrade still never
+//! loses sibling diagnostics. The retry happens on the worker that owns
+//! the job (static shards are part of the determinism contract), and
+//! isolation is sound because jobs share nothing mutable — each builds
+//! its world locally and returns owned `Send` data.
+//!
 //! # Example: thread count never changes results
 //!
 //! ```
@@ -42,10 +58,10 @@
 //! // Any embarrassingly-parallel job list; here, deriving replicate seeds.
 //! let specs: Vec<u64> = (0..16).collect();
 //! let serial = fleet::map(specs.clone(), 1, |i, s| {
-//!     cw_netsim::rng::fork_seed(0xC10D, s ^ i as u64)
+//!     cw_netsim::rng::fork_seed(0xC10D, *s ^ i as u64)
 //! });
 //! let parallel = fleet::map(specs, 4, |i, s| {
-//!     cw_netsim::rng::fork_seed(0xC10D, s ^ i as u64)
+//!     cw_netsim::rng::fork_seed(0xC10D, *s ^ i as u64)
 //! });
 //! assert_eq!(serial, parallel);
 //! ```
@@ -54,6 +70,7 @@ use crate::dataset::Dataset;
 use crate::scenario::{Scenario, ScenarioConfig};
 use cw_netsim::engine::RunStats;
 use cw_netsim::rng::fork_seed;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Decide how many worker threads a fleet should use.
 ///
@@ -108,6 +125,72 @@ pub struct WorkerTiming {
     pub busy_secs: f64,
 }
 
+/// A structured per-job failure from a fleet run: the job panicked on
+/// both its first attempt and its single deterministic retry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// Input index of the failed spec.
+    pub index: usize,
+    /// How many times the job was attempted (always 2: first run + retry).
+    pub attempts: u32,
+    /// The final panic payload, rendered to text.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "job {} failed after {} attempts: {}",
+            self.index, self.attempts, self.message
+        )
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Render a panic payload to text (panics carry `&str` or `String` in
+/// practice; anything else gets a placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one job with panic isolation and a single deterministic retry.
+///
+/// The retry re-invokes `job` with byte-identical inputs on the same
+/// worker: a reproducible panic fails twice and surfaces as a
+/// [`JobError`]; a flaky environmental failure (e.g. a transient
+/// allocation failure) gets exactly one second chance. Two attempts, no
+/// more — retry counts must not depend on runtime conditions.
+fn run_job<S, T, F>(job: &F, index: usize, spec: &S) -> Result<T, JobError>
+where
+    F: Fn(usize, &S) -> T + Sync,
+{
+    match catch_unwind(AssertUnwindSafe(|| job(index, spec))) {
+        Ok(t) => Ok(t),
+        Err(first) => {
+            eprintln!(
+                "cw: warning: fleet job {index} panicked ({}); retrying once",
+                panic_message(first)
+            );
+            match catch_unwind(AssertUnwindSafe(|| job(index, spec))) {
+                Ok(t) => Ok(t),
+                Err(second) => Err(JobError {
+                    index,
+                    attempts: 2,
+                    message: panic_message(second),
+                }),
+            }
+        }
+    }
+}
+
 /// Run `job` over every spec on up to `threads` workers, returning results
 /// in input order.
 ///
@@ -128,14 +211,19 @@ pub struct WorkerTiming {
 /// *because* of the contract: results are reassembled by input index, so
 /// the number of workers is unobservable in the output.
 ///
-/// `job` receives `(index, spec)` so per-run seeds can be derived from the
-/// stream id. Specs move into their worker; only `Send` results come back.
-/// A panicking job propagates the panic to the caller.
+/// `job` receives `(index, &spec)` so per-run seeds can be derived from
+/// the stream id; specs stay owned by the fleet so a panicked job can be
+/// retried against the same spec. Only `Send` results come back.
+///
+/// A job that panics twice (once plus the single retry) makes this call
+/// panic — but
+/// only after **every** job has run, with an aggregate report of all
+/// failures. Callers that can degrade per-job should use [`try_map`].
 pub fn map<S, T, F>(specs: Vec<S>, threads: usize, job: F) -> Vec<T>
 where
-    S: Send,
+    S: Send + Sync,
     T: Send,
-    F: Fn(usize, S) -> T + Sync,
+    F: Fn(usize, &S) -> T + Sync,
 {
     map_timed(specs, threads, job).0
 }
@@ -145,9 +233,50 @@ where
 /// machine shows up as every worker being slow, not one straggler).
 pub fn map_timed<S, T, F>(specs: Vec<S>, threads: usize, job: F) -> (Vec<T>, Vec<WorkerTiming>)
 where
-    S: Send,
+    S: Send + Sync,
     T: Send,
-    F: Fn(usize, S) -> T + Sync,
+    F: Fn(usize, &S) -> T + Sync,
+{
+    let (results, timings) = try_map_timed(specs, threads, job);
+    let errors: Vec<&JobError> = results.iter().filter_map(|r| r.as_ref().err()).collect();
+    if !errors.is_empty() {
+        let report = errors
+            .iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join("; ");
+        panic!("{} fleet job(s) failed: {report}", errors.len());
+    }
+    let out = results
+        .into_iter()
+        .map(|r| r.expect("errors were just reported"))
+        .collect();
+    (out, timings)
+}
+
+/// Fault-tolerant [`map`]: every spec's slot carries `Ok(result)` or the
+/// [`JobError`] that job died with, in input order. One poisoned job no
+/// longer costs its siblings' finished work.
+pub fn try_map<S, T, F>(specs: Vec<S>, threads: usize, job: F) -> Vec<Result<T, JobError>>
+where
+    S: Send + Sync,
+    T: Send,
+    F: Fn(usize, &S) -> T + Sync,
+{
+    try_map_timed(specs, threads, job).0
+}
+
+/// [`try_map`] plus per-worker wall-time accounting — the primitive every
+/// other fleet entry point is built on.
+pub fn try_map_timed<S, T, F>(
+    specs: Vec<S>,
+    threads: usize,
+    job: F,
+) -> (Vec<Result<T, JobError>>, Vec<WorkerTiming>)
+where
+    S: Send + Sync,
+    T: Send,
+    F: Fn(usize, &S) -> T + Sync,
 {
     let n = specs.len();
     // Cap workers at the hardware: an oversubscribed CPU-bound fleet is
@@ -160,10 +289,10 @@ where
     let workers = threads.min(n).min(hardware).max(1);
     if workers <= 1 || n <= 1 {
         let start = std::time::Instant::now();
-        let out: Vec<T> = specs
-            .into_iter()
+        let out: Vec<Result<T, JobError>> = specs
+            .iter()
             .enumerate()
-            .map(|(i, s)| job(i, s))
+            .map(|(i, s)| run_job(&job, i, s))
             .collect();
         let timing = WorkerTiming {
             worker: 0,
@@ -173,12 +302,12 @@ where
         return (out, vec![timing]);
     }
     // Static shards: worker w owns specs w, w+workers, w+2*workers, …
-    let mut shards: Vec<Vec<(usize, S)>> = (0..workers).map(|_| Vec::new()).collect();
-    for (i, s) in specs.into_iter().enumerate() {
+    let mut shards: Vec<Vec<(usize, &S)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, s) in specs.iter().enumerate() {
         shards[i % workers].push((i, s));
     }
     let job = &job;
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut out: Vec<Option<Result<T, JobError>>> = (0..n).map(|_| None).collect();
     let mut timings = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let handles: Vec<_> = shards
@@ -190,8 +319,8 @@ where
                     let jobs = shard.len();
                     let results = shard
                         .into_iter()
-                        .map(|(i, s)| (i, job(i, s)))
-                        .collect::<Vec<(usize, T)>>();
+                        .map(|(i, s)| (i, run_job(job, i, s)))
+                        .collect::<Vec<(usize, Result<T, JobError>)>>();
                     let timing = WorkerTiming {
                         worker: w,
                         jobs,
@@ -202,8 +331,9 @@ where
             })
             .collect();
         for h in handles {
-            // Re-raise worker panics on the caller.
-            let (results, timing) = h.join().expect("fleet worker panicked");
+            // Workers cannot panic out of run_job's catch_unwind; a join
+            // error here would mean the shard loop itself is broken.
+            let (results, timing) = h.join().expect("fleet worker infrastructure panicked");
             timings.push(timing);
             for (i, t) in results {
                 out[i] = Some(t);
@@ -230,7 +360,7 @@ where
     T: Send,
     F: Fn(usize, Scenario) -> T + Sync,
 {
-    map(configs, threads, |i, cfg| fold(i, Scenario::run(cfg)))
+    map(configs, threads, |i, cfg| fold(i, Scenario::run(*cfg)))
 }
 
 /// The merged output of a fleet of replicate runs.
@@ -276,7 +406,7 @@ pub fn run_replicates_timed(
     let seeds: Vec<u64> = (0..n as u64).map(|i| fork_seed(base.seed, i)).collect();
     let configs: Vec<ScenarioConfig> = seeds.iter().map(|&s| base.with_seed(s)).collect();
     let (folded, timings) = map_timed(configs, threads, |_, cfg| {
-        let s = Scenario::run(cfg);
+        let s = Scenario::run(*cfg);
         (s.dataset, s.stats)
     });
     let mut dataset = Dataset::empty();
@@ -311,8 +441,67 @@ mod tests {
 
     #[test]
     fn map_handles_empty_and_singleton() {
-        assert_eq!(map(Vec::<u8>::new(), 8, |_, s| s), Vec::<u8>::new());
+        assert_eq!(map(Vec::<u8>::new(), 8, |_, s| *s), Vec::<u8>::new());
         assert_eq!(map(vec![7u8], 8, |i, s| s + i as u8), vec![7]);
+    }
+
+    #[test]
+    fn try_map_isolates_a_panicking_job_and_keeps_sibling_results() {
+        for threads in [1, 4] {
+            let specs: Vec<u32> = (0..9).collect();
+            let results = try_map(specs, threads, |_, s| {
+                if *s == 4 {
+                    panic!("injected failure on spec {s}");
+                }
+                s * 10
+            });
+            assert_eq!(results.len(), 9);
+            for (i, r) in results.iter().enumerate() {
+                if i == 4 {
+                    let err = r.as_ref().unwrap_err();
+                    assert_eq!(err.index, 4);
+                    assert_eq!(err.attempts, 2);
+                    assert!(err.message.contains("injected failure on spec 4"));
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i as u32 * 10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flaky_job_succeeds_on_the_single_retry() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let first_calls = AtomicU32::new(0);
+        let results = try_map(vec![0u8], 1, |_, _| {
+            if first_calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient");
+            }
+            42u8
+        });
+        assert_eq!(results, vec![Ok(42)]);
+        assert_eq!(first_calls.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn map_aggregates_failures_only_after_all_jobs_ran() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let completed = AtomicU32::new(0);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            map(vec![0u32, 1, 2, 3], 2, |_, s| {
+                if *s == 1 {
+                    panic!("boom");
+                }
+                completed.fetch_add(1, Ordering::SeqCst);
+                *s
+            })
+        }));
+        let err = outcome.unwrap_err();
+        let msg = panic_message(err);
+        assert!(msg.contains("1 fleet job(s) failed"), "got: {msg}");
+        assert!(msg.contains("job 1 failed after 2 attempts: boom"), "got: {msg}");
+        // The three healthy jobs all ran to completion before the panic.
+        assert_eq!(completed.load(Ordering::SeqCst), 3);
     }
 
     #[test]

@@ -18,8 +18,9 @@
 use cw_detection::{RuleSet, Verdict};
 use cw_honeypot::capture::{Capture, Observed};
 use cw_honeypot::deployment::Deployment;
-use cw_honeypot::framework::{HoneypotListener, Persona, PortPolicy};
+use cw_honeypot::framework::{HoneypotListener, ListenerFaults, Persona, PortPolicy};
 use cw_netsim::engine::Engine;
+use cw_netsim::fault::{domain_salt, FaultDomain, FaultPlan, OutageSchedule};
 use cw_netsim::flow::{ConnectionIntent, LoginService};
 use cw_netsim::rng::SimRng;
 use cw_netsim::time::{SimDuration, SimTime};
@@ -133,6 +134,10 @@ pub struct LeakConfig {
     pub scale: f64,
     /// Window length.
     pub horizon: SimDuration,
+    /// Deterministic fault plan (loss, outages, truncation) applied to the
+    /// leak world, derived from this config's own seed. The leak harness
+    /// has no telescope, so `telescope_sample` is ignored here.
+    pub fault: FaultPlan,
 }
 
 impl Default for LeakConfig {
@@ -141,6 +146,7 @@ impl Default for LeakConfig {
             seed: crate::scenario::DEFAULT_SEED ^ 0x1EA4,
             scale: 1.0,
             horizon: SimDuration::WEEK,
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -171,6 +177,19 @@ pub fn run(config: &LeakConfig) -> LeakOutcome {
     let mut alloc = SrcAllocator::new();
     let mut engine = Engine::new();
 
+    // Deterministic fault wiring: same domain-salt layout as the scenario
+    // path (see cw_netsim::fault), derived from the leak harness's own
+    // seed so the leak world degrades independently of the year worlds.
+    if !config.fault.is_none() {
+        config.fault.validate();
+        engine.set_flow_loss(
+            config.fault.flow_loss,
+            domain_salt(config.seed, FaultDomain::FlowLoss),
+        );
+    }
+    let outage_salt = domain_salt(config.seed, FaultDomain::Outage);
+    let trunc_salt = domain_salt(config.seed, FaultDomain::Truncation);
+
     // Indexes and engine sources.
     let censys: SharedIndex = Rc::new(RefCell::new(SearchIndex::new()));
     let shodan: SharedIndex = Rc::new(RefCell::new(SearchIndex::new()));
@@ -194,9 +213,25 @@ pub fn run(config: &LeakConfig) -> LeakOutcome {
         }
         g
     };
-    for (group, n) in groups {
+    for (fleet_index, (group, n)) in groups.into_iter().enumerate() {
         let ips = take(n);
         let mut hp = build_leak_honeypot(&format!("leak/{group:?}"), &ips);
+        if !config.fault.is_none() {
+            // Per-fleet vantage index, mirroring the scenario layout where
+            // each capture point owns an independent outage schedule.
+            hp.set_faults(ListenerFaults {
+                outage: OutageSchedule::derive(
+                    outage_salt,
+                    fleet_index as u64,
+                    config.horizon,
+                    config.fault.outage,
+                    config.fault.outage_windows,
+                ),
+                truncation: config.fault.truncation,
+                truncate_to: config.fault.truncate_to,
+                trunc_salt,
+            });
+        }
         // Engine visibility per group.
         match group {
             LeakGroup::Control | LeakGroup::PreviouslyLeaked => {
@@ -555,6 +590,7 @@ mod tests {
             seed: 77,
             scale: 1.0,
             horizon: SimDuration::WEEK,
+            fault: FaultPlan::none(),
         })
     }
 

@@ -33,10 +33,14 @@
 //! - [`bundle`] — the `Send + Sync` analysis subset of one simulation,
 //!   shareable across fleet workers and serializable;
 //! - [`snapshot`] — the content-addressed simulate-once cache: each
-//!   distinct (year, seed, scale, horizon) world is simulated once and
-//!   every later exhibit render deserializes it from `out/.cache`;
+//!   distinct (year, seed, scale, horizon, fault plan) world is simulated
+//!   once and every later exhibit render deserializes it from
+//!   `out/.cache`;
 //! - [`exhibit`] — the unified registry of all 25 tables/figures/ablations
-//!   as pure renders over shared [`SimBundle`]s (the `cw` CLI's backend).
+//!   as pure renders over shared [`SimBundle`]s (the `cw` CLI's backend);
+//! - [`degrade`] — the `cw degrade` sweep: re-evaluates the headline
+//!   findings under a ladder of deterministic fault plans
+//!   ([`cw_netsim::fault`]) and reports their stability.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -45,6 +49,7 @@ pub mod axes;
 pub mod bundle;
 pub mod compare;
 pub mod dataset;
+pub mod degrade;
 pub mod exhibit;
 pub mod figure1;
 pub mod fleet;

@@ -39,6 +39,7 @@ use cw_honeypot::deployment::Deployment;
 use cw_honeypot::telescope::Telescope;
 use cw_netsim::asn::AsRegistry;
 use cw_netsim::engine::{Engine, RunStats};
+use cw_netsim::fault::{domain_salt, FaultDomain, FaultPlan};
 use cw_netsim::intern::{CredId, Interner, PayloadId};
 use cw_netsim::time::{SimDuration, SimTime};
 use cw_scanners::population::{self, PopulationConfig, PopulationHandles, ScenarioYear};
@@ -66,6 +67,14 @@ pub struct ScenarioConfig {
     /// identity (snapshot keys and [`crate::bundle::SimBundle::matches`]
     /// ignore it).
     pub shards: usize,
+    /// Injected measurement faults. [`FaultPlan::none`] (the constructors'
+    /// default) is the perfect-sensor world of the golden manifest; a
+    /// non-trivial plan *is* part of the world's identity (snapshot keys
+    /// and [`crate::bundle::SimBundle::matches`] include it). Fault
+    /// schedules are pure functions of `fork_seed(seed, FAULT_DOMAIN)`, so
+    /// a faulted world is still byte-identical across threads × shards ×
+    /// cache states.
+    pub fault: FaultPlan,
 }
 
 impl ScenarioConfig {
@@ -77,6 +86,7 @@ impl ScenarioConfig {
             scale: 1.0,
             horizon: SimDuration::WEEK,
             shards: 0,
+            fault: FaultPlan::none(),
         }
     }
 
@@ -88,6 +98,7 @@ impl ScenarioConfig {
             scale: 0.06,
             horizon: SimDuration::WEEK,
             shards: 0,
+            fault: FaultPlan::none(),
         }
     }
 
@@ -107,6 +118,14 @@ impl ScenarioConfig {
     /// one shard per unit of available parallelism.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Inject a fault plan (builder style). Panics on rates outside
+    /// `[0, 1]` — the configuration boundary is where bad plans must die.
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        fault.validate();
+        self.fault = fault;
         self
     }
 
@@ -164,7 +183,12 @@ impl Scenario {
     /// The unsharded path: one engine runs the whole population.
     fn run_single(config: ScenarioConfig) -> Scenario {
         let deployment = Deployment::standard();
+        deployment.apply_faults(&config.fault, config.seed, config.horizon);
         let mut engine = Engine::new();
+        engine.set_flow_loss(
+            config.fault.flow_loss,
+            domain_salt(config.seed, FaultDomain::FlowLoss),
+        );
         deployment.register(&mut engine);
         let pop = population::build(
             &PopulationConfig {
@@ -187,7 +211,7 @@ impl Scenario {
         // folds its engine's output to a `Send` ShardRun. One worker
         // thread per shard, capped at hardware parallelism by `map`.
         let mut runs = crate::fleet::map((0..shards).collect(), shards, |_, shard| {
-            run_one_shard(config, shard, shards)
+            run_one_shard(config, *shard, shards)
         });
 
         // Merge on the calling thread, into a fresh deployment whose
@@ -289,7 +313,14 @@ struct ShardRun {
 fn run_one_shard(config: ScenarioConfig, shard: usize, shards: usize) -> ShardRun {
     let started = std::time::Instant::now();
     let deployment = Deployment::standard();
+    // Every shard derives the same fault schedules from the same config —
+    // pure functions of (seed, vantage index), never of the shard count.
+    deployment.apply_faults(&config.fault, config.seed, config.horizon);
     let mut engine = Engine::new();
+    engine.set_flow_loss(
+        config.fault.flow_loss,
+        domain_salt(config.seed, FaultDomain::FlowLoss),
+    );
     deployment.register(&mut engine);
     let pop = population::build(
         &PopulationConfig {

@@ -25,6 +25,13 @@
 //! wall-clock time — the same contract the fleet runner makes for thread
 //! count.
 //!
+//! A file that *exists* at the right address but fails to load is not
+//! silently re-simulated over: [`load_or_run`] renames it to
+//! `<name>.cwsnap.corrupt` with a one-line stderr warning before healing
+//! the cache, so repeated corruption (a flaky disk, a truncating sync
+//! tool) stays visible instead of costing a quiet re-simulation each run.
+//! [`load_from`] itself stays a pure read with no side effects.
+//!
 //! # Location
 //!
 //! `out/.cache` under the working directory by default (next to the
@@ -61,7 +68,7 @@ pub fn cache_dir() -> PathBuf {
 /// enter the key: sharded and unsharded runs of one configuration are
 /// byte-identical, so every shard count shares one snapshot.
 fn cache_key(config: &ScenarioConfig) -> String {
-    let canonical = format!(
+    let mut canonical = format!(
         "cw-snapshot-v{} year={} seed={:#x} scale={:016x} horizon={}",
         snap::FORMAT_VERSION,
         config.year.year(),
@@ -69,6 +76,12 @@ fn cache_key(config: &ScenarioConfig) -> String {
         config.scale.to_bits(),
         config.horizon.secs(),
     );
+    // A non-trivial fault plan is a different world and gets its own
+    // address; the no-fault plan appends nothing, so fault-free worlds
+    // keep the exact addresses they had before fault injection existed.
+    if let Some(fragment) = config.fault.cache_key_fragment() {
+        canonical.push_str(&fragment);
+    }
     sha256_hex(canonical.as_bytes())
 }
 
@@ -149,6 +162,26 @@ pub fn load_or_run(config: ScenarioConfig, use_cache: bool) -> (SimBundle, Prove
     load_or_run_in(&cache_dir(), config, use_cache)
 }
 
+/// Move an unloadable snapshot aside as `<name>.cwsnap.corrupt`, warning
+/// on stderr. Never touches rendered output; a failed rename only means
+/// the corrupt file stays where it was (and will be re-reported).
+fn quarantine(path: &Path) {
+    let mut quarantined = path.as_os_str().to_os_string();
+    quarantined.push(".corrupt");
+    let dst = PathBuf::from(quarantined);
+    match std::fs::rename(path, &dst) {
+        Ok(()) => eprintln!(
+            "cw: warning: quarantined corrupt snapshot {} (kept as {})",
+            path.display(),
+            dst.display()
+        ),
+        Err(e) => eprintln!(
+            "cw: warning: corrupt snapshot {} could not be quarantined: {e}",
+            path.display()
+        ),
+    }
+}
+
 /// [`load_or_run`] against an explicit cache directory.
 pub fn load_or_run_in(dir: &Path, config: ScenarioConfig, use_cache: bool) -> (SimBundle, Provenance) {
     if use_cache {
@@ -161,6 +194,14 @@ pub fn load_or_run_in(dir: &Path, config: ScenarioConfig, use_cache: bool) -> (S
                     read_secs: start.elapsed().as_secs_f64(),
                 },
             );
+        }
+        // Distinguish a cold cache from a damaged one: a file at the right
+        // address that failed to load is quarantined (rename + warning) so
+        // repeated corruption is visible; the re-simulation below then
+        // heals the cache with a fresh snapshot.
+        let path = snapshot_path_in(dir, &config);
+        if path.exists() {
+            quarantine(&path);
         }
     }
     let start = Instant::now();
@@ -234,11 +275,17 @@ mod tests {
         bytes[mid] ^= 0x5A;
         std::fs::write(&path, &bytes).unwrap();
         let deployment = Deployment::standard();
+        // load_from is a pure read: no quarantine side effects.
         assert!(load_from(&dir, &cfg, &deployment).is_none());
+        assert!(path.exists());
         let (again, p) = load_or_run_in(&dir, cfg, true);
         assert!(!p.is_hit());
         assert!(equivalent(&cold, &again));
-        // The re-simulation healed the cache in passing.
+        // The corrupt file was quarantined, not overwritten, and the
+        // re-simulation healed the cache in passing.
+        let mut corrupt = path.as_os_str().to_os_string();
+        corrupt.push(".corrupt");
+        assert!(PathBuf::from(corrupt).exists());
         assert!(load_from(&dir, &cfg, &deployment).is_some());
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -310,6 +357,33 @@ mod tests {
                 assert_ne!(a, b);
             }
         }
+    }
+
+    #[test]
+    fn fault_plans_address_distinct_worlds() {
+        use cw_netsim::fault::FaultPlan;
+        let dir = PathBuf::from("out/.cache");
+        let base = test_config(1);
+        // The none plan and an all-defaults config share an address — the
+        // legacy fault-free address is unchanged.
+        assert_eq!(
+            snapshot_path_in(&dir, &base),
+            snapshot_path_in(&dir, &base.with_fault(FaultPlan::none())),
+        );
+        // Every distinct non-trivial plan gets its own address.
+        let lossy = base.with_fault(FaultPlan {
+            flow_loss: 0.1,
+            ..FaultPlan::none()
+        });
+        let lossier = base.with_fault(FaultPlan {
+            flow_loss: 0.2,
+            ..FaultPlan::none()
+        });
+        assert_ne!(snapshot_path_in(&dir, &base), snapshot_path_in(&dir, &lossy));
+        assert_ne!(
+            snapshot_path_in(&dir, &lossy),
+            snapshot_path_in(&dir, &lossier)
+        );
     }
 
     #[test]

@@ -25,12 +25,14 @@
 //! | honeytrap/google-east  | 20.21.2.0/31                  |
 //! | leak/stanford          | 171.64.10.0/26                |
 
-use crate::framework::{HoneypotListener, Persona, PortPolicy};
-use crate::telescope::Telescope;
+use crate::framework::{HoneypotListener, ListenerFaults, Persona, PortPolicy};
+use crate::telescope::{Telescope, TelescopeFaults};
 use cw_netsim::engine::Engine;
+use cw_netsim::fault::{domain_salt, FaultDomain, FaultPlan, OutageSchedule};
 use cw_netsim::flow::LoginService;
 use cw_netsim::geo::{Continent, Region};
 use cw_netsim::ip::Cidr;
+use cw_netsim::time::SimDuration;
 use cw_netsim::topology::{AddressBlock, Topology};
 use std::cell::RefCell;
 use std::net::Ipv4Addr;
@@ -406,6 +408,54 @@ impl Deployment {
             honeypots,
             telescope,
             vantages,
+        }
+    }
+
+    /// Inject a fault plan into every vantage of this deployment.
+    ///
+    /// Vantage indices are assigned by construction order — telescope 0,
+    /// then honeypot listeners 1.. in registration order — which is fixed
+    /// for a given deployment constructor, so every shard that builds the
+    /// same deployment derives the same per-vantage outage schedules. A
+    /// trivial plan ([`FaultPlan::is_none`]) installs nothing at all: the
+    /// fault-free fast paths stay byte-identical to a world where this
+    /// method was never called.
+    ///
+    /// `seed` is the *scenario* seed (the fault domain is forked off it
+    /// internally); `horizon` is the collection window outages are placed
+    /// within.
+    pub fn apply_faults(&self, plan: &FaultPlan, seed: u64, horizon: SimDuration) {
+        if plan.is_none() {
+            return;
+        }
+        plan.validate();
+        let outage_salt = domain_salt(seed, FaultDomain::Outage);
+        let trunc_salt = domain_salt(seed, FaultDomain::Truncation);
+        let sample_salt = domain_salt(seed, FaultDomain::TelescopeSample);
+        self.telescope.borrow_mut().set_faults(TelescopeFaults {
+            outage: OutageSchedule::derive(
+                outage_salt,
+                0,
+                horizon,
+                plan.outage,
+                plan.outage_windows,
+            ),
+            sample: plan.telescope_sample.max(1),
+            sample_salt,
+        });
+        for (i, hp) in self.honeypots.iter().enumerate() {
+            hp.borrow_mut().set_faults(ListenerFaults {
+                outage: OutageSchedule::derive(
+                    outage_salt,
+                    (i + 1) as u64,
+                    horizon,
+                    plan.outage,
+                    plan.outage_windows,
+                ),
+                truncation: plan.truncation,
+                truncate_to: plan.truncate_to,
+                trunc_salt,
+            });
         }
     }
 

@@ -18,6 +18,7 @@
 use crate::capture::{Capture, Observed, ScanEvent};
 use crate::cowrie;
 use cw_netsim::engine::{FlowOutcome, Listener};
+use cw_netsim::fault::{flow_coin, OutageSchedule};
 use cw_netsim::flow::{ConnectionIntent, Flow};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
@@ -72,6 +73,27 @@ impl Persona {
     }
 }
 
+/// Injected measurement faults on one honeypot vantage (see
+/// `cw_netsim::fault` for the determinism contract).
+///
+/// A vantage in an outage window observes nothing and answers nothing — the
+/// sensor is down, so from the scanner's side the address looks dark. A
+/// truncated capture keeps only the first `truncate_to` bytes of the
+/// payload it would have recorded; the truncation coin is a pure hash of
+/// the flow identity under `trunc_salt`, so every execution strategy
+/// truncates the same captures.
+#[derive(Debug, Clone, Default)]
+pub struct ListenerFaults {
+    /// Deterministic downtime schedule for this vantage.
+    pub outage: OutageSchedule,
+    /// Fraction of recorded payload captures truncated, in `[0, 1]`.
+    pub truncation: f64,
+    /// Bytes kept of a truncated capture.
+    pub truncate_to: u32,
+    /// Truncation coin salt (the fault plan's truncation domain salt).
+    pub trunc_salt: u64,
+}
+
 /// A honeypot instance covering a set of IPs.
 pub struct HoneypotListener {
     name: String,
@@ -87,6 +109,8 @@ pub struct HoneypotListener {
     /// (empty set = fully blocked). Unlisted sources reach everything.
     source_allowed_ports: BTreeMap<Ipv4Addr, BTreeSet<u16>>,
     capture: Rc<RefCell<Capture>>,
+    /// Injected measurement faults; `None` is the (default) perfect sensor.
+    faults: Option<ListenerFaults>,
 }
 
 impl HoneypotListener {
@@ -102,7 +126,15 @@ impl HoneypotListener {
             port_restrictions: BTreeMap::new(),
             source_allowed_ports: BTreeMap::new(),
             capture: Rc::new(RefCell::new(Capture::new(name))),
+            faults: None,
         }
+    }
+
+    /// Inject measurement faults into this vantage. Called by the
+    /// deployment when a non-trivial fault plan is active; the default
+    /// (no faults) is the perfect sensor the golden manifest assumes.
+    pub fn set_faults(&mut self, faults: ListenerFaults) {
+        self.faults = Some(faults);
     }
 
     /// Set the policy for one port (builder style).
@@ -187,6 +219,13 @@ impl Listener for HoneypotListener {
     }
 
     fn on_flow(&mut self, flow: &Flow) -> FlowOutcome {
+        // A vantage in an injected outage window is down: no handshake,
+        // nothing recorded, nothing indexed — same as dark space.
+        if let Some(f) = &self.faults {
+            if f.outage.is_down(flow.time) {
+                return FlowOutcome::dark();
+            }
+        }
         if let Some(allowed) = self.source_allowed_ports.get(&flow.src) {
             if !allowed.contains(&flow.dst_port) {
                 // Firewalled: no handshake, nothing observed, nothing indexed.
@@ -199,6 +238,19 @@ impl Listener for HoneypotListener {
             }
         }
         let policy = self.policy_for(flow.dst_port);
+        // Injected capture truncation decides on the flow identity *before*
+        // interning: a truncated capture must never intern the full payload,
+        // or the interner's contents would diverge from what was recorded.
+        let truncate_to: Option<usize> = self.faults.as_ref().and_then(|f| {
+            if f.truncation > 0.0
+                && flow_coin(f.trunc_salt, flow.time, flow.src, flow.dst, flow.dst_port)
+                    < f.truncation
+            {
+                Some(f.truncate_to as usize)
+            } else {
+                None
+            }
+        });
         // Intern at the record boundary: blob bytes stop here, events carry ids.
         let observed = {
             let capture = self.capture.borrow();
@@ -223,12 +275,25 @@ impl Listener for HoneypotListener {
                         }
                     }
                     ConnectionIntent::Login { .. } => Observed::Handshake,
-                    ConnectionIntent::Payload(p) => Observed::Payload(interner.intern_payload(p)),
+                    ConnectionIntent::Payload(p) => Observed::Payload(match truncate_to {
+                        Some(n) if p.len() > n => interner.intern_payload(&p[..n]),
+                        _ => interner.intern_payload(p),
+                    }),
                     ConnectionIntent::ProbeOnly => Observed::Handshake,
                 },
-                PortPolicy::FirstPayload => match flow.intent.first_payload_id(&mut interner) {
-                    Some(p) => Observed::Payload(p),
-                    None => Observed::Handshake,
+                PortPolicy::FirstPayload => match truncate_to {
+                    // Fault slow lane: materialize the bytes, cut, intern.
+                    Some(n) => match flow.intent.first_payload_bytes() {
+                        Some(p) => {
+                            let keep = p.len().min(n);
+                            Observed::Payload(interner.intern_payload(&p[..keep]))
+                        }
+                        None => Observed::Handshake,
+                    },
+                    None => match flow.intent.first_payload_id(&mut interner) {
+                        Some(p) => Observed::Payload(p),
+                        None => Observed::Handshake,
+                    },
                 },
             }
         };

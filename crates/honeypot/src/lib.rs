@@ -31,5 +31,5 @@ pub mod telescope;
 pub use capture::{Capture, Observed, ScanEvent};
 pub use deployment::{CollectorKind, Deployment, NetworkKind, Provider, VantagePoint};
 pub use firewall::Firewall;
-pub use framework::{HoneypotListener, Persona, PortPolicy};
-pub use telescope::Telescope;
+pub use framework::{HoneypotListener, ListenerFaults, Persona, PortPolicy};
+pub use telescope::{Telescope, TelescopeFaults};

@@ -16,12 +16,29 @@
 //! (source, port) sets for the overlap analyses — not full event records.
 
 use cw_netsim::engine::{FlowOutcome, Listener};
+use cw_netsim::fault::{flow_hash, OutageSchedule};
 use cw_netsim::flow::Flow;
 use cw_netsim::ip::IpExt;
 use cw_netsim::snap::{SnapError, SnapReader, SnapWriter};
 use cw_netsim::topology::AddressBlock;
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
+
+/// Injected measurement faults on the telescope (see `cw_netsim::fault`).
+///
+/// Telescopes in the wild sample: recording every first packet of 475K IPs
+/// is expensive, so operators keep 1 in N. Both mechanisms here drop the
+/// packet *before* any counter updates, so a faulted telescope's state is
+/// exactly what a smaller/flakier sensor would have collected.
+#[derive(Debug, Clone, Default)]
+pub struct TelescopeFaults {
+    /// Deterministic downtime schedule for the whole telescope.
+    pub outage: OutageSchedule,
+    /// Keep 1 in `sample` packets (0 and 1 both mean "keep everything").
+    pub sample: u32,
+    /// Sampling decision salt (the fault plan's telescope domain salt).
+    pub sample_salt: u64,
+}
 
 /// A passive telescope over an address block.
 #[derive(Debug, Clone)]
@@ -44,6 +61,10 @@ pub struct Telescope {
     asn_counts_all: BTreeMap<u32, u64>,
     /// Total first packets observed.
     total_packets: u64,
+    /// Injected measurement faults; `None` is the (default) perfect sensor.
+    /// Deliberately not serialized: a restored telescope is a read-only
+    /// analysis input, and fault schedules belong to the live run's config.
+    faults: Option<TelescopeFaults>,
 }
 
 impl Telescope {
@@ -67,7 +88,14 @@ impl Telescope {
             asn_counts: BTreeMap::new(),
             asn_counts_all: BTreeMap::new(),
             total_packets: 0,
+            faults: None,
         }
+    }
+
+    /// Inject measurement faults. Called by the deployment when a
+    /// non-trivial fault plan is active.
+    pub fn set_faults(&mut self, faults: TelescopeFaults) {
+        self.faults = Some(faults);
     }
 
     /// The covered block.
@@ -289,6 +317,7 @@ impl Telescope {
             asn_counts,
             asn_counts_all,
             total_packets,
+            faults: None,
         })
     }
 }
@@ -303,6 +332,20 @@ impl Listener for Telescope {
     }
 
     fn on_flow(&mut self, flow: &Flow) -> FlowOutcome {
+        // Injected faults drop the packet before any counter updates. Both
+        // decisions are pure in the flow identity (never the engine-local
+        // seq), so sharded and unsharded runs drop the same packets.
+        if let Some(f) = &self.faults {
+            if f.outage.is_down(flow.time) {
+                return FlowOutcome::dark();
+            }
+            if f.sample > 1
+                && !flow_hash(f.sample_salt, flow.time, flow.src, flow.dst, flow.dst_port)
+                    .is_multiple_of(f.sample as u64)
+            {
+                return FlowOutcome::dark();
+            }
+        }
         self.total_packets += 1;
         let src = flow.src.to_u32();
         self.unique_srcs.insert(src);

@@ -11,6 +11,7 @@
 //! handle to read captured data after the run — single-threaded determinism
 //! is a feature here, not a limitation (see DESIGN.md §7).
 
+use crate::fault::FlowLoss;
 use crate::flow::{Flow, FlowSpec};
 use crate::time::SimTime;
 use std::cell::RefCell;
@@ -113,6 +114,9 @@ pub struct RunStats {
     pub flows_delivered: u64,
     /// Flows sent to space no listener covers.
     pub flows_unrouted: u64,
+    /// Flows dropped by injected network loss before reaching any listener
+    /// (zero unless a fault plan is active — see [`crate::fault`]).
+    pub flows_lost: u64,
     /// Time of the last processed wake.
     pub last_time: SimTime,
 }
@@ -128,6 +132,7 @@ impl RunStats {
         self.wakes += other.wakes;
         self.flows_delivered += other.flows_delivered;
         self.flows_unrouted += other.flows_unrouted;
+        self.flows_lost += other.flows_lost;
         self.last_time = self.last_time.max(other.last_time);
     }
 }
@@ -138,6 +143,7 @@ struct NetworkCtx<'a> {
     listeners: &'a [Rc<RefCell<dyn Listener>>],
     stats: &'a mut RunStats,
     flow_seq: &'a mut u64,
+    flow_loss: Option<FlowLoss>,
 }
 
 impl Network for NetworkCtx<'_> {
@@ -149,6 +155,17 @@ impl Network for NetworkCtx<'_> {
         let mut flow = Flow::from_spec(spec, self.now, self.agent);
         flow.seq = *self.flow_seq;
         *self.flow_seq += 1;
+        // Injected network loss decides on the flow's *identity* — never on
+        // its engine-local `seq`, which differs between sharded and
+        // unsharded runs of the same world (see `crate::fault`). The seq
+        // counter above still advances for lost flows so the surviving
+        // flows keep their relative send order either way.
+        if let Some(loss) = self.flow_loss {
+            if loss.drops(flow.time, flow.src, flow.dst, flow.dst_port) {
+                self.stats.flows_lost += 1;
+                return FlowOutcome::dark();
+            }
+        }
         for l in self.listeners {
             // A listener must not send flows, so borrowing here cannot
             // re-enter; `covers` is checked on the same borrow.
@@ -170,6 +187,7 @@ pub struct Engine {
     queue: BinaryHeap<Reverse<(SimTime, AgentId)>>,
     stats: RunStats,
     flow_seq: u64,
+    flow_loss: Option<FlowLoss>,
 }
 
 impl Default for Engine {
@@ -187,7 +205,20 @@ impl Engine {
             queue: BinaryHeap::new(),
             stats: RunStats::default(),
             flow_seq: 0,
+            flow_loss: None,
         }
+    }
+
+    /// Inject deterministic network-level flow loss: every sent flow is
+    /// dropped with probability `rate`, decided by a pure hash of the
+    /// flow's identity under `salt` (see [`crate::fault::flow_coin`]).
+    /// A rate of 0 disables loss entirely.
+    pub fn set_flow_loss(&mut self, rate: f64, salt: u64) {
+        self.flow_loss = if rate > 0.0 {
+            Some(FlowLoss { rate, salt })
+        } else {
+            None
+        };
     }
 
     /// Register an agent with its first wake time; returns its id.
@@ -269,6 +300,7 @@ impl Engine {
                     listeners: &self.listeners,
                     stats: &mut self.stats,
                     flow_seq: &mut self.flow_seq,
+                    flow_loss: self.flow_loss,
                 };
                 agent.on_wake(t, &mut ctx)
             };
@@ -501,18 +533,21 @@ mod tests {
             wakes: 3,
             flows_delivered: 2,
             flows_unrouted: 1,
+            flows_lost: 4,
             last_time: SimTime(9),
         };
         let mut b = RunStats {
             wakes: 10,
             flows_delivered: 4,
             flows_unrouted: 0,
+            flows_lost: 1,
             last_time: SimTime(5),
         };
         b.absorb(a);
         assert_eq!(b.wakes, 13);
         assert_eq!(b.flows_delivered, 6);
         assert_eq!(b.flows_unrouted, 1);
+        assert_eq!(b.flows_lost, 5);
         assert_eq!(b.last_time, SimTime(9));
     }
 
@@ -552,6 +587,45 @@ mod tests {
         let mut e = Engine::new();
         e.add_agent(Box::new(Stuck), SimTime(0));
         e.run(SimTime(10));
+    }
+
+    #[test]
+    fn flow_loss_drops_deterministically_and_zero_rate_is_identity() {
+        fn run_with(rate: f64) -> (RunStats, Vec<(SimTime, Ipv4Addr, u16)>) {
+            let mut e = Engine::new();
+            e.set_flow_loss(rate, 0xFA17);
+            let sink = Rc::new(RefCell::new(Sink { seen: vec![] }));
+            e.add_listener(sink.clone());
+            for i in 0..8u8 {
+                e.add_agent(
+                    Box::new(Pinger {
+                        remaining: 50,
+                        dst: Ipv4Addr::new(10, 0, 0, i),
+                        outcomes: vec![],
+                    }),
+                    SimTime(i as u64),
+                );
+            }
+            let stats = e.run(SimTime(10_000));
+            let log = sink.borrow().seen.clone();
+            (stats, log)
+        }
+        // Zero rate is byte-for-byte the fault-free world.
+        let (s0, log0) = run_with(0.0);
+        let (s_off, log_off) = run_with(-0.0);
+        assert_eq!(s0.flows_lost, 0);
+        assert_eq!((s0, &log0), (s_off, &log_off));
+        // A lossy run drops a plausible fraction, identically every time.
+        let (s1, log1) = run_with(0.3);
+        let (s2, log2) = run_with(0.3);
+        assert_eq!((s1, &log1), (s2, &log2));
+        assert!(s1.flows_lost > 0);
+        assert_eq!(s1.flows_delivered + s1.flows_lost, s0.flows_delivered);
+        let frac = s1.flows_lost as f64 / s0.flows_delivered as f64;
+        assert!((0.2..0.4).contains(&frac), "loss fraction {frac}");
+        // Survivors are a subsequence of the fault-free log.
+        let mut it = log0.iter();
+        assert!(log1.iter().all(|e| it.any(|f| f == e)));
     }
 
     #[test]

@@ -25,6 +25,9 @@
 //!   blocks, education /26s);
 //! - [`engine`] — the discrete-event loop that wakes scanner agents and
 //!   routes their flows to registered listeners (honeypots, telescope);
+//! - [`fault`] — deterministic measurement-fault injection: seed-derived
+//!   flow loss, per-vantage outage schedules, capture truncation, and
+//!   telescope sampling, all pure functions of the scenario seed;
 //! - [`sha256`] — a from-scratch FIPS 180-4 SHA-256 shared by the
 //!   snapshot cache and the golden-exhibit manifest in `cw-verify`;
 //! - [`snap`] — the little-endian binary snapshot codec plus the sealed
@@ -45,6 +48,7 @@
 
 pub mod asn;
 pub mod engine;
+pub mod fault;
 pub mod flow;
 pub mod geo;
 pub mod intern;
@@ -58,6 +62,7 @@ pub mod topology;
 
 pub use asn::{AsCategory, AsInfo, AsRegistry, Asn};
 pub use engine::{Agent, AgentId, Engine, FlowOutcome, Listener, Network, RunStats, ServiceReply};
+pub use fault::{FaultPlan, OutageSchedule};
 pub use flow::{ConnectionIntent, Flow, FlowSpec, LoginService};
 pub use geo::{Continent, Region};
 pub use intern::{CredId, Interner, PayloadId};

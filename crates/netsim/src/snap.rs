@@ -40,7 +40,10 @@ pub const MAGIC: [u8; 8] = *b"CWSNAP\x00\x01";
 /// Current snapshot format version. Bump whenever any encoded layout
 /// changes; stale cache entries then miss on the version check (and on
 /// the content-addressed filename) and are re-simulated.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// Version history: 1 = initial sealed-container layout; 2 = scenario
+/// config carries a serialized [`crate::fault::FaultPlan`].
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Why a snapshot failed to decode.
 ///

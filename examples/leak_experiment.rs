@@ -14,6 +14,7 @@ fn main() {
         seed: 2023,
         scale: 1.0,
         horizon: SimDuration::WEEK,
+        ..LeakConfig::default()
     });
 
     println!("fold increase in traffic/hour vs the control group\n");

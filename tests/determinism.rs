@@ -7,6 +7,7 @@ use cloud_watching::core::exhibit::{ExhibitCx, ExhibitOptions, REGISTRY};
 use cloud_watching::core::fleet;
 use cloud_watching::core::neighborhood;
 use cloud_watching::core::scenario::{Scenario, ScenarioConfig, DEFAULT_SEED};
+use cloud_watching::netsim::fault::FaultPlan;
 use cloud_watching::netsim::rng::{fork_seed, SimRng};
 use cloud_watching::scanners::population::{self, ScenarioYear};
 use proptest::prelude::*;
@@ -111,6 +112,7 @@ fn render_all(shards: usize, threads: usize) -> BTreeMap<&'static str, String> {
         seed: DEFAULT_SEED,
         year: None,
         shards,
+        fault: FaultPlan::none(),
     };
     let years = [ScenarioYear::Y2020, ScenarioYear::Y2021, ScenarioYear::Y2022];
     let configs: Vec<ScenarioConfig> = years
@@ -121,7 +123,7 @@ fn render_all(shards: usize, threads: usize) -> BTreeMap<&'static str, String> {
                 .with_shards(shards)
         })
         .collect();
-    let bundles: BTreeMap<u16, SimBundle> = fleet::map(configs, threads, |_, c| SimBundle::run(c))
+    let bundles: BTreeMap<u16, SimBundle> = fleet::map(configs, threads, |_, c| SimBundle::run(*c))
         .into_iter()
         .map(|b| (b.config.year.year(), b))
         .collect();
@@ -143,6 +145,57 @@ fn exhibits_byte_identical_across_shard_and_thread_matrix() {
                 text, &rendered[name],
                 "exhibit {name} drifted at shards={shards} threads={threads}"
             );
+        }
+    }
+}
+
+/// The fault-injection contract: a fixed non-trivial [`FaultPlan`] is part
+/// of world identity, and the degraded world is *itself* byte-identical
+/// across the whole shard × thread matrix — fault schedules are pure
+/// functions of the seed, never of execution layout.
+#[test]
+fn faulted_world_is_byte_identical_across_shard_and_thread_matrix() {
+    let plan = FaultPlan {
+        flow_loss: 0.15,
+        outage: 0.10,
+        outage_windows: 2,
+        truncation: 0.30,
+        truncate_to: 32,
+        telescope_sample: 2,
+    };
+    let base = ScenarioConfig::fast(ScenarioYear::Y2021)
+        .with_scale(0.03)
+        .with_fault(plan);
+    let configs: Vec<ScenarioConfig> = [1usize, 3, 8].iter().map(|&k| base.with_shards(k)).collect();
+    let mut batches = Vec::new();
+    for threads in [1usize, 8] {
+        batches.push((
+            threads,
+            fleet::map(configs.clone(), threads, |_, c| SimBundle::run(*c)),
+        ));
+    }
+    let baseline = &batches[0].1[0];
+    assert!(
+        baseline.stats.flows_lost > 0,
+        "a 15% loss plan must actually drop flows"
+    );
+    assert!(!baseline.dataset.is_empty(), "the degraded world still records");
+    for (threads, batch) in &batches {
+        for (i, b) in batch.iter().enumerate() {
+            let ctx = format!("shards={} threads={}", [1, 3, 8][i], threads);
+            assert_eq!(baseline.stats, b.stats, "{ctx}");
+            assert_eq!(baseline.dataset.len(), b.dataset.len(), "{ctx}");
+            for (ea, eb) in baseline.dataset.events().zip(b.dataset.events()) {
+                assert_eq!(ea.event, eb.event, "{ctx}");
+                assert_eq!(ea.verdict, eb.verdict, "{ctx}");
+            }
+            assert_eq!(
+                baseline.telescope.total_packets(),
+                b.telescope.total_packets(),
+                "{ctx}"
+            );
+            assert_eq!(baseline.censys_indexed, b.censys_indexed, "{ctx}");
+            assert_eq!(baseline.shodan_indexed, b.shodan_indexed, "{ctx}");
         }
     }
 }
@@ -222,8 +275,8 @@ proptest! {
         // Each job consumes its own forked RNG stream — a miniature
         // scenario run (seed-split, state-free, deterministic).
         let specs: Vec<u64> = (0..n as u64).map(|i| fork_seed(master, i)).collect();
-        let job = |i: usize, spec: u64| {
-            let mut rng = SimRng::seed_from_u64(spec);
+        let job = |i: usize, spec: &u64| {
+            let mut rng = SimRng::seed_from_u64(*spec);
             let mut acc = i as u64;
             for _ in 0..64 {
                 acc = acc.wrapping_mul(3).wrapping_add(rng.next_u64());
@@ -238,11 +291,52 @@ proptest! {
         let permuted: Vec<u64> = order.iter().map(|&i| specs[i]).collect();
         // The job only sees its spec, not its position, in this variant.
         let permuted_out = fleet::map(permuted, threads, |_, spec| job(0, spec));
-        let positional: Vec<u64> = specs.iter().map(|&s| job(0, s)).collect();
+        let positional: Vec<u64> = specs.iter().map(|s| job(0, s)).collect();
         let mut unpermuted = vec![0u64; n];
         for (k, &i) in order.iter().enumerate() {
             unpermuted[i] = permuted_out[k];
         }
         prop_assert_eq!(positional, unpermuted);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The none-plan gate: any all-zero-rate plan (whatever its shape
+    /// knobs say) is `is_none`, takes the legacy fault-free code path, and
+    /// produces a world byte-identical to a config that never mentioned
+    /// faults at all.
+    #[test]
+    fn zero_rate_fault_plan_is_byte_identical_to_no_plan(
+        seed in any::<u64>(),
+        windows in 1u32..5,
+        keep in prop::sample::select(vec![0u32, 16, 64, 1024]),
+    ) {
+        let zero = FaultPlan {
+            flow_loss: 0.0,
+            outage: 0.0,
+            outage_windows: windows,
+            truncation: 0.0,
+            truncate_to: keep,
+            telescope_sample: 1,
+        };
+        prop_assert!(zero.is_none());
+        let base = ScenarioConfig::fast(ScenarioYear::Y2021)
+            .with_seed(seed)
+            .with_scale(0.01);
+        let a = Scenario::run(base);
+        let b = Scenario::run(base.with_fault(zero));
+        prop_assert_eq!(a.stats, b.stats);
+        prop_assert_eq!(a.stats.flows_lost, 0);
+        prop_assert_eq!(a.dataset.len(), b.dataset.len());
+        for (ea, eb) in a.dataset.events().zip(b.dataset.events()) {
+            prop_assert_eq!(&ea.event, &eb.event);
+            prop_assert_eq!(ea.verdict, eb.verdict);
+        }
+        prop_assert_eq!(
+            a.telescope.borrow().total_packets(),
+            b.telescope.borrow().total_packets()
+        );
     }
 }
