@@ -19,9 +19,16 @@
 //! next to the simulation cost it replaces. The `bench_query` phase times
 //! the query layer's shared column scan (the Tables 8+9 [`Batch`]) against
 //! hand-rolled independent sweeps producing identical sets, recording both
-//! as `query_rows_per_sec` / `handrolled_rows_per_sec`.
+//! as `query_rows_per_sec` / `handrolled_rows_per_sec`. The streaming
+//! dataset build is timed on the same world (`streaming_build_secs`, with
+//! `stream_windows` / `peak_window_rows` / a modeled
+//! `peak_resident_estimate`), and a final `sweep` phase runs the `cw
+//! sweep` driver cold and warm over a tiny 2-cell grid against a private
+//! cache, asserting the simulate-once contract (cold simulations ==
+//! distinct cells, warm == 0, byte-identical reports) before recording the
+//! walls.
 
-use cw_bench::{parse_args, run_config};
+use cw_bench::{parse_args, phase1b_shards, run_config};
 use cw_core::dataset::Dataset;
 use cw_core::exhibit::{self, ExhibitCx, ExhibitOptions};
 use cw_core::fleet;
@@ -49,23 +56,34 @@ fn main() {
         .with_seed(opts.seed)
         .with_scale(opts.scale);
 
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
     // Phase 1: one full scenario (engine + first dataset build), pinned to
-    // the single-engine path so `scenario_wall_secs` keeps its historical
-    // meaning across machines.
+    // the single-engine *materialized* path so `scenario_wall_secs` keeps
+    // its historical meaning across machines — and so Phase 2 below can
+    // re-run the dataset build from the still-live captures, which the
+    // streaming build drains.
+    eprintln!(
+        "[cw] running {} scenario (scale {}, seed {:#x}, materialized) ...",
+        config.year.year(),
+        config.scale,
+        config.seed
+    );
     let t0 = Instant::now();
-    let s = run_config(config.with_shards(1));
+    let s = cw_core::scenario::Scenario::run_materialized(config.with_shards(1));
     let scenario_secs = t0.elapsed().as_secs_f64();
     let events = s.dataset.len() as u64;
 
     // Phase 1b: the same world through the sharded path. `--shards`/
-    // `CW_SHARDS` is honored; auto picks at least 2 so the merge machinery
-    // is always exercised. The event-count invariants gate the run: if the
-    // sharded world disagrees with the single-engine world, fail loudly
-    // before any timing is reported.
-    let n_shards = match fleet::resolve_shards(opts.shards) {
-        0 => config.effective_shards().max(2),
-        k => k,
-    };
+    // `CW_SHARDS` is honored; auto picks at least 2 on multi-core machines
+    // so the merge machinery is always exercised, but resolves to the
+    // single-engine path on a 1-thread machine, where forced sharding only
+    // measures merge overhead (see `phase1b_shards`). The event-count
+    // invariants gate the run: if the sharded world disagrees with the
+    // single-engine world, fail loudly before any timing is reported.
+    let n_shards = phase1b_shards(fleet::resolve_shards(opts.shards), hardware_threads);
     let t = Instant::now();
     let sh = run_config(config.with_shards(n_shards));
     let sharded_scenario_secs = t.elapsed().as_secs_f64();
@@ -93,6 +111,33 @@ fn main() {
             .join(", ")
     );
     drop(sh);
+
+    // Phase 1c: the same world through the streaming dataset build (the
+    // `Scenario::run` default) — engine windows absorbed into the columnar
+    // dataset incrementally. Gated on the same event-count invariant, and
+    // reported next to a modeled peak-resident estimate: the finished
+    // dataset plus at most one window of undrained capture rows per
+    // engine, which is the buffering the streaming path is allowed.
+    let t = Instant::now();
+    let st = run_config(config.with_shards(n_shards));
+    let streaming_build_secs = t.elapsed().as_secs_f64();
+    assert_eq!(
+        st.dataset.len() as u64,
+        events,
+        "streaming run changed the event count"
+    );
+    let stream = st.stream.expect("streaming path records window stats");
+    // Modeled bytes per event row across the SoA columns (time, src, ASN,
+    // dst, port, observation tag + interned id).
+    const ROW_BYTES: u64 = 34;
+    let peak_resident_estimate =
+        (events + stream.peak_window_rows as u64) * ROW_BYTES;
+    eprintln!(
+        "[bench] streaming scenario @ {n_shards} shard(s): {streaming_build_secs:.2}s \
+         ({} windows, peak window {} rows, modeled peak resident {} bytes)",
+        stream.windows, stream.peak_window_rows, peak_resident_estimate
+    );
+    drop(st);
 
     // Phase 2: classification + dataset build alone, re-run on the retained
     // captures (the honeypots stay alive inside the scenario).
@@ -257,9 +302,6 @@ fn main() {
     // Phase 5: fleet wall time at requested thread counts 1 and 8
     // (4 replicates), with per-worker breakdowns.
     let base = config;
-    let hardware_threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
     let mut fleet_runs = Vec::new();
     for threads in [1usize, 8] {
         let t = Instant::now();
@@ -279,6 +321,45 @@ fn main() {
         fleet_runs.push((threads, dt, timings));
     }
 
+    // Phase 6: the `cw sweep` driver on a tiny 2-cell grid against a
+    // private cache directory — cold (every cell simulated, counted via the
+    // simulate-call counter) then warm (every cell a snapshot hit, zero
+    // simulations). The simulate-once contract is asserted, not just
+    // recorded.
+    let sweep_dir = std::env::temp_dir().join(format!("cw-bench-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&sweep_dir);
+    let sweep_base = ScenarioConfig::paper(year).with_seed(opts.seed).with_scale(0.01);
+    let sweep_grid = cw_core::sweep::SweepGrid {
+        years: vec![year],
+        seeds: vec![opts.seed],
+        variants: vec![cw_core::degrade::ladder().remove(0)],
+        scales: vec![1.0, 2.0],
+    };
+    let sweep_cells = sweep_grid.cell_count() as u64;
+    let sweep_distinct = sweep_grid.distinct_configs(&sweep_base) as u64;
+    let run_sweep = || {
+        cw_core::sweep::report(&sweep_grid, sweep_base, &|cfg| {
+            snapshot::load_or_run_in(&sweep_dir, cfg, true).0
+        })
+    };
+    let sims0 = snapshot::simulations_performed();
+    let t = Instant::now();
+    let cold_report = run_sweep();
+    let sweep_cold_wall_secs = t.elapsed().as_secs_f64();
+    let sweep_cold_simulations = snapshot::simulations_performed() - sims0;
+    let t = Instant::now();
+    let warm_report = run_sweep();
+    let sweep_warm_wall_secs = t.elapsed().as_secs_f64();
+    let sweep_warm_simulations = snapshot::simulations_performed() - sims0 - sweep_cold_simulations;
+    assert_eq!(sweep_cold_simulations, sweep_distinct, "cold sweep must simulate each distinct cell once");
+    assert_eq!(sweep_warm_simulations, 0, "warm sweep must be all cache hits");
+    assert_eq!(cold_report, warm_report, "sweep report must be cache-invariant");
+    let _ = std::fs::remove_dir_all(&sweep_dir);
+    eprintln!(
+        "[bench] sweep {sweep_cells} cells: cold {sweep_cold_wall_secs:.2}s \
+         ({sweep_cold_simulations} simulations), warm {sweep_warm_wall_secs:.2}s (0 simulations)"
+    );
+
     let json = format!(
         concat!(
             "{{\n",
@@ -291,6 +372,10 @@ fn main() {
             "  \"shards\": {},\n",
             "  \"sharded_scenario_wall_secs\": {:.4},\n",
             "  \"shard_busy_secs\": [{}],\n",
+            "  \"streaming_build_secs\": {:.4},\n",
+            "  \"stream_windows\": {},\n",
+            "  \"peak_window_rows\": {},\n",
+            "  \"peak_resident_estimate\": {},\n",
             "  \"dataset_build_secs\": {:.4},\n",
             "  \"classification_events_per_sec\": {:.1},\n",
             "  \"snapshot_write_secs\": {:.4},\n",
@@ -299,7 +384,10 @@ fn main() {
             "  \"handrolled_rows_per_sec\": {:.1},\n",
             "  \"all_cached_wall_secs\": {:.4},\n",
             "  \"hardware_threads\": {},\n",
-            "  \"fleet\": [{}]\n",
+            "  \"fleet\": [{}],\n",
+            "  \"sweep\": {{\"cells\": {}, \"distinct_configs\": {}, ",
+            "\"cold_wall_secs\": {:.4}, \"warm_wall_secs\": {:.4}, ",
+            "\"cold_simulations\": {}, \"warm_simulations\": {}}}\n",
             "}}\n"
         ),
         year.year(),
@@ -317,6 +405,10 @@ fn main() {
             .map(|b| format!("{b:.4}"))
             .collect::<Vec<_>>()
             .join(", "),
+        streaming_build_secs,
+        stream.windows,
+        stream.peak_window_rows,
+        peak_resident_estimate,
         build_secs,
         events_per_sec,
         snapshot_write_secs,
@@ -344,7 +436,13 @@ fn main() {
                 )
             })
             .collect::<Vec<_>>()
-            .join(", ")
+            .join(", "),
+        sweep_cells,
+        sweep_distinct,
+        sweep_cold_wall_secs,
+        sweep_warm_wall_secs,
+        sweep_cold_simulations,
+        sweep_warm_simulations
     );
     std::fs::write("BENCH_scenario.json", &json).expect("write BENCH_scenario.json");
     print!("{json}");

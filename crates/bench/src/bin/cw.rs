@@ -8,6 +8,7 @@
 //! cw all                  # render all 25 exhibits into out/<name>.txt
 //! cw export               # write the released dataset under out/
 //! cw degrade              # finding stability under injected faults
+//! cw sweep                # finding stability across 10x/100x scales
 //! ```
 //!
 //! The driver resolves the union of simulated worlds the requested
@@ -33,6 +34,10 @@
 //!
 //! Setting `CW_INJECT_PANIC=<exhibit>` makes exactly that render panic —
 //! the hook `scripts/verify.sh` uses to prove the isolation contract.
+//! `CW_INJECT_PANIC=sweep:<i>` instead aborts `cw sweep` on its i-th
+//! (0-based) world-obtain, the hook the sweep-resume contract is tested
+//! with: rerunning after the abort resumes from the snapshot cache without
+//! recomputing completed cells.
 
 use cw_bench::{parse_from, threads, RunOptions, USAGE};
 use cw_core::exhibit::{self, Exhibit, ExhibitCx, ExhibitOptions};
@@ -52,23 +57,29 @@ fn main() {
         eprintln!("{USAGE}");
         std::process::exit(2);
     };
-    let opts = parse_from(args);
-    let code = match command.as_str() {
-        "list" => {
-            cmd_list();
-            0
-        }
-        "all" => cmd_all(opts),
-        "export" => cmd_export(opts),
-        "degrade" => cmd_degrade(opts),
-        name => match exhibit::find(name) {
-            Some(e) => cmd_exhibit(e, opts),
-            None => {
-                eprintln!("error: unknown command or exhibit '{name}' (try `cw list`)");
-                eprintln!("{USAGE}");
-                2
+    // `sweep` owns extra grid flags, so it parses its own argument list;
+    // every other command shares `parse_from`.
+    let code = if command == "sweep" {
+        cmd_sweep(args.collect())
+    } else {
+        let opts = parse_from(args);
+        match command.as_str() {
+            "list" => {
+                cmd_list();
+                0
             }
-        },
+            "all" => cmd_all(opts),
+            "export" => cmd_export(opts),
+            "degrade" => cmd_degrade(opts),
+            name => match exhibit::find(name) {
+                Some(e) => cmd_exhibit(e, opts),
+                None => {
+                    eprintln!("error: unknown command or exhibit '{name}' (try `cw list`)");
+                    eprintln!("{USAGE}");
+                    2
+                }
+            },
+        }
     };
     std::process::exit(code);
 }
@@ -237,6 +248,118 @@ fn cmd_degrade(opts: RunOptions) -> i32 {
     let base = ex_opts.config(opts.year.unwrap_or(ScenarioYear::Y2021));
     let use_cache = !opts.no_cache;
     let report = cw_core::degrade::report(base, opts.seed ^ 0x1EA4, &|cfg| {
+        obtain(cfg, use_cache)
+    });
+    print!("{report}");
+    0
+}
+
+/// Parse `cw sweep`'s grid flags (`--scales`, `--years`, `--replicates`,
+/// `--variants`) out of the raw argument list, handing everything else to
+/// the shared [`parse_from`]. Exits 2 on malformed grid flags, matching
+/// the shared parser's behavior.
+fn parse_sweep_args(raw: Vec<String>) -> (cw_core::sweep::SweepGrid, RunOptions) {
+    fn grid_usage_exit(problem: &str) -> ! {
+        eprintln!("error: {problem}");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    let mut scales = vec![1.0, 10.0, 100.0];
+    let mut years: Option<Vec<ScenarioYear>> = None;
+    let mut replicates = 1usize;
+    let mut variants: Vec<&'static str> = vec!["none"];
+    let mut rest = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| grid_usage_exit(&format!("{name} requires a value")))
+        };
+        match arg.as_str() {
+            "--scales" => {
+                scales = value("--scales")
+                    .split(',')
+                    .map(|s| match s.trim().parse::<f64>() {
+                        Ok(m) if m > 0.0 => m,
+                        _ => grid_usage_exit("--scales expects positive numbers"),
+                    })
+                    .collect();
+            }
+            "--years" => {
+                years = Some(
+                    value("--years")
+                        .split(',')
+                        .map(|y| match y.trim() {
+                            "2020" => ScenarioYear::Y2020,
+                            "2021" => ScenarioYear::Y2021,
+                            "2022" => ScenarioYear::Y2022,
+                            other => grid_usage_exit(&format!(
+                                "unknown year '{other}' in --years (use 2020, 2021 or 2022)"
+                            )),
+                        })
+                        .collect(),
+                );
+            }
+            "--replicates" => {
+                replicates = match value("--replicates").parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => grid_usage_exit("--replicates expects an integer >= 1"),
+                };
+            }
+            "--variants" => {
+                let ladder = cw_core::degrade::ladder();
+                variants = value("--variants")
+                    .split(',')
+                    .map(|v| {
+                        let v = v.trim();
+                        match ladder.iter().find(|r| r.label == v) {
+                            Some(r) => r.label,
+                            None => grid_usage_exit(&format!(
+                                "unknown variant '{v}' (use none, mild, moderate or severe)"
+                            )),
+                        }
+                    })
+                    .collect();
+            }
+            other => rest.push(other.to_string()),
+        }
+    }
+    let opts = parse_from(rest.into_iter());
+    let ladder = cw_core::degrade::ladder();
+    let grid = cw_core::sweep::SweepGrid {
+        years: years.unwrap_or_else(|| vec![opts.year.unwrap_or(ScenarioYear::Y2021)]),
+        seeds: (0..replicates as u64).map(|i| opts.seed.wrapping_add(i)).collect(),
+        variants: variants
+            .iter()
+            .map(|label| {
+                *ladder
+                    .iter()
+                    .find(|r| r.label == *label)
+                    .expect("validated against the ladder above")
+            })
+            .collect(),
+        scales,
+    };
+    (grid, opts)
+}
+
+fn cmd_sweep(raw: Vec<String>) -> i32 {
+    let (grid, opts) = parse_sweep_args(raw);
+    let ex_opts = exhibit_options(opts);
+    let base = ex_opts.config(opts.year.unwrap_or(ScenarioYear::Y2021));
+    let use_cache = !opts.no_cache;
+    // `CW_INJECT_PANIC=sweep:<i>` aborts on the i-th world-obtain — the
+    // interrupted-sweep hook. The rerun resumes from the snapshot cache.
+    let inject: Option<usize> = std::env::var("CW_INJECT_PANIC")
+        .ok()
+        .and_then(|v| v.strip_prefix("sweep:").and_then(|i| i.parse().ok()));
+    let obtained = std::cell::Cell::new(0usize);
+    let report = cw_core::sweep::report(&grid, base, &|cfg| {
+        let i = obtained.get();
+        obtained.set(i + 1);
+        if inject == Some(i) {
+            panic!("injected sweep panic before obtain #{i}");
+        }
         obtain(cfg, use_cache)
     });
     print!("{report}");

@@ -60,10 +60,12 @@ impl Default for RunOptions {
 }
 
 /// The flag summary shared by usage/error messages.
-pub const USAGE: &str = "usage: cw <exhibit|list|all|export|degrade> [--scale <f64>] [--seed <u64>] \
+pub const USAGE: &str = "usage: cw <exhibit|list|all|export|degrade|sweep> [--scale <f64>] [--seed <u64>] \
      [--year <2020|2021|2022>] [--threads <N>] [--shards <K>] [--no-cache] \
      [--loss <f64>] [--outage <f64>] [--outage-windows <N>] \
-     [--truncate <f64>] [--truncate-to <bytes>] [--telescope-sample <N>]";
+     [--truncate <f64>] [--truncate-to <bytes>] [--telescope-sample <N>]\n\
+sweep only: [--scales <csv of f64, default 1,10,100>] [--years <csv of years>] \
+     [--replicates <N>] [--variants <csv of none|mild|moderate|severe>]";
 
 fn usage_exit(problem: &str) -> ! {
     eprintln!("error: {problem}");
@@ -196,6 +198,24 @@ pub fn threads(opts: RunOptions) -> usize {
     cw_core::fleet::resolve_threads(opts.threads)
 }
 
+/// Shard count for the benchmark's sharded phase (Phase 1b).
+///
+/// An explicit request (`--shards`/`CW_SHARDS`, pre-resolved by
+/// [`cw_core::fleet::resolve_shards`]) is honored as-is. On auto (`0`),
+/// multi-core machines get at least 2 shards so the merge machinery is
+/// always exercised — but a single-core machine gets 1: forcing shards
+/// there benchmarks pure merge overhead on hardware that can never overlap
+/// shard work (the regression recorded as 8.66s sharded vs 2.82s single in
+/// an earlier `BENCH_scenario.json`), and the scenario path itself resolves
+/// auto to the single-engine build on such machines.
+pub fn phase1b_shards(resolved: usize, hardware_threads: usize) -> usize {
+    match resolved {
+        0 if hardware_threads <= 1 => 1,
+        0 => hardware_threads.max(2),
+        k => k,
+    }
+}
+
 /// The scenario configuration these options select for a year. The shard
 /// count resolves flag → `CW_SHARDS` → auto (0, resolved to the machine's
 /// parallelism at run time); any value yields the same bytes.
@@ -260,6 +280,18 @@ mod tests {
         assert_eq!(o.threads, Some(3));
         assert_eq!(o.shards, Some(4));
         assert!(o.no_cache);
+    }
+
+    #[test]
+    fn phase1b_never_forces_shards_on_a_single_core_machine() {
+        // Auto on one hardware thread takes the legacy single-engine path.
+        assert_eq!(phase1b_shards(0, 1), 1);
+        // Auto on multi-core exercises the merge machinery.
+        assert_eq!(phase1b_shards(0, 2), 2);
+        assert_eq!(phase1b_shards(0, 8), 8);
+        // An explicit request is always honored, even on one core.
+        assert_eq!(phase1b_shards(3, 1), 3);
+        assert_eq!(phase1b_shards(1, 8), 1);
     }
 
     #[test]

@@ -27,7 +27,7 @@ use cw_detection::{is_malicious_payload, RuleSet, Verdict};
 use cw_honeypot::capture::{Capture, EventTable, Observed, ScanEvent};
 use cw_honeypot::deployment::{Deployment, VantagePoint};
 use cw_netsim::flow::LoginService;
-use cw_netsim::intern::{Interner, PayloadId, Remap};
+use cw_netsim::intern::{CredId, Interner, PayloadId, Remap};
 use cw_netsim::snap::{SnapError, SnapReader, SnapWriter};
 use cw_protocols::ProtocolId;
 use std::collections::{BTreeMap, HashMap};
@@ -154,41 +154,192 @@ pub struct Dataset {
 /// fingerprint. Ids are in the dataset's interner space.
 type ClassifyMemo = HashMap<(PayloadId, u16), (Verdict, Option<ProtocolId>)>;
 
-impl Dataset {
-    /// Build from captures and the deployment's vantage metadata.
-    pub fn from_captures(captures: &[&Capture], deployment: &Deployment) -> Self {
-        let rules = RuleSet::builtin_cached();
+/// Streaming assembler for a [`Dataset`] — the incremental counterpart of
+/// [`Dataset::from_captures`].
+///
+/// The materialized build sees every capture in full at the end of a run;
+/// the streaming scenario path instead drains each capture at every window
+/// boundary ([`Capture::take_rows`]) and feeds the chunks here as they
+/// appear. The builder keeps one accumulation slot per capture so the
+/// finished dataset's row order is exactly the materialized order — all of
+/// capture 0's rows (in recording order), then capture 1's, and so on —
+/// while the dataset interner grows in the shared capture interner's
+/// *insertion* order, which is independent of the drain schedule. The two
+/// builds are therefore byte-identical; `tests/determinism.rs` enforces it
+/// across window sizes and shard counts.
+///
+/// Two ingestion paths exist, matching the two scenario paths:
+///
+/// - [`DatasetBuilder::absorb_table`] bulk-appends a drained chunk whose
+///   ids are translated through a [`Remap`] kept current with
+///   [`DatasetBuilder::extend_remap`] (single-engine streaming);
+/// - [`DatasetBuilder::push_event`] appends one event already in the
+///   builder's id space (the sharded merge interns lazily in global
+///   `(time, agent, seq)` order via [`DatasetBuilder::intern_payload`] /
+///   [`DatasetBuilder::intern_cred`]).
+pub struct DatasetBuilder {
+    slots: Vec<BuilderSlot>,
+    interner: Interner,
+    memo: ClassifyMemo,
+    rules: &'static RuleSet,
+    vantage_by_ip: BTreeMap<Ipv4Addr, VantagePoint>,
+}
+
+/// One capture's accumulated, already-classified rows (dataset id space).
+#[derive(Default)]
+struct BuilderSlot {
+    table: EventTable,
+    verdicts: Vec<Verdict>,
+    fingerprints: Vec<Option<ProtocolId>>,
+}
+
+impl DatasetBuilder {
+    /// An empty builder with `slots` capture slots over `deployment`'s
+    /// vantage metadata. Slot indices follow the deployment's honeypot
+    /// registration order — the same order [`Dataset::from_captures`]
+    /// walks.
+    pub fn new(deployment: &Deployment, slots: usize) -> Self {
         let vantage_by_ip: BTreeMap<Ipv4Addr, VantagePoint> = deployment
             .vantages
             .iter()
             .map(|v| (v.ip, v.clone()))
             .collect();
-        let mut ds = Dataset {
-            table: EventTable::new(),
-            verdicts: Vec::new(),
-            fingerprints: Vec::new(),
+        DatasetBuilder {
+            slots: (0..slots).map(|_| BuilderSlot::default()).collect(),
             interner: Interner::new(),
+            memo: HashMap::new(),
+            rules: RuleSet::builtin_cached(),
             vantage_by_ip,
+        }
+    }
+
+    /// Pre-size the builder's interner arenas and classification memo for
+    /// an expected number of distinct payloads/credentials (derived from
+    /// the scenario scale). A pure allocation hint.
+    pub fn with_interner_capacity(mut self, payloads: usize, creds: usize) -> Self {
+        self.interner.reserve(payloads, creds);
+        self.memo.reserve(payloads);
+        self
+    }
+
+    /// Bring `remap` up to date with `src`: every value `src` has interned
+    /// since the last call gets a dataset-space id, in `src`'s insertion
+    /// order. See [`Interner::extend_remap_from`] for why the incremental
+    /// schedule reproduces the one-shot remap exactly.
+    pub fn extend_remap(&mut self, src: &Interner, remap: &mut Remap) {
+        self.interner.extend_remap_from(src, remap);
+    }
+
+    /// Intern a payload blob directly into the builder's id space (the
+    /// sharded merge's first-occurrence re-interning).
+    pub fn intern_payload(&mut self, bytes: &[u8]) -> PayloadId {
+        self.interner.intern_payload(bytes)
+    }
+
+    /// Intern a credential string directly into the builder's id space.
+    pub fn intern_cred(&mut self, s: &str) -> CredId {
+        self.interner.intern_cred(s)
+    }
+
+    /// Append one drained chunk to slot `slot`, translating ids through
+    /// `remap` (which must already cover them — call
+    /// [`DatasetBuilder::extend_remap`] first) and classifying each row
+    /// with the per-distinct memo.
+    pub fn absorb_table(&mut self, slot: usize, table: &EventTable, remap: &Remap) {
+        let s = &mut self.slots[slot];
+        let base = s.table.len();
+        s.table
+            .extend_remapped(table, |observed| remap_observed(observed, remap));
+        let observed = &s.table.observed()[base..];
+        let ports = &s.table.dst_ports()[base..];
+        for (&observed, &port) in observed.iter().zip(ports) {
+            let (verdict, fingerprint) =
+                classify_interned(observed, port, &self.interner, self.rules, &mut self.memo);
+            s.verdicts.push(verdict);
+            s.fingerprints.push(fingerprint);
+        }
+    }
+
+    /// Append one event (ids already in the builder's space) to slot
+    /// `slot`, classifying it with the per-distinct memo.
+    pub fn push_event(&mut self, slot: usize, event: ScanEvent) {
+        let (verdict, fingerprint) = classify_interned(
+            event.observed,
+            event.dst_port,
+            &self.interner,
+            self.rules,
+            &mut self.memo,
+        );
+        let s = &mut self.slots[slot];
+        s.table.push(event);
+        s.verdicts.push(verdict);
+        s.fingerprints.push(fingerprint);
+    }
+
+    /// Total rows accumulated so far, across all slots.
+    pub fn len(&self) -> usize {
+        self.slots.iter().map(|s| s.table.len()).sum()
+    }
+
+    /// Whether nothing has been absorbed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Assemble the final [`Dataset`]: concatenate the slots in capture
+    /// order and build the destination index. Each slot's storage is
+    /// dropped as soon as it is copied, so the transient overlay above the
+    /// final columns shrinks as assembly proceeds.
+    pub fn finish(self) -> Dataset {
+        let total: usize = self.slots.iter().map(|s| s.table.len()).sum();
+        let mut ds = Dataset {
+            table: EventTable::with_capacity(total),
+            verdicts: Vec::with_capacity(total),
+            fingerprints: Vec::with_capacity(total),
+            interner: self.interner,
+            vantage_by_ip: self.vantage_by_ip,
             by_dst: BTreeMap::new(),
         };
-        let mut memo: ClassifyMemo = HashMap::new();
+        for slot in self.slots {
+            let base = ds.table.len();
+            for (i, &dst) in slot.table.dsts().iter().enumerate() {
+                ds.by_dst.entry(dst).or_default().push(base + i);
+            }
+            ds.table.extend_remapped(&slot.table, |o| o);
+            ds.verdicts.extend(slot.verdicts);
+            ds.fingerprints.extend(slot.fingerprints);
+        }
+        ds
+    }
+}
+
+impl Dataset {
+    /// Build from captures and the deployment's vantage metadata.
+    ///
+    /// This is the materialized build: every capture is complete before
+    /// assembly starts. It is implemented over [`DatasetBuilder`] (one
+    /// whole capture per chunk), so the streaming scenario path and this
+    /// one cannot drift apart.
+    pub fn from_captures(captures: &[&Capture], deployment: &Deployment) -> Self {
+        let mut b = DatasetBuilder::new(deployment, captures.len());
         // Captures of one deployment share an interner; cache the remap by
         // source-interner identity so it is computed once, not per capture.
         let mut cached: Option<(*const (), Remap)> = None;
-        for cap in captures {
+        for (slot, cap) in captures.iter().enumerate() {
             let src_interner = cap.interner();
             let key = std::rc::Rc::as_ptr(&src_interner) as *const ();
             let remap = match &cached {
                 Some((k, remap)) if *k == key => remap.clone(),
                 _ => {
-                    let remap = ds.interner.remap_from(&src_interner.borrow());
+                    let mut remap = Remap::identity();
+                    b.extend_remap(&src_interner.borrow(), &mut remap);
                     cached = Some((key, remap.clone()));
                     remap
                 }
             };
-            ds.append_capture(cap.table(), &remap, rules, &mut memo);
+            b.absorb_table(slot, cap.table(), &remap);
         }
-        ds
+        b.finish()
     }
 
     /// An empty dataset — the identity element for [`Dataset::absorb`].
@@ -200,34 +351,6 @@ impl Dataset {
             interner: Interner::new(),
             vantage_by_ip: BTreeMap::new(),
             by_dst: BTreeMap::new(),
-        }
-    }
-
-    /// Append one capture's rows: remap ids into our space, classify with
-    /// the per-distinct memo, index by destination.
-    fn append_capture(
-        &mut self,
-        table: &EventTable,
-        remap: &Remap,
-        rules: &RuleSet,
-        memo: &mut ClassifyMemo,
-    ) {
-        let interner = &self.interner;
-        let verdicts = &mut self.verdicts;
-        let fingerprints = &mut self.fingerprints;
-        let base = self.table.len();
-        for (i, &dst) in table.dsts().iter().enumerate() {
-            self.by_dst.entry(dst).or_default().push(base + i);
-        }
-        self.table
-            .extend_remapped(table, |observed| remap_observed(observed, remap));
-        // Classify from the remapped columns (observed + port walk together).
-        let observed = &self.table.observed()[base..];
-        let ports = &self.table.dst_ports()[base..];
-        for (&observed, &port) in observed.iter().zip(ports) {
-            let (verdict, fingerprint) = classify_interned(observed, port, interner, rules, memo);
-            verdicts.push(verdict);
-            fingerprints.push(fingerprint);
         }
     }
 

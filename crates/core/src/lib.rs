@@ -64,6 +64,7 @@ pub mod recommendations;
 pub mod report;
 pub mod scenario;
 pub mod snapshot;
+pub mod sweep;
 pub mod temporal;
 
 pub use bundle::SimBundle;

@@ -32,15 +32,35 @@
 //! The result is byte-identical to the unsharded run for any shard count
 //! (see `tests/determinism.rs` and docs/ARCHITECTURE.md §"Sharded
 //! simulation"); snapshots are therefore keyed without the shard count.
+//!
+//! # Streaming dataset build
+//!
+//! [`Scenario::run`] does not materialize the full event stream before
+//! building the [`Dataset`]. The engine runs in chunked time windows
+//! (default [`DEFAULT_WINDOW`], override with `CW_WINDOW_SECS`); at every
+//! window boundary each listener's capture is drained
+//! ([`Capture::take_rows`]) and absorbed into an incremental
+//! [`DatasetBuilder`], so capture-side buffering never exceeds one window
+//! of events — the memory headroom that makes `scale: 10`/`scale: 100`
+//! worlds practical. The window size is a pure wall-clock/memory knob:
+//! output is byte-identical for every window size and to the one-shot
+//! build ([`Scenario::run_materialized`], kept as the reference path),
+//! which `tests/determinism.rs` enforces. Arena and interner capacity is
+//! pre-sized from [`ScenarioConfig`]'s event/distinct-value estimates.
+//!
+//! One observable difference: streaming *drains* the deployment's capture
+//! tables (they end empty — every row lives in the dataset instead). Code
+//! that inspects raw per-capture tables after a run must use
+//! [`Scenario::run_materialized`].
 
-use crate::dataset::Dataset;
+use crate::dataset::{Dataset, DatasetBuilder};
 use cw_honeypot::capture::{Capture, EventTable, Observed};
 use cw_honeypot::deployment::Deployment;
 use cw_honeypot::telescope::Telescope;
 use cw_netsim::asn::AsRegistry;
 use cw_netsim::engine::{Engine, RunStats};
 use cw_netsim::fault::{domain_salt, FaultDomain, FaultPlan};
-use cw_netsim::intern::{CredId, Interner, PayloadId};
+use cw_netsim::intern::{CredId, Interner, PayloadId, Remap};
 use cw_netsim::time::{SimDuration, SimTime};
 use cw_scanners::population::{self, PopulationConfig, PopulationHandles, ScenarioYear};
 use cw_scanners::search_engine::SearchIndex;
@@ -49,6 +69,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::net::Ipv4Addr;
 use std::rc::Rc;
+use std::sync::mpsc::{sync_channel, SyncSender};
 
 /// Scenario parameters.
 #[derive(Debug, Clone, Copy)]
@@ -132,18 +153,84 @@ impl ScenarioConfig {
     /// The effective shard count: the explicit value, or available
     /// parallelism when set to 0 ("auto").
     pub fn effective_shards(&self) -> usize {
-        match self.shards {
-            0 => std::thread::available_parallelism()
+        self.effective_shards_with(
+            std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+        )
+    }
+
+    /// [`ScenarioConfig::effective_shards`] against an explicit hardware
+    /// parallelism, so callers (and tests) can pin the auto-selection rule:
+    /// "auto" on a single-core box resolves to 1 shard — the legacy
+    /// single-engine path — never to a K>1 split that only adds merge
+    /// overhead.
+    pub fn effective_shards_with(&self, hardware_threads: usize) -> usize {
+        match self.shards {
+            0 => hardware_threads.max(1),
             n => n,
         }
+    }
+
+    /// Expected delivered-event count for this configuration, for
+    /// pre-sizing allocations. Calibrated against the scale-1 one-week
+    /// world (~1.53M capture rows; see BENCH_scenario.json) and scaled
+    /// linearly in both `scale` and the horizon. An allocation hint only —
+    /// nothing observable depends on it.
+    pub fn estimated_events(&self) -> usize {
+        let weeks = self.horizon.secs() as f64 / SimDuration::WEEK.secs() as f64;
+        (self.scale * weeks * 1_600_000.0).ceil() as usize
+    }
+
+    /// Expected distinct payload count (~9.2k at scale 1), for pre-sizing
+    /// the interner arenas. Sized linearly in `scale` and capped by the
+    /// event estimate so tiny test worlds do not over-reserve.
+    pub fn estimated_distinct_payloads(&self) -> usize {
+        let linear = (2_000.0 + self.scale * 10_000.0).ceil() as usize;
+        linear.min(self.estimated_events().max(1_024))
+    }
+
+    /// Expected distinct credential-string count. The credential dictionary
+    /// is fixed per year, so this is scale-independent.
+    pub fn estimated_distinct_creds(&self) -> usize {
+        4_096
     }
 }
 
 /// The default reproduction seed (fixed so published tables regenerate
 /// bit-identically).
 pub const DEFAULT_SEED: u64 = 0x1_C10D_3A7C;
+
+/// The default streaming window: six simulated hours, i.e. 28 windows per
+/// one-week horizon. Purely a wall-clock/memory knob — output is
+/// byte-identical for every window size.
+pub const DEFAULT_WINDOW: SimDuration = SimDuration(21_600);
+
+/// The streaming window [`Scenario::run`] uses: `CW_WINDOW_SECS` when set
+/// to a positive integer, [`DEFAULT_WINDOW`] otherwise. Because window
+/// size is observably a no-op (enforced by `tests/determinism.rs`), the
+/// environment variable cannot change any rendered byte.
+pub fn default_window() -> SimDuration {
+    match std::env::var("CW_WINDOW_SECS") {
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(secs) if secs > 0 => SimDuration::from_secs(secs),
+            _ => DEFAULT_WINDOW,
+        },
+        Err(_) => DEFAULT_WINDOW,
+    }
+}
+
+/// Diagnostics from a streaming build. Observability only — never part of
+/// any rendered byte, and `None` on the materialized reference path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// How many time windows the run was chunked into.
+    pub windows: usize,
+    /// The largest number of capture rows buffered in any one window
+    /// (summed across listeners, and across shards on the sharded path) —
+    /// the quantity the streaming build bounds.
+    pub peak_window_rows: usize,
+}
 
 /// A completed scenario run.
 pub struct Scenario {
@@ -163,20 +250,238 @@ pub struct Scenario {
     /// indexed by shard. Empty on the single-engine path. Diagnostic only —
     /// never part of any rendered byte.
     pub shard_busy_secs: Vec<f64>,
+    /// Streaming-build diagnostics; `None` when the run materialized the
+    /// full event stream ([`Scenario::run_materialized`]).
+    pub stream: Option<StreamStats>,
 }
 
 impl Scenario {
-    /// Build the world and run the collection window.
+    /// Build the world and run the collection window with the streaming
+    /// dataset build (see the module docs): the engine advances in chunked
+    /// time windows and each window's capture is absorbed into the dataset
+    /// incrementally, so capture-side buffering stays bounded by one
+    /// window. Byte-identical to [`Scenario::run_materialized`] for every
+    /// window size and shard count. Note the deployment's capture tables
+    /// end *drained*; use `run_materialized` when raw captures are needed
+    /// after the run.
+    pub fn run(config: ScenarioConfig) -> Scenario {
+        Scenario::run_with_window(config, default_window())
+    }
+
+    /// [`Scenario::run`] with an explicit streaming window (a pure
+    /// wall-clock/memory knob — the output is byte-identical for every
+    /// value, including a single window covering the whole horizon).
+    pub fn run_with_window(config: ScenarioConfig, window: SimDuration) -> Scenario {
+        let shards = config.effective_shards();
+        if shards <= 1 {
+            Scenario::run_single_streaming(config, window)
+        } else {
+            Scenario::run_sharded_streaming(config, shards, window)
+        }
+    }
+
+    /// The one-shot reference build: run the engine to the horizon, then
+    /// build the dataset from the complete captures. Kept as the
+    /// equivalence oracle for the streaming build, and for callers that
+    /// inspect raw capture tables after the run (the streaming path drains
+    /// them).
     ///
     /// With an effective shard count of 1 this is the legacy single-engine
     /// path; otherwise the population is split across K parallel engines
     /// and merged back byte-identically (see the module docs).
-    pub fn run(config: ScenarioConfig) -> Scenario {
+    pub fn run_materialized(config: ScenarioConfig) -> Scenario {
         let shards = config.effective_shards();
         if shards <= 1 {
             Scenario::run_single(config)
         } else {
             Scenario::run_sharded(config, shards)
+        }
+    }
+
+    /// Single-engine streaming: one engine, run window by window, captures
+    /// drained and absorbed at every boundary.
+    fn run_single_streaming(config: ScenarioConfig, window: SimDuration) -> Scenario {
+        let deployment = Deployment::standard();
+        deployment.apply_faults(&config.fault, config.seed, config.horizon);
+        let mut engine = Engine::new();
+        engine.set_flow_loss(
+            config.fault.flow_loss,
+            domain_salt(config.seed, FaultDomain::FlowLoss),
+        );
+        deployment.register(&mut engine);
+        let pop = population::build(
+            &PopulationConfig {
+                year: config.year,
+                seed: config.seed,
+                scale: config.scale,
+            },
+            &deployment,
+        );
+        let handles = pop.register(&mut engine);
+
+        let captures: Vec<Rc<RefCell<Capture>>> = deployment
+            .honeypots
+            .iter()
+            .map(|h| h.borrow().capture())
+            .collect();
+        // All listeners of one deployment share one interner; pre-size it
+        // and the dataset-side arenas from the configured scale.
+        let shared_interner = captures.first().map(|c| c.borrow().interner());
+        if let Some(rc) = &shared_interner {
+            rc.borrow_mut().reserve(
+                config.estimated_distinct_payloads(),
+                config.estimated_distinct_creds(),
+            );
+        }
+        let mut builder = DatasetBuilder::new(&deployment, captures.len())
+            .with_interner_capacity(
+                config.estimated_distinct_payloads(),
+                config.estimated_distinct_creds(),
+            );
+        let mut remap = Remap::identity();
+        let mut stats = RunStats::default();
+        let mut stream = StreamStats::default();
+        for end in window_ends(config.horizon, window) {
+            // Engine counters are cumulative, so the last window's return
+            // value is the whole run's stats.
+            stats = engine.run(end);
+            // Bring the remap up to date with whatever the engine interned
+            // this window, *before* translating the window's rows.
+            if let Some(rc) = &shared_interner {
+                builder.extend_remap(&rc.borrow(), &mut remap);
+            }
+            let mut window_rows = 0;
+            for (slot, cap) in captures.iter().enumerate() {
+                let (table, _order) = cap.borrow_mut().take_rows();
+                window_rows += table.len();
+                builder.absorb_table(slot, &table, &remap);
+            }
+            stream.windows += 1;
+            stream.peak_window_rows = stream.peak_window_rows.max(window_rows);
+        }
+        let dataset = builder.finish();
+        let telescope = deployment.telescope.clone();
+        Scenario {
+            config,
+            deployment,
+            dataset,
+            telescope,
+            handles,
+            stats,
+            shard_busy_secs: Vec::new(),
+            stream: Some(stream),
+        }
+    }
+
+    /// Sharded streaming: K worker threads each run their shard window by
+    /// window, shipping drained rows plus interner deltas through a
+    /// bounded channel; the merger K-way merges each window into the
+    /// dataset builder in global `(time, agent, seq)` order — the same
+    /// discipline as [`merge_captures`], applied one window at a time.
+    ///
+    /// Windows partition event time identically on every shard (the
+    /// boundaries are a pure function of horizon and window), so merging
+    /// window w completely before window w+1 yields exactly the global
+    /// merge order. The `sync_channel(1)` bound is the memory bound: at
+    /// most one undelivered window per shard is ever in flight.
+    fn run_sharded_streaming(
+        config: ScenarioConfig,
+        shards: usize,
+        window: SimDuration,
+    ) -> Scenario {
+        let ends: Vec<SimTime> = window_ends(config.horizon, window).collect();
+
+        let deployment = Deployment::standard();
+        let slots = deployment.honeypots.len();
+        let mut builder = DatasetBuilder::new(&deployment, slots).with_interner_capacity(
+            config.estimated_distinct_payloads(),
+            config.estimated_distinct_creds(),
+        );
+        let mut stream = StreamStats {
+            windows: ends.len(),
+            peak_window_rows: 0,
+        };
+        let mut stats = RunStats::default();
+        let mut shard_busy = vec![0.0; shards];
+        let mut coupled: Option<ShardHandles> = None;
+
+        std::thread::scope(|scope| {
+            let mut rxs = Vec::with_capacity(shards);
+            for shard in 0..shards {
+                let (tx, rx) = sync_channel::<ShardMsg>(1);
+                let ends = &ends;
+                scope.spawn(move || stream_one_shard(config, shard, shards, ends, tx));
+                rxs.push(rx);
+            }
+            let mut states: Vec<ShardMergeState> =
+                (0..shards).map(|_| ShardMergeState::default()).collect();
+            for _ in 0..ends.len() {
+                // Lockstep: every shard produces exactly one message per
+                // window (the boundaries are shared), so one recv per
+                // shard collects the whole window.
+                let mut chunks: Vec<WindowChunk> = Vec::with_capacity(shards);
+                for (s, rx) in rxs.iter().enumerate() {
+                    match rx.recv().expect("shard worker died") {
+                        ShardMsg::Window {
+                            tables,
+                            new_payloads,
+                            new_creds,
+                        } => {
+                            let st = &mut states[s];
+                            st.payload_memo
+                                .resize(st.payload_memo.len() + new_payloads.len(), None);
+                            st.cred_memo
+                                .resize(st.cred_memo.len() + new_creds.len(), None);
+                            st.payload_values.extend(new_payloads);
+                            st.cred_values.extend(new_creds);
+                            chunks.push(tables);
+                        }
+                        ShardMsg::Final { .. } => unreachable!("final before last window"),
+                    }
+                }
+                let rows = merge_window(&mut builder, &mut states, &chunks);
+                stream.peak_window_rows = stream.peak_window_rows.max(rows);
+            }
+            for (s, rx) in rxs.iter().enumerate() {
+                match rx.recv().expect("shard worker died") {
+                    ShardMsg::Final {
+                        telescope,
+                        stats: shard_stats,
+                        handles,
+                        busy_secs,
+                    } => {
+                        deployment.telescope.borrow_mut().absorb(&telescope);
+                        stats.absorb(shard_stats);
+                        shard_busy[s] = busy_secs;
+                        if let Some(h) = handles {
+                            coupled = Some(*h);
+                        }
+                    }
+                    ShardMsg::Window { .. } => unreachable!("window after horizon"),
+                }
+            }
+        });
+
+        let dataset = builder.finish();
+        let coupled = coupled.expect("exactly one shard owns the coupled actor group");
+        let handles = PopulationHandles {
+            censys: Rc::new(RefCell::new(coupled.censys)),
+            shodan: Rc::new(RefCell::new(coupled.shodan)),
+            censys_srcs: coupled.censys_srcs,
+            shodan_srcs: coupled.shodan_srcs,
+            reputation: coupled.reputation,
+            registry: coupled.registry,
+        };
+        let telescope = deployment.telescope.clone();
+        Scenario {
+            config,
+            deployment,
+            dataset,
+            telescope,
+            handles,
+            stats,
+            shard_busy_secs: shard_busy,
+            stream: Some(stream),
         }
     }
 
@@ -275,8 +580,20 @@ impl Scenario {
             handles,
             stats,
             shard_busy_secs,
+            stream: None,
         }
     }
+}
+
+/// The streaming window boundaries for a horizon: ascending, strictly
+/// positive steps, with the final boundary landing exactly on the horizon.
+/// A pure function of `(horizon, window)` — shard workers and the merger
+/// derive identical schedules from it independently.
+fn window_ends(horizon: SimDuration, window: SimDuration) -> impl Iterator<Item = SimTime> {
+    let w = window.secs().max(1);
+    let h = horizon.secs();
+    let n = h.div_ceil(w).max(1);
+    (1..=n).map(move |i| SimTime((i * w).min(h)))
 }
 
 /// The `Send` parts of the coupled shard's population handles (the search
@@ -474,6 +791,227 @@ fn merge_captures(deployment: &Deployment, runs: &[ShardRun]) {
     }
 }
 
+/// One window's drained rows for every listener of one shard: per
+/// listener (deployment registration order), the drained [`EventTable`]
+/// plus its parallel `(agent, seq)` order stamps.
+type WindowChunk = Vec<(EventTable, Vec<(u32, u64)>)>;
+
+/// What a streaming shard worker ships to the merger: one `Window` per
+/// window boundary (drained rows plus the interner values minted since the
+/// previous boundary, in insertion order), then exactly one `Final`.
+enum ShardMsg {
+    /// One window's drained captures.
+    Window {
+        /// Per listener (deployment registration order): drained rows plus
+        /// their parallel `(agent, seq)` order stamps.
+        tables: WindowChunk,
+        /// Payload values interned by this shard since the last window, in
+        /// insertion order — their shard-local ids are the previous count
+        /// onwards, so the merger can extend its shadow arena positionally.
+        new_payloads: Vec<Vec<u8>>,
+        /// Credential values interned since the last window (same scheme).
+        new_creds: Vec<String>,
+    },
+    /// End of stream: the shard's whole-run fold.
+    Final {
+        /// The shard's telescope counters (boxed: the counters dwarf the
+        /// per-window variant).
+        telescope: Box<Telescope>,
+        /// The shard engine's cumulative counters.
+        stats: RunStats,
+        /// `Some` only on the shard owning the coupled actor group.
+        handles: Option<Box<ShardHandles>>,
+        /// Wall-clock seconds the shard spent (build + run + fold).
+        busy_secs: f64,
+    },
+}
+
+/// The merger's view of one shard's id space: a positional shadow of the
+/// shard-local arenas (grown from the per-window deltas) plus the dense
+/// shard-id → merged-id memo — the same memo discipline as
+/// [`merge_captures`], grown incrementally.
+#[derive(Default)]
+struct ShardMergeState {
+    payload_values: Vec<Vec<u8>>,
+    cred_values: Vec<String>,
+    payload_memo: Vec<Option<PayloadId>>,
+    cred_memo: Vec<Option<CredId>>,
+}
+
+/// Worker body for one streaming shard: build the world exactly as
+/// [`run_one_shard`] does, but run window by window, draining captures and
+/// shipping each window through the bounded channel.
+fn stream_one_shard(
+    config: ScenarioConfig,
+    shard: usize,
+    shards: usize,
+    ends: &[SimTime],
+    tx: SyncSender<ShardMsg>,
+) {
+    let started = std::time::Instant::now();
+    let deployment = Deployment::standard();
+    deployment.apply_faults(&config.fault, config.seed, config.horizon);
+    let mut engine = Engine::new();
+    engine.set_flow_loss(
+        config.fault.flow_loss,
+        domain_salt(config.seed, FaultDomain::FlowLoss),
+    );
+    deployment.register(&mut engine);
+    let pop = population::build(
+        &PopulationConfig {
+            year: config.year,
+            seed: config.seed,
+            scale: config.scale,
+        },
+        &deployment,
+    );
+    let anchor = pop.coupled.first().copied().unwrap_or(0);
+    let owns_coupled = population::shard_of(config.seed, anchor as u32, shards) == shard;
+    let handles = pop.register_shard(&mut engine, config.seed, shard, shards);
+
+    let captures: Vec<Rc<RefCell<Capture>>> = deployment
+        .honeypots
+        .iter()
+        .map(|h| h.borrow().capture())
+        .collect();
+    let interner_rc = captures.first().map(|c| c.borrow().interner());
+    let (mut seen_payloads, mut seen_creds) = (0usize, 0usize);
+    let mut stats = RunStats::default();
+    for &end in ends {
+        stats = engine.run(end);
+        let (new_payloads, new_creds) = match &interner_rc {
+            Some(rc) => {
+                let i = rc.borrow();
+                let np = i.payloads_from(seen_payloads).to_vec();
+                let nc = i.creds_from(seen_creds).to_vec();
+                seen_payloads = i.payload_count();
+                seen_creds = i.cred_count();
+                (np, nc)
+            }
+            None => (Vec::new(), Vec::new()),
+        };
+        let tables: Vec<(EventTable, Vec<(u32, u64)>)> =
+            captures.iter().map(|c| c.borrow_mut().take_rows()).collect();
+        // The bounded channel is the memory bound: at most one undelivered
+        // window per shard. A hung-up receiver means the merger panicked —
+        // exit quietly and let the scope propagate that panic.
+        if tx
+            .send(ShardMsg::Window {
+                tables,
+                new_payloads,
+                new_creds,
+            })
+            .is_err()
+        {
+            return;
+        }
+    }
+    let shard_handles = owns_coupled.then(|| {
+        Box::new(ShardHandles {
+            censys: handles.censys.borrow().clone(),
+            shodan: handles.shodan.borrow().clone(),
+            censys_srcs: handles.censys_srcs,
+            shodan_srcs: handles.shodan_srcs,
+            reputation: handles.reputation,
+            registry: handles.registry,
+        })
+    });
+    let _ = tx.send(ShardMsg::Final {
+        telescope: Box::new(deployment.telescope.borrow().clone()),
+        stats,
+        handles: shard_handles,
+        busy_secs: started.elapsed().as_secs_f64(),
+    });
+}
+
+/// K-way merge one window's chunks into the builder in global
+/// `(time, agent, seq)` order, lazily re-interning via the per-shard
+/// memos. Returns the number of rows merged (the window's capture-side
+/// buffering footprint).
+///
+/// Identical ordering and interning discipline to [`merge_captures`]; the
+/// only difference is the destination (the dataset builder instead of
+/// replayed captures) and the granularity (one window at a time). Because
+/// window boundaries partition event time, per-window merges concatenate
+/// to exactly the whole-run merge order.
+fn merge_window(
+    builder: &mut DatasetBuilder,
+    states: &mut [ShardMergeState],
+    chunks: &[WindowChunk],
+) -> usize {
+    type Key = Reverse<(SimTime, u32, u64, usize, usize)>;
+    let key = |s: usize, l: usize, i: usize| -> Key {
+        let (table, order) = &chunks[s][l];
+        let (agent, seq) = order[i];
+        Reverse((table.times()[i], agent, seq, s, l))
+    };
+    let mut cursors: Vec<Vec<usize>> = chunks.iter().map(|c| vec![0usize; c.len()]).collect();
+    let mut heap: BinaryHeap<Key> = BinaryHeap::new();
+    for (s, tables) in chunks.iter().enumerate() {
+        for (l, (table, _)) in tables.iter().enumerate() {
+            if !table.is_empty() {
+                heap.push(key(s, l, 0));
+            }
+        }
+    }
+    let mut rows = 0usize;
+    while let Some(Reverse((_, _, _, s, l))) = heap.pop() {
+        let i = cursors[s][l];
+        cursors[s][l] += 1;
+        let (table, _) = &chunks[s][l];
+        let mut event = table.get(i);
+        let st = &mut states[s];
+        event.observed = match event.observed {
+            Observed::Payload(p) => {
+                let id = match st.payload_memo[p.index()] {
+                    Some(id) => id,
+                    None => {
+                        let id = builder.intern_payload(&st.payload_values[p.index()]);
+                        st.payload_memo[p.index()] = Some(id);
+                        id
+                    }
+                };
+                Observed::Payload(id)
+            }
+            Observed::Credentials {
+                service,
+                username,
+                password,
+            } => {
+                // Within-event intern order is username then password.
+                let username = match st.cred_memo[username.index()] {
+                    Some(id) => id,
+                    None => {
+                        let id = builder.intern_cred(&st.cred_values[username.index()]);
+                        st.cred_memo[username.index()] = Some(id);
+                        id
+                    }
+                };
+                let password = match st.cred_memo[password.index()] {
+                    Some(id) => id,
+                    None => {
+                        let id = builder.intern_cred(&st.cred_values[password.index()]);
+                        st.cred_memo[password.index()] = Some(id);
+                        id
+                    }
+                };
+                Observed::Credentials {
+                    service,
+                    username,
+                    password,
+                }
+            }
+            other => other,
+        };
+        builder.push_event(l, event);
+        rows += 1;
+        if i + 1 < table.len() {
+            heap.push(key(s, l, i + 1));
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -499,5 +1037,83 @@ mod tests {
             a.telescope.borrow().total_packets(),
             b.telescope.borrow().total_packets()
         );
+    }
+
+    #[test]
+    fn window_ends_partition_the_horizon() {
+        let ends: Vec<u64> = window_ends(SimDuration::WEEK, DEFAULT_WINDOW)
+            .map(|t| t.secs())
+            .collect();
+        assert_eq!(ends.len(), 28);
+        assert_eq!(*ends.last().unwrap(), SimDuration::WEEK.secs());
+        assert!(ends.windows(2).all(|w| w[0] < w[1]));
+        // Uneven division: the last window is short, never skipped.
+        let ends: Vec<u64> = window_ends(SimDuration::from_secs(10), SimDuration::from_secs(4))
+            .map(|t| t.secs())
+            .collect();
+        assert_eq!(ends, vec![4, 8, 10]);
+        // Window larger than the horizon: one window, ending at the horizon.
+        let ends: Vec<u64> = window_ends(SimDuration::from_secs(5), SimDuration::WEEK)
+            .map(|t| t.secs())
+            .collect();
+        assert_eq!(ends, vec![5]);
+        // Degenerate zero-width window is clamped, not an infinite loop.
+        assert_eq!(
+            window_ends(SimDuration::from_secs(2), SimDuration::from_secs(0)).count(),
+            2
+        );
+    }
+
+    /// Satellite: "auto" shard selection on a single-core box must resolve
+    /// to the legacy single-engine path, never a forced K>1 split.
+    #[test]
+    fn auto_shards_resolve_to_one_on_single_core() {
+        let cfg = ScenarioConfig::fast(ScenarioYear::Y2021).with_shards(0);
+        assert_eq!(cfg.effective_shards_with(1), 1);
+        assert_eq!(cfg.effective_shards_with(0), 1);
+        assert_eq!(cfg.effective_shards_with(8), 8);
+        // An explicit shard count is always honored.
+        assert_eq!(cfg.with_shards(3).effective_shards_with(1), 3);
+    }
+
+    #[test]
+    fn size_estimates_scale_sanely() {
+        let full = ScenarioConfig::paper(ScenarioYear::Y2021);
+        assert!((1_500_000..1_700_000).contains(&full.estimated_events()));
+        let ten = full.with_scale(10.0);
+        assert_eq!(ten.estimated_events(), full.estimated_events() * 10);
+        assert!(ten.estimated_distinct_payloads() > full.estimated_distinct_payloads());
+        // Tiny worlds cap the payload estimate instead of over-reserving.
+        let tiny = full.with_scale(0.0001);
+        assert!(tiny.estimated_distinct_payloads() <= 1_024);
+    }
+
+    /// The streaming default path must agree with the materialized
+    /// reference on everything cheap to compare here; the byte-level
+    /// equivalence matrix lives in tests/determinism.rs.
+    #[test]
+    fn streaming_matches_materialized_summary() {
+        let cfg = ScenarioConfig::fast(ScenarioYear::Y2021)
+            .with_seed(11)
+            .with_scale(0.02)
+            .with_shards(1);
+        let m = Scenario::run_materialized(cfg);
+        let s = Scenario::run_with_window(cfg, SimDuration::DAY);
+        assert_eq!(m.stats, s.stats);
+        assert_eq!(m.dataset.len(), s.dataset.len());
+        assert_eq!(
+            m.telescope.borrow().total_packets(),
+            s.telescope.borrow().total_packets()
+        );
+        let stream = s.stream.expect("streaming run records stream stats");
+        assert_eq!(stream.windows, 7);
+        assert!(stream.peak_window_rows < s.dataset.len());
+        assert!(m.stream.is_none());
+        // Streaming drains the captures: every row lives in the dataset.
+        assert!(s.deployment.honeypots.iter().all(|h| {
+            let cap = h.borrow().capture();
+            let empty = cap.borrow().is_empty();
+            empty
+        }));
     }
 }

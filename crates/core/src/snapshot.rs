@@ -46,7 +46,25 @@ use cw_honeypot::deployment::Deployment;
 use cw_netsim::sha256::sha256_hex;
 use cw_netsim::snap::{self, SnapReader, SnapWriter};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Process-global count of actual simulations performed by
+/// [`load_or_run`]/[`load_or_run_in`] (cache hits don't count). The
+/// observability hook behind the sweep cache-contract tests: a sweep over
+/// an N-cell grid must raise this by exactly the number of *distinct*
+/// worlds cold, and by zero warm. Monotone for the life of the process —
+/// callers measure deltas.
+static SIMULATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// The current value of the process-global simulate-call counter:
+/// incremented once per actual simulation inside
+/// [`load_or_run`]/[`load_or_run_in`], never by a cache hit. Monotone for
+/// the life of the process — callers measure deltas around the code under
+/// test (the sweep cache-contract tests in `tests/sweep.rs`).
+pub fn simulations_performed() -> u64 {
+    SIMULATIONS.load(Ordering::Relaxed)
+}
 
 /// Environment variable overriding the cache directory.
 pub const CACHE_DIR_ENV: &str = "CW_CACHE_DIR";
@@ -205,6 +223,7 @@ pub fn load_or_run_in(dir: &Path, config: ScenarioConfig, use_cache: bool) -> (S
         }
     }
     let start = Instant::now();
+    SIMULATIONS.fetch_add(1, Ordering::Relaxed);
     let bundle = SimBundle::run(config);
     let sim_secs = start.elapsed().as_secs_f64();
     let write_secs = if use_cache {

@@ -1,0 +1,304 @@
+//! `cw sweep` — are the paper's findings scale-invariant?
+//!
+//! The paper reports its findings at one observation scale; ROADMAP item 2
+//! asks whether they survive 10× and 100× worlds. This module drives a
+//! grid over (year × seed × deployment variant × scale), obtains each
+//! cell's world through the simulate-once snapshot cache (so every
+//! distinct world is computed exactly once, ever — interrupted sweeps
+//! resume from where they stopped), and re-checks the directional findings
+//! behind Tables 1, 7, 8, 9 and the Table 3 leak experiment at every
+//! scale, reporting per-finding STABLE/DRIFTS verdicts.
+//!
+//! The scale axis is a multiplier on the base configuration's `scale`, so
+//! the same grid shape drives both the real `{×1, ×10, ×100}` question and
+//! cheap test grids over tiny base scales. Deployment variants reuse the
+//! degradation ladder's fault rungs ([`crate::degrade::ladder`]): the
+//! fault-free "none" rung is the paper's deployment, the others ask the
+//! scale question under degraded collection.
+//!
+//! Like `cw degrade`, findings are evaluated as *directions*
+//! ([`crate::degrade::evaluate`]): a scale-stable conclusion keeps its
+//! sign as the world grows, even though every absolute count changes.
+
+use crate::bundle::SimBundle;
+use crate::degrade::{self, FindingEval, Rung};
+use crate::leak::{LeakConfig, LeakOutcome};
+use crate::report::{header_str, TextTable};
+use crate::scenario::ScenarioConfig;
+use cw_netsim::time::SimDuration;
+use cw_scanners::population::ScenarioYear;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The seed-splitting convention for a cell's leak world, matching the
+/// `cw degrade` driver: the leak experiment must not share RNG streams
+/// with the main world it is compared against.
+pub const LEAK_SEED_XOR: u64 = 0x1EA4;
+
+/// The sweep grid: the cross product of years × seeds × deployment
+/// variants × scale multipliers. Scales are innermost so each report row
+/// reads across scales.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// Measurement years to sweep.
+    pub years: Vec<ScenarioYear>,
+    /// Master seeds (replicates; each seed is an independent world).
+    pub seeds: Vec<u64>,
+    /// Deployment variants — fault rungs from the degradation ladder.
+    pub variants: Vec<Rung>,
+    /// Scale multipliers applied to the base configuration's scale.
+    pub scales: Vec<f64>,
+}
+
+impl SweepGrid {
+    /// The canonical scale-sensitivity grid over a base configuration:
+    /// one year per entry of `years`, the base seed, the fault-free
+    /// deployment, scales ×1/×10/×100.
+    pub fn standard(years: Vec<ScenarioYear>, seed: u64) -> SweepGrid {
+        SweepGrid {
+            years,
+            seeds: vec![seed],
+            variants: vec![degrade::ladder().remove(0)],
+            scales: vec![1.0, 10.0, 100.0],
+        }
+    }
+
+    /// Total number of grid cells (including any duplicates the axes name).
+    pub fn cell_count(&self) -> usize {
+        self.years.len() * self.seeds.len() * self.variants.len() * self.scales.len()
+    }
+
+    /// Number of *distinct* worlds the grid names — the exact number of
+    /// simulations a cold sweep performs (and a warm sweep's zero, both
+    /// enforced by `tests/sweep.rs` via the simulate-call counter).
+    pub fn distinct_configs(&self, base: &ScenarioConfig) -> usize {
+        let mut seen: BTreeSet<(u16, u64, u64, &'static str)> = BTreeSet::new();
+        for &year in &self.years {
+            for &seed in &self.seeds {
+                for variant in &self.variants {
+                    for &mult in &self.scales {
+                        let scale = base.scale * mult;
+                        seen.insert((year.year(), seed, scale.to_bits(), variant.label));
+                    }
+                }
+            }
+        }
+        seen.len()
+    }
+}
+
+/// A human-readable scale-multiplier label ("×1", "×10", "×0.5").
+fn scale_label(mult: f64) -> String {
+    if mult.fract() == 0.0 && mult.abs() < 1e15 {
+        format!("\u{d7}{}", mult as i64)
+    } else {
+        format!("\u{d7}{mult}")
+    }
+}
+
+/// Run the sweep and render the `cw sweep` scale-sensitivity report.
+///
+/// `base` supplies everything the grid doesn't override (horizon, shards,
+/// and the scale every multiplier applies to); `obtain` supplies each
+/// cell's scenario bundle so the driver chooses the cache policy — routed
+/// through [`crate::snapshot::load_or_run`], each distinct world is
+/// simulated exactly once ever, and an interrupted sweep resumes without
+/// recomputing completed cells. Leak worlds are small, always simulate
+/// inline (they never touch the snapshot cache), and are memoized per
+/// distinct `(seed, scale, variant)` — they don't depend on the year.
+///
+/// The report is a pure function of `(grid, base)`: same inputs → same
+/// bytes, cold or warm, for any thread/shard/window configuration.
+pub fn report(
+    grid: &SweepGrid,
+    base: ScenarioConfig,
+    obtain: &dyn Fn(ScenarioConfig) -> SimBundle,
+) -> String {
+    let mut out = header_str("Scale sensitivity sweep: finding stability across observation scales");
+    out.push_str(
+        "Each cell simulates (or cache-loads) one world of the (year, seed, variant,\n\
+         scale) grid via the streaming dataset build, then re-checks the directional\n\
+         findings behind Tables 1, 7, 8, 9 and the Table 3 leak at every scale.\n\
+         STABLE = direction holds at every swept scale of the group.\n\n",
+    );
+    out.push_str(&format!(
+        "Grid: years={:?} seeds={:?} variants={:?} scales={:?}\n",
+        grid.years.iter().map(|y| y.year()).collect::<Vec<_>>(),
+        grid.seeds.iter().map(|s| format!("{s:#x}")).collect::<Vec<_>>(),
+        grid.variants.iter().map(|v| v.label).collect::<Vec<_>>(),
+        grid.scales.iter().map(|&m| scale_label(m)).collect::<Vec<_>>(),
+    ));
+    out.push_str(&format!(
+        "Cells: {} ({} distinct worlds; each simulated at most once ever via the cache)\n\n",
+        grid.cell_count(),
+        grid.distinct_configs(&base),
+    ));
+
+    // Leak worlds memoized per distinct (seed, scale, variant) — reused
+    // across years and duplicate axis entries.
+    let mut leak_memo: BTreeMap<(u64, u64, &'static str), LeakOutcome> = BTreeMap::new();
+    // Per-finding stability across *all* groups, in first-seen order.
+    let mut finding_names: Vec<&'static str> = Vec::new();
+    let mut finding_stable: BTreeMap<&'static str, bool> = BTreeMap::new();
+
+    for &year in &grid.years {
+        for &seed in &grid.seeds {
+            for variant in &grid.variants {
+                out.push_str(&format!(
+                    "== year={} seed={:#x} variant={} ==\n",
+                    year.year(),
+                    seed,
+                    variant.label
+                ));
+                let mut worlds = TextTable::new(&[
+                    "Scale",
+                    "Events",
+                    "Distinct payloads",
+                    "Telescope srcs",
+                    "Flows lost",
+                ]);
+                let mut evals: Vec<(String, Vec<FindingEval>)> = Vec::new();
+                let mut seen_scales: BTreeSet<u64> = BTreeSet::new();
+                for &mult in &grid.scales {
+                    let scale = base.scale * mult;
+                    // A duplicate multiplier names the same world; evaluate
+                    // it once per group.
+                    if !seen_scales.insert(scale.to_bits()) {
+                        continue;
+                    }
+                    let label = scale_label(mult);
+                    eprintln!(
+                        "[cw] sweep cell year={} seed={seed:#x} variant={} scale={label} ...",
+                        year.year(),
+                        variant.label
+                    );
+                    let cfg = ScenarioConfig { year, ..base }
+                        .with_seed(seed)
+                        .with_scale(scale)
+                        .with_fault(variant.plan);
+                    let bundle = obtain(cfg);
+                    let leak = leak_memo
+                        .entry((seed, scale.to_bits(), variant.label))
+                        .or_insert_with(|| {
+                            crate::leak::run(&LeakConfig {
+                                seed: seed ^ LEAK_SEED_XOR,
+                                scale,
+                                horizon: SimDuration::WEEK,
+                                fault: variant.plan,
+                            })
+                        });
+                    worlds.row(vec![
+                        label.clone(),
+                        bundle.dataset.len().to_string(),
+                        bundle.dataset.interner().payload_count().to_string(),
+                        bundle.telescope.unique_source_count().to_string(),
+                        bundle.stats.flows_lost.to_string(),
+                    ]);
+                    evals.push((label, degrade::evaluate(&bundle, leak)));
+                }
+                out.push_str(&format!("{}\n", worlds.render()));
+
+                // Finding × scale grid with the per-group verdict.
+                let headers: Vec<String> = std::iter::once("Finding".to_string())
+                    .chain(evals.iter().map(|(l, _)| l.clone()))
+                    .chain(std::iter::once("Verdict".to_string()))
+                    .collect();
+                let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+                let mut findings = TextTable::new(&header_refs);
+                let n_findings = evals[0].1.len();
+                for f in 0..n_findings {
+                    let name = evals[0].1[f].name;
+                    if !finding_stable.contains_key(name) {
+                        finding_names.push(name);
+                        finding_stable.insert(name, true);
+                    }
+                    let mut row = vec![name.to_string()];
+                    let mut first_drift: Option<&str> = None;
+                    for (label, scale_evals) in &evals {
+                        let e = scale_evals[f];
+                        row.push(format!(
+                            "{:.2}{}",
+                            e.metric,
+                            if e.holds { "" } else { " !" }
+                        ));
+                        if !e.holds && first_drift.is_none() {
+                            first_drift = Some(label);
+                        }
+                    }
+                    row.push(match first_drift {
+                        None => "STABLE".to_string(),
+                        Some(label) => {
+                            *finding_stable.get_mut(name).expect("inserted above") = false;
+                            format!("DRIFTS@{label}")
+                        }
+                    });
+                    findings.row(row);
+                }
+                out.push_str(&format!("{}\n", findings.render()));
+            }
+        }
+    }
+
+    let stable = finding_names
+        .iter()
+        .filter(|n| finding_stable[*n])
+        .count();
+    out.push_str(&format!(
+        "{stable}/{} findings scale-stable across every swept group\n",
+        finding_names.len(),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_grid_shape() {
+        let g = SweepGrid::standard(vec![ScenarioYear::Y2021], 7);
+        assert_eq!(g.cell_count(), 3);
+        assert_eq!(g.scales, vec![1.0, 10.0, 100.0]);
+        assert_eq!(g.variants[0].label, "none");
+        assert!(g.variants[0].plan.is_none());
+    }
+
+    #[test]
+    fn distinct_configs_dedupes_identical_cells() {
+        let base = ScenarioConfig::fast(ScenarioYear::Y2021);
+        let g = SweepGrid {
+            years: vec![ScenarioYear::Y2021, ScenarioYear::Y2021],
+            seeds: vec![1, 1],
+            variants: vec![degrade::ladder().remove(0)],
+            scales: vec![1.0, 1.0, 2.0],
+        };
+        assert_eq!(g.cell_count(), 12);
+        assert_eq!(g.distinct_configs(&base), 2);
+    }
+
+    #[test]
+    fn scale_labels_render_compactly() {
+        assert_eq!(scale_label(1.0), "\u{d7}1");
+        assert_eq!(scale_label(100.0), "\u{d7}100");
+        assert_eq!(scale_label(0.5), "\u{d7}0.5");
+    }
+
+    #[test]
+    fn report_is_deterministic_and_has_a_verdict_per_finding() {
+        let base = ScenarioConfig::fast(ScenarioYear::Y2021).with_scale(0.01);
+        let grid = SweepGrid {
+            years: vec![ScenarioYear::Y2021],
+            seeds: vec![base.seed],
+            variants: vec![degrade::ladder().remove(0)],
+            scales: vec![1.0, 2.0],
+        };
+        let render = || report(&grid, base, &|cfg| SimBundle::run(cfg));
+        let a = render();
+        assert_eq!(a, render());
+        // Every tracked finding gets exactly one verdict token per group.
+        let verdicts = a.matches("STABLE").count() + a.matches("DRIFTS@").count();
+        // "STABLE" also appears once inside the preamble text.
+        assert_eq!(verdicts - 1, 5, "one verdict per tracked finding:\n{a}");
+        assert!(a.contains("findings scale-stable"));
+        assert!(a.contains("\u{d7}2"));
+    }
+}

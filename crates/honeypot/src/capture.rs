@@ -100,6 +100,21 @@ impl EventTable {
         EventTable::default()
     }
 
+    /// An empty table with room for `n` rows in every column. Purely an
+    /// allocation hint (the streaming dataset build pre-sizes from the
+    /// scenario's expected event count); contents and behavior are
+    /// unaffected.
+    pub fn with_capacity(n: usize) -> Self {
+        EventTable {
+            times: Vec::with_capacity(n),
+            srcs: Vec::with_capacity(n),
+            src_asns: Vec::with_capacity(n),
+            dsts: Vec::with_capacity(n),
+            dst_ports: Vec::with_capacity(n),
+            observed: Vec::with_capacity(n),
+        }
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         self.times.len()
@@ -357,6 +372,23 @@ impl Capture {
         &self.order
     }
 
+    /// Drain everything recorded so far, leaving the capture empty but
+    /// still live: the vantage label and the shared interner handle stay,
+    /// so the listener keeps recording (and interning) into the same id
+    /// space afterwards.
+    ///
+    /// This is the incremental hand-off of the streaming dataset build —
+    /// called at every window boundary so capture-side buffering (rows +
+    /// order stamps) never grows past one window of events. Interned ids
+    /// in the returned table resolve against [`Capture::interner`] exactly
+    /// as before; draining moves rows, it never re-numbers anything.
+    pub fn take_rows(&mut self) -> (EventTable, Vec<(u32, u64)>) {
+        (
+            std::mem::take(&mut self.table),
+            std::mem::take(&mut self.order),
+        )
+    }
+
     /// Number of recorded events.
     pub fn len(&self) -> usize {
         self.table.len()
@@ -446,6 +478,24 @@ mod tests {
         assert_eq!(cap.len(), 3);
         assert_eq!(cap.order(), &[(7, 3), (0, 0), (2, 9)]);
         assert_eq!(cap.event(2).dst_port, 80);
+    }
+
+    #[test]
+    fn take_rows_drains_but_keeps_identity() {
+        let shared = Interner::shared();
+        let mut cap = Capture::new("hp").with_interner(Rc::clone(&shared));
+        let p = cap.intern_payload(b"probe");
+        cap.record_from(ev(Ipv4Addr::new(10, 0, 0, 1), 80, Observed::Payload(p)), 3, 1);
+        let (table, order) = cap.take_rows();
+        assert_eq!(table.len(), 1);
+        assert_eq!(order, vec![(3, 1)]);
+        assert!(cap.is_empty());
+        assert_eq!(cap.vantage, "hp");
+        // The interner handle survives the drain: later records reuse ids.
+        assert_eq!(cap.intern_payload(b"probe"), p);
+        cap.record(ev(Ipv4Addr::new(10, 0, 0, 2), 23, Observed::Payload(p)));
+        assert_eq!(cap.len(), 1);
+        assert_eq!(shared.borrow().payload_count(), 1);
     }
 
     #[test]

@@ -94,6 +94,11 @@ where
     T: ?Sized + ToOwned + PartialEq,
     T::Owned: std::borrow::Borrow<T>,
 {
+    fn reserve(&mut self, additional: usize) {
+        self.values.reserve(additional);
+        self.by_hash.reserve(additional);
+    }
+
     fn intern(&mut self, value: &T, hash: u64) -> u32 {
         use std::borrow::Borrow;
         let candidates = self.by_hash.entry(hash).or_default();
@@ -128,6 +133,14 @@ impl Interner {
     /// (honeypot listeners, captures) clones.
     pub fn shared() -> Rc<RefCell<Interner>> {
         Rc::new(RefCell::new(Interner::new()))
+    }
+
+    /// Pre-size the arenas for an expected number of distinct values.
+    /// Purely a reallocation-avoidance hint: ids, contents and every
+    /// observable behavior are unaffected.
+    pub fn reserve(&mut self, payloads: usize, creds: usize) {
+        self.payloads.reserve(payloads);
+        self.creds.reserve(creds);
     }
 
     /// Intern a payload blob, returning its stable id.
@@ -210,24 +223,50 @@ impl Interner {
         Ok(out)
     }
 
+    /// The payload values with ids `start..`, in insertion order.
+    ///
+    /// Streaming delta extraction: a worker that recorded `start =
+    /// payload_count()` at the last window boundary reads here exactly the
+    /// values interned since, so shipping `(start-delta, events)` per
+    /// window transfers each distinct value once.
+    pub fn payloads_from(&self, start: usize) -> &[Vec<u8>] {
+        &self.payloads.values[start..]
+    }
+
+    /// The credential values with ids `start..`, in insertion order (see
+    /// [`Interner::payloads_from`]).
+    pub fn creds_from(&self, start: usize) -> &[String] {
+        &self.creds.values[start..]
+    }
+
     /// Absorb another interner's distinct values (in *its* insertion
     /// order) and return the old-id → new-id tables. This is the fleet
     /// merge step: apply the returned [`Remap`] to every event imported
     /// from `other`'s id space.
     pub fn remap_from(&mut self, other: &Interner) -> Remap {
-        Remap {
-            payloads: other
-                .payloads
-                .values
-                .iter()
-                .map(|p| self.intern_payload(p).0)
-                .collect(),
-            creds: other
-                .creds
-                .values
-                .iter()
-                .map(|c| self.intern_cred(c).0)
-                .collect(),
+        let mut remap = Remap::default();
+        self.extend_remap_from(other, &mut remap);
+        remap
+    }
+
+    /// Extend a [`Remap`] previously built against a shorter prefix of
+    /// `other` so it covers every value `other` holds now.
+    ///
+    /// Interners are append-only, so ids `0..remap.payload_len()` of
+    /// `other` still mean what they meant when `remap` was built; only the
+    /// tail `other` has grown since needs interning. This is the streaming
+    /// dataset build's per-window step: one remap table follows the shared
+    /// capture interner across windows, and the total work over a run is
+    /// exactly one intern per distinct value — the same as a single
+    /// end-of-run [`Interner::remap_from`].
+    pub fn extend_remap_from(&mut self, other: &Interner, remap: &mut Remap) {
+        for i in remap.payloads.len()..other.payloads.values.len() {
+            let id = self.intern_payload(&other.payloads.values[i]);
+            remap.payloads.push(id.0);
+        }
+        for i in remap.creds.len()..other.creds.values.len() {
+            let id = self.intern_cred(&other.creds.values[i]);
+            remap.creds.push(id.0);
         }
     }
 }
@@ -336,6 +375,46 @@ mod tests {
         assert_eq!(merged.payload(PayloadId(0)), b"a");
         assert_eq!(merged.payload(PayloadId(1)), b"b");
         assert_eq!(merged.payload(PayloadId(2)), b"c");
+    }
+
+    #[test]
+    fn extend_remap_from_matches_one_shot_remap() {
+        // Growing a remap prefix-by-prefix must land on the same tables —
+        // and the same target ids — as one remap over the final arena.
+        let mut src = Interner::new();
+        src.intern_payload(b"a");
+        src.intern_cred("u");
+        let mut target_inc = Interner::new();
+        let mut remap_inc = Remap::default();
+        target_inc.extend_remap_from(&src, &mut remap_inc);
+        src.intern_payload(b"b");
+        src.intern_payload(b"a"); // no-op: already interned
+        src.intern_cred("v");
+        target_inc.extend_remap_from(&src, &mut remap_inc);
+
+        let mut target_once = Interner::new();
+        let remap_once = target_once.remap_from(&src);
+        assert_eq!(target_inc.payload_count(), target_once.payload_count());
+        assert_eq!(target_inc.cred_count(), target_once.cred_count());
+        for i in 0..src.payload_count() as u32 {
+            assert_eq!(
+                remap_inc.payload(PayloadId(i)),
+                remap_once.payload(PayloadId(i))
+            );
+        }
+        for i in 0..src.cred_count() as u32 {
+            assert_eq!(remap_inc.cred(CredId(i)), remap_once.cred(CredId(i)));
+        }
+    }
+
+    #[test]
+    fn reserve_changes_no_ids() {
+        let mut a = Interner::new();
+        a.intern_payload(b"x");
+        a.reserve(1000, 1000);
+        assert_eq!(a.intern_payload(b"x"), PayloadId(0));
+        assert_eq!(a.intern_payload(b"y"), PayloadId(1));
+        assert_eq!(a.payload_count(), 2);
     }
 
     #[test]

@@ -6,12 +6,24 @@ use cloud_watching::core::bundle::SimBundle;
 use cloud_watching::core::exhibit::{ExhibitCx, ExhibitOptions, REGISTRY};
 use cloud_watching::core::fleet;
 use cloud_watching::core::neighborhood;
-use cloud_watching::core::scenario::{Scenario, ScenarioConfig, DEFAULT_SEED};
+use cloud_watching::core::scenario::{Scenario, ScenarioConfig, DEFAULT_SEED, DEFAULT_WINDOW};
 use cloud_watching::netsim::fault::FaultPlan;
 use cloud_watching::netsim::rng::{fork_seed, SimRng};
+use cloud_watching::netsim::snap::SnapWriter;
+use cloud_watching::netsim::time::SimDuration;
 use cloud_watching::scanners::population::{self, ScenarioYear};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
+
+/// The full snapshot wire image of a bundle: events, verdicts,
+/// fingerprints, interner id order, telescope counters, index sizes and
+/// run stats in one byte string — equality here is the strongest
+/// equivalence the pipeline can state.
+fn bundle_bytes(b: &SimBundle) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    b.snap_write(&mut w);
+    w.into_bytes()
+}
 
 fn run(seed: u64) -> Scenario {
     Scenario::run(
@@ -105,8 +117,78 @@ fn sharded_run_is_byte_identical_to_unsharded() {
     }
 }
 
-/// Render every registered exhibit from fast bundles of all three years.
-fn render_all(shards: usize, threads: usize) -> BTreeMap<&'static str, String> {
+/// The streaming-build contract (PR 9 tentpole): chunking the engine run
+/// into time windows and absorbing each window's capture incrementally
+/// must reproduce the materialized one-shot build byte-for-byte — for any
+/// window size ({one window, small, default}) and shard count ({1, 3}).
+#[test]
+fn streaming_build_byte_identical_across_window_and_shard_matrix() {
+    let base = ScenarioConfig::fast(ScenarioYear::Y2021)
+        .with_seed(42)
+        .with_scale(0.02);
+    let reference = bundle_bytes(&Scenario::run_materialized(base.with_shards(1)).into_bundle());
+    // Cross-check: the sharded materialized path agrees too (PR 7's
+    // contract, restated over the full wire image).
+    assert_eq!(
+        reference,
+        bundle_bytes(&Scenario::run_materialized(base.with_shards(3)).into_bundle()),
+        "sharded materialized run drifted"
+    );
+    let windows = [
+        ("one-window", SimDuration::WEEK),
+        ("small", SimDuration::HOUR),
+        ("default", DEFAULT_WINDOW),
+    ];
+    for shards in [1usize, 3] {
+        for (label, window) in windows {
+            let s = Scenario::run_with_window(base.with_shards(shards), window);
+            let stream = s.stream.expect("streaming run records stream stats");
+            let bytes = bundle_bytes(&s.into_bundle());
+            assert_eq!(
+                reference, bytes,
+                "streaming drifted at shards={shards} window={label}"
+            );
+            if window == SimDuration::WEEK {
+                assert_eq!(stream.windows, 1, "whole horizon is one window");
+            } else {
+                assert!(stream.windows > 1, "window {label} should chunk the run");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Property form: *any* window size in [1s, one week] is observably a
+    /// no-op, on both the single-engine and the sharded streaming path.
+    #[test]
+    fn streaming_window_size_is_observably_a_noop(
+        window_secs in 1u64..=604_800,
+        shards in prop::sample::select(vec![1usize, 3]),
+        seed in any::<u64>(),
+    ) {
+        let base = ScenarioConfig::fast(ScenarioYear::Y2021)
+            .with_seed(seed)
+            .with_scale(0.01)
+            .with_shards(shards);
+        let reference = bundle_bytes(&Scenario::run_materialized(base).into_bundle());
+        let s = Scenario::run_with_window(base, SimDuration::from_secs(window_secs));
+        let streamed = bundle_bytes(&s.into_bundle());
+        prop_assert!(
+            reference == streamed,
+            "streaming drifted at window={window_secs}s shards={shards}"
+        );
+    }
+}
+
+/// Render every registered exhibit from fast bundles of all three years,
+/// simulating each year's world with `runner`.
+fn render_all_with(
+    shards: usize,
+    threads: usize,
+    runner: fn(ScenarioConfig) -> SimBundle,
+) -> BTreeMap<&'static str, String> {
     let opts = ExhibitOptions {
         scale: 0.02,
         seed: DEFAULT_SEED,
@@ -123,12 +205,36 @@ fn render_all(shards: usize, threads: usize) -> BTreeMap<&'static str, String> {
                 .with_shards(shards)
         })
         .collect();
-    let bundles: BTreeMap<u16, SimBundle> = fleet::map(configs, threads, |_, c| SimBundle::run(*c))
+    let bundles: BTreeMap<u16, SimBundle> = fleet::map(configs, threads, |_, c| runner(*c))
         .into_iter()
         .map(|b| (b.config.year.year(), b))
         .collect();
     let cx = ExhibitCx::new(opts, &bundles);
     REGISTRY.iter().map(|e| (e.name(), e.run(&cx))).collect()
+}
+
+/// Render every registered exhibit from fast bundles of all three years
+/// (the default, streaming, simulation path).
+fn render_all(shards: usize, threads: usize) -> BTreeMap<&'static str, String> {
+    render_all_with(shards, threads, SimBundle::run)
+}
+
+/// All 25 exhibits render the exact same bytes whether the worlds behind
+/// them were built by the streaming path (any window size) or the
+/// materialized reference path.
+#[test]
+fn exhibits_byte_identical_streaming_vs_materialized() {
+    let materialized = render_all_with(1, 1, |c| Scenario::run_materialized(c).into_bundle());
+    assert_eq!(materialized.len(), REGISTRY.len());
+    let streamed = render_all_with(1, 1, |c| {
+        Scenario::run_with_window(c, SimDuration::DAY).into_bundle()
+    });
+    for (name, text) in &materialized {
+        assert_eq!(
+            text, &streamed[name],
+            "exhibit {name} drifted between materialized and streaming builds"
+        );
+    }
 }
 
 /// All 25 exhibits render the exact same bytes whatever the shard count

@@ -19,8 +19,10 @@ use std::net::Ipv4Addr;
 
 thread_local! {
     /// One frozen-seed scenario per test thread (pipeline types are
-    /// single-threaded by design).
-    static SCENARIO: Scenario = Scenario::run(
+    /// single-threaded by design). Materialized, not streamed: the
+    /// leak-sweep equivalence test below reads raw per-capture tables
+    /// after the run, which the streaming path drains into the dataset.
+    static SCENARIO: Scenario = Scenario::run_materialized(
         ScenarioConfig::fast(ScenarioYear::Y2021).with_seed(424_242),
     );
 }
