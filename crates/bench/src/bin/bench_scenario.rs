@@ -16,10 +16,15 @@
 //! (`snapshot_write_secs` / `snapshot_read_secs`) and a fully warm
 //! all-exhibits render (`all_cached_wall_secs` — every world served from
 //! `out/.cache`) are timed too, so the simulate-once speedup is recorded
-//! next to the simulation cost it replaces. The `bench_query` phase times
-//! the query layer's shared column scan (the Tables 8+9 [`Batch`]) against
-//! hand-rolled independent sweeps producing identical sets, recording both
-//! as `query_rows_per_sec` / `handrolled_rows_per_sec`. The streaming
+//! next to the simulation cost it replaces; the warm render runs twice,
+//! once without plan prefetching and once with it, and the scan counters
+//! of each pass land as `unfused_scans` / `fused_scans` (with
+//! `fused_rows_per_sec` over the fused pass) so the registry-wide scan
+//! fusion is a measured number, not a claim. The `bench_query` phase times
+//! the query layer's fused scan (the Tables 8+9 [`cw_core::PlanSet`])
+//! against hand-rolled independent sweeps producing identical sets,
+//! recording both as `query_rows_per_sec` / `handrolled_rows_per_sec`. The
+//! streaming
 //! dataset build is timed on the same world (`streaming_build_secs`, with
 //! `stream_windows` / `peak_window_rows` / a modeled
 //! `peak_resident_estimate`), and a final `sweep` phase runs the `cw
@@ -34,7 +39,7 @@ use cw_core::exhibit::{self, ExhibitCx, ExhibitOptions};
 use cw_core::fleet;
 use cw_core::overlap::{cloud_ips, edu_ips, TABLE9_PORTS};
 use cw_core::scenario::ScenarioConfig;
-use cw_core::{snapshot, Batch, SimBundle};
+use cw_core::{snapshot, Plan, PlanSet, SimBundle};
 use cw_detection::Verdict;
 use cw_honeypot::deployment::Deployment;
 use cw_protocols::iana::POPULAR_PORTS;
@@ -178,28 +183,36 @@ fn main() {
     };
 
     // Phase 2b: `bench_query` — the Tables 8+9 backbone through the query
-    // layer's shared scan versus hand-rolled independent sweeps. The
-    // [`Batch`] sweeps each fleet once for both plans (all-sources and
+    // layer's fused scan versus hand-rolled independent sweeps. The
+    // [`PlanSet`] sweeps each fleet once for both plans (all-sources and
     // attackers-only); the baseline runs one full column scan per
     // (fleet, plan), the shape the retired `port_source_sets` sweeps had.
     // Outputs are asserted identical; rows/sec divides the event rows the
-    // shared path enumerates (fleet-destined rows, each visited once) by
+    // fused path enumerates (fleet-destined rows, each visited once) by
     // each implementation's wall time, so the two throughputs compare the
     // same job directly.
     let cloud = cloud_ips(&s.deployment);
     let edu = edu_ips(&s.deployment);
     let run_query = || -> Vec<BTreeMap<u16, BTreeSet<Ipv4Addr>>> {
-        let mut out = Batch::at(&s.dataset, &cloud)
-            .plan(s.dataset.query(), &POPULAR_PORTS)
-            .plan(s.dataset.query().malicious(), &TABLE9_PORTS)
-            .distinct_srcs();
-        out.extend(
-            Batch::at(&s.dataset, &edu)
-                .plan(s.dataset.query(), &POPULAR_PORTS)
-                .plan(s.dataset.query().malicious(), &[80, 8080])
+        let mut set = PlanSet::over(&s.dataset);
+        for plan in [
+            Plan::at(&cloud).grouped_by_port(&POPULAR_PORTS).distinct_srcs(),
+            Plan::at(&cloud)
+                .malicious()
+                .grouped_by_port(&TABLE9_PORTS)
                 .distinct_srcs(),
-        );
-        out
+            Plan::at(&edu).grouped_by_port(&POPULAR_PORTS).distinct_srcs(),
+            Plan::at(&edu)
+                .malicious()
+                .grouped_by_port(&[80, 8080])
+                .distinct_srcs(),
+        ] {
+            set.submit(plan).expect("grouped distinct-srcs plans validate");
+        }
+        set.execute()
+            .into_iter()
+            .map(|r| r.into_port_srcs())
+            .collect()
     };
     let hand_rolled = |ips: &[Ipv4Addr],
                        ports: &[u16],
@@ -287,16 +300,47 @@ fn main() {
             .into_iter()
             .map(|b| (b.config.year.year(), b))
             .collect();
+    // Unfused pass: the legacy path — no prefetch, every declared plan
+    // runs standalone. The counter delta is the pass count fusion removes.
+    let c0 = cw_core::query::scan_counters();
     let cx = ExhibitCx::new(ex_opts, &bundles);
     let rendered = fleet::map(exhibit::REGISTRY.to_vec(), n_threads, |_, e| {
         e.run(&cx).len()
     });
     let all_cached_wall_secs = t.elapsed().as_secs_f64();
+    let unfused = cw_core::query::scan_counters().since(c0);
+    drop(cx);
+    // Fused pass: the same renders behind a registry-wide plan prefetch,
+    // the shape `cw all` runs. Both passes render identical bytes (the
+    // golden gate pins that); here the sizes are cross-checked and the
+    // scan counters measured.
+    let c0 = cw_core::query::scan_counters();
+    let t = Instant::now();
+    let mut fused_cx = ExhibitCx::new(ex_opts, &bundles);
+    fused_cx.prefetch(exhibit::REGISTRY);
+    let rendered_fused = fleet::map(exhibit::REGISTRY.to_vec(), n_threads, |_, e| {
+        e.run(&fused_cx).len()
+    });
+    let all_cached_fused_wall_secs = t.elapsed().as_secs_f64();
+    let fused = cw_core::query::scan_counters().since(c0);
+    assert_eq!(rendered, rendered_fused, "fusion changed a rendered length");
+    assert!(
+        fused.fused < unfused.fused,
+        "prefetch must fuse column passes ({} fused vs {} unfused)",
+        fused.fused,
+        unfused.fused
+    );
+    let fused_rows_per_sec = fused.rows as f64 / all_cached_fused_wall_secs;
     eprintln!(
-        "[bench] warm all-exhibits render: {} exhibits, {} bytes, {:.2}s",
+        "[bench] warm all-exhibits render: {} exhibits, {} bytes, {:.2}s unfused \
+         ({} passes) / {:.2}s fused ({} passes, {:.0} rows/s)",
         rendered.len(),
         rendered.iter().sum::<usize>(),
-        all_cached_wall_secs
+        all_cached_wall_secs,
+        unfused.fused,
+        all_cached_fused_wall_secs,
+        fused.fused,
+        fused_rows_per_sec
     );
 
     // Phase 5: fleet wall time at requested thread counts 1 and 8
@@ -383,6 +427,10 @@ fn main() {
             "  \"query_rows_per_sec\": {:.1},\n",
             "  \"handrolled_rows_per_sec\": {:.1},\n",
             "  \"all_cached_wall_secs\": {:.4},\n",
+            "  \"all_cached_fused_wall_secs\": {:.4},\n",
+            "  \"unfused_scans\": {},\n",
+            "  \"fused_scans\": {},\n",
+            "  \"fused_rows_per_sec\": {:.1},\n",
             "  \"hardware_threads\": {},\n",
             "  \"fleet\": [{}],\n",
             "  \"sweep\": {{\"cells\": {}, \"distinct_configs\": {}, ",
@@ -416,6 +464,10 @@ fn main() {
         query_rows_per_sec,
         handrolled_rows_per_sec,
         all_cached_wall_secs,
+        all_cached_fused_wall_secs,
+        unfused.fused,
+        fused.fused,
+        fused_rows_per_sec,
         hardware_threads,
         fleet_runs
             .iter()

@@ -169,7 +169,29 @@ fn cmd_list() {
     }
 }
 
+/// Report one bundle's prefetch fusion stats on stderr (`--trace-scans`).
+fn trace_prefetch(stats: &[exhibit::PrefetchStats]) {
+    for s in stats {
+        eprintln!(
+            "[cw] plan prefetch: year {}: {} plans fused into {} passes",
+            s.year, s.plans, s.passes
+        );
+    }
+}
+
+/// Report the invocation-wide scan counters on stderr (`--trace-scans`):
+/// `fused` column passes actually run vs `planned` logical scans served.
+/// `scripts/verify.sh` parses this line for the scan-budget gate.
+fn trace_summary(before: cw_core::query::ScanCounters) {
+    let d = cw_core::query::scan_counters().since(before);
+    eprintln!(
+        "[cw] scan summary: fused={} planned={} rows={}",
+        d.fused, d.planned, d.rows
+    );
+}
+
 fn cmd_exhibit(e: &'static dyn Exhibit, opts: RunOptions) -> i32 {
+    let before = cw_core::query::scan_counters();
     let ex_opts = exhibit_options(opts);
     let configs = exhibit::required_configs(&[e], &ex_opts);
     let (bundles, world_errors) = obtain_all(configs, threads(opts), !opts.no_cache);
@@ -177,19 +199,33 @@ fn cmd_exhibit(e: &'static dyn Exhibit, opts: RunOptions) -> i32 {
         print_failure_summary(&world_errors, &[]);
         return 4;
     }
-    let cx = ExhibitCx::new(ex_opts, &bundles);
+    let mut cx = ExhibitCx::new(ex_opts, &bundles);
+    let stats = cx.prefetch(&[e]);
+    if opts.trace_scans {
+        trace_prefetch(&stats);
+    }
     print!("{}", e.run(&cx));
+    if opts.trace_scans {
+        trace_summary(before);
+    }
     0
 }
 
 fn cmd_all(opts: RunOptions) -> i32 {
     let started = Instant::now();
+    let before = cw_core::query::scan_counters();
     let ex_opts = exhibit_options(opts);
     let n_threads = threads(opts);
     let configs = exhibit::required_configs(exhibit::REGISTRY, &ex_opts);
     let n_worlds = configs.len();
     let (bundles, world_errors) = obtain_all(configs, n_threads, !opts.no_cache);
-    let cx = ExhibitCx::new(ex_opts, &bundles);
+    let mut cx = ExhibitCx::new(ex_opts, &bundles);
+    // The registry-wide fusion step: every declared plan runs now, one
+    // fused pass per destination fleet per bundle; renders hit the store.
+    let prefetch_stats = cx.prefetch(exhibit::REGISTRY);
+    if opts.trace_scans {
+        trace_prefetch(&prefetch_stats);
+    }
 
     if let Err(e) = std::fs::create_dir_all("out") {
         eprintln!("[cw] error: create out/: {e}");
@@ -231,6 +267,9 @@ fn cmd_all(opts: RunOptions) -> i32 {
         exhibit::REGISTRY.len(),
         started.elapsed().as_secs_f64()
     );
+    if opts.trace_scans {
+        trace_summary(before);
+    }
     if !world_errors.is_empty() || !render_errors.is_empty() {
         print_failure_summary(&world_errors, &render_errors);
     }

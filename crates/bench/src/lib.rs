@@ -43,6 +43,10 @@ pub struct RunOptions {
     /// of world identity: any non-none plan changes the output bytes and
     /// the snapshot addresses.
     pub fault: FaultPlan,
+    /// Print per-bundle plan-fusion stats and an end-of-run scan-counter
+    /// summary on stderr (`--trace-scans`). Purely observational: rendered
+    /// stdout bytes are identical either way.
+    pub trace_scans: bool,
 }
 
 impl Default for RunOptions {
@@ -55,13 +59,14 @@ impl Default for RunOptions {
             shards: None,
             no_cache: false,
             fault: FaultPlan::none(),
+            trace_scans: false,
         }
     }
 }
 
 /// The flag summary shared by usage/error messages.
 pub const USAGE: &str = "usage: cw <exhibit|list|all|export|degrade|sweep> [--scale <f64>] [--seed <u64>] \
-     [--year <2020|2021|2022>] [--threads <N>] [--shards <K>] [--no-cache] \
+     [--year <2020|2021|2022>] [--threads <N>] [--shards <K>] [--no-cache] [--trace-scans] \
      [--loss <f64>] [--outage <f64>] [--outage-windows <N>] \
      [--truncate <f64>] [--truncate-to <bytes>] [--telescope-sample <N>]\n\
 sweep only: [--scales <csv of f64, default 1,10,100>] [--years <csv of years>] \
@@ -126,6 +131,9 @@ pub fn parse_from(args: impl Iterator<Item = String>) -> RunOptions {
             }
             "--no-cache" => {
                 opts.no_cache = true;
+            }
+            "--trace-scans" => {
+                opts.trace_scans = true;
             }
             "--loss" => {
                 opts.fault.flow_loss = value("--loss")
@@ -269,10 +277,11 @@ mod tests {
         assert!(d.threads.is_none());
         assert!(d.shards.is_none());
         assert!(!d.no_cache);
+        assert!(!d.trace_scans);
 
         let o = parse_from(strs(&[
             "--scale", "0.25", "--seed", "7", "--year", "2020", "--threads", "3", "--shards",
-            "4", "--no-cache",
+            "4", "--no-cache", "--trace-scans",
         ]));
         assert_eq!(o.scale, 0.25);
         assert_eq!(o.seed, 7);
@@ -280,6 +289,7 @@ mod tests {
         assert_eq!(o.threads, Some(3));
         assert_eq!(o.shards, Some(4));
         assert!(o.no_cache);
+        assert!(o.trace_scans);
     }
 
     #[test]

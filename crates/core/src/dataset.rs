@@ -485,8 +485,8 @@ impl Dataset {
     /// a fixed port list, in one sweep. Tables 8/9 ask for ~10 ports over
     /// the same 440-vantage fleet; per-port [`Self::sources_on_port`]
     /// calls would rescan the same rows once per port. (Tables that also
-    /// coincide on the vantage set share one scan via
-    /// [`crate::query::Batch`].)
+    /// coincide on the vantage set share one scan via a fused
+    /// [`crate::query::PlanSet`].)
     pub fn port_source_sets(
         &self,
         ips: &[Ipv4Addr],

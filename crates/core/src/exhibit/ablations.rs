@@ -3,10 +3,11 @@
 //! Each render is a byte-exact port of the retired single-purpose binary
 //! of the same name.
 
-use super::{Exhibit, ExhibitCx, Need};
+use super::{Exhibit, ExhibitCx, ExhibitOptions, Need, PlanRequest};
 use crate::compare::{characteristic_table, compare_freqs, median_freqs, CharKind};
 use crate::dataset::TrafficSlice;
 use crate::neighborhood::neighborhoods;
+use crate::query::Plan;
 use crate::report::{header_str, paper_note_str, TextTable};
 use cw_honeypot::deployment::{CollectorKind, Deployment, Provider};
 use cw_scanners::population::ScenarioYear;
@@ -18,12 +19,34 @@ use std::net::Ipv4Addr;
 
 const NEEDS: &[Need] = &[Need::Year(ScenarioYear::Y2021)];
 
+/// One per-honeypot characteristic scan: the shape every ablation's
+/// declared plans share with the Table 2 grid, so an `all`-style run
+/// serves them from the same fused prefetch.
+fn char_plan(ip: Ipv4Addr, slice: TrafficSlice, kind: CharKind) -> Plan {
+    Plan::at(&[ip]).slice(slice).char_freqs(kind)
+}
+
 /// Ablation: the §4.4 median filter.
 ///
 /// Without the filter, the Axtel flood on one Linode Singapore honeypot
 /// makes the *region* look wildly different; the median representative
 /// removes the single-honeypot anomaly.
 pub struct AblationMedian;
+
+/// Linode's GreyNoise honeypots grouped per region, in vantage order.
+fn linode_regions(d: &Deployment) -> Vec<(String, Vec<Ipv4Addr>)> {
+    let mut regions: Vec<(String, Vec<Ipv4Addr>)> = Vec::new();
+    for v in &d.vantages {
+        if v.provider != Provider::Linode || v.collector != CollectorKind::GreyNoise {
+            continue;
+        }
+        match regions.iter_mut().find(|(c, _)| *c == v.region.code) {
+            Some((_, ips)) => ips.push(v.ip),
+            None => regions.push((v.region.code.clone(), vec![v.ip])),
+        }
+    }
+    regions
+}
 
 impl Exhibit for AblationMedian {
     fn name(&self) -> &'static str {
@@ -35,8 +58,17 @@ impl Exhibit for AblationMedian {
     fn needs(&self) -> &'static [Need] {
         NEEDS
     }
+    fn plans(&self, _opts: &ExhibitOptions) -> Vec<PlanRequest> {
+        PlanRequest::all_for(
+            NEEDS[0],
+            linode_regions(&Deployment::standard())
+                .iter()
+                .flat_map(|(_, ips)| ips.iter().copied())
+                .map(|ip| char_plan(ip, TrafficSlice::SshPort22, CharKind::TopAs))
+                .collect(),
+        )
+    }
     fn run(&self, cx: &ExhibitCx<'_>) -> String {
-        let s = cx.bundle(NEEDS[0]);
         let d = Deployment::standard();
         let mut out = header_str(
             "Ablation: §4.4 median filtering vs naive pooling (Linode SSH/22 Top-AS)",
@@ -47,25 +79,14 @@ impl Exhibit for AblationMedian {
         ));
 
         // Group Linode honeypots per region.
-        let mut regions: Vec<(String, Vec<Ipv4Addr>)> = Vec::new();
-        for v in &d.vantages {
-            if v.provider != Provider::Linode || v.collector != CollectorKind::GreyNoise {
-                continue;
-            }
-            match regions.iter_mut().find(|(c, _)| *c == v.region.code) {
-                Some((_, ips)) => ips.push(v.ip),
-                None => regions.push((v.region.code.clone(), vec![v.ip])),
-            }
-        }
+        let regions = linode_regions(&d);
+        let exec = cx.exec(NEEDS[0]);
         let rep = |ips: &[Ipv4Addr], use_median: bool| -> BTreeMap<String, u64> {
             let per: Vec<BTreeMap<String, u64>> = ips
                 .iter()
                 .map(|&ip| {
-                    s.dataset
-                        .query()
-                        .at(&[ip])
-                        .slice(TrafficSlice::SshPort22)
-                        .char_freqs(CharKind::TopAs)
+                    exec.run(&char_plan(ip, TrafficSlice::SshPort22, CharKind::TopAs))
+                        .into_char_freqs()
                 })
                 .collect();
             if use_median {
@@ -114,11 +135,9 @@ impl Exhibit for AblationMedian {
             .1
             .iter()
             .map(|&ip| {
-                *s.dataset
-                    .query()
-                    .at(&[ip])
-                    .slice(TrafficSlice::SshPort22)
-                    .char_freqs(CharKind::TopAs)
+                *exec
+                    .run(&char_plan(ip, TrafficSlice::SshPort22, CharKind::TopAs))
+                    .into_char_freqs()
                     .get("AS6503")
                     .unwrap_or(&0)
             })
@@ -156,8 +175,17 @@ impl Exhibit for AblationTopk {
     fn needs(&self) -> &'static [Need] {
         NEEDS
     }
+    fn plans(&self, _opts: &ExhibitOptions) -> Vec<PlanRequest> {
+        PlanRequest::all_for(
+            NEEDS[0],
+            neighborhoods(&Deployment::standard())
+                .iter()
+                .flat_map(|(_, ips)| ips.iter().copied())
+                .map(|ip| char_plan(ip, TrafficSlice::SshPort22, CharKind::TopAs))
+                .collect(),
+        )
+    }
     fn run(&self, cx: &ExhibitCx<'_>) -> String {
-        let s = cx.bundle(NEEDS[0]);
         let d = Deployment::standard();
         let mut out = header_str("Ablation: top-k choice for the §3.3 comparison (SSH/22, Top ASes)");
         out.push_str(&paper_note_str(
@@ -167,6 +195,7 @@ impl Exhibit for AblationTopk {
         ));
 
         let hoods = neighborhoods(&d);
+        let exec = cx.exec(NEEDS[0]);
         let mut t = TextTable::new(&[
             "k",
             "avg union categories",
@@ -186,11 +215,8 @@ impl Exhibit for AblationTopk {
                 let groups: Vec<BTreeMap<String, u64>> = ips
                     .iter()
                     .map(|&ip| {
-                        s.dataset
-                            .query()
-                            .at(&[ip])
-                            .slice(TrafficSlice::SshPort22)
-                            .char_freqs(CharKind::TopAs)
+                        exec.run(&char_plan(ip, TrafficSlice::SshPort22, CharKind::TopAs))
+                            .into_char_freqs()
                     })
                     .collect();
                 if groups.iter().any(|g| g.values().sum::<u64>() < 8) {
@@ -238,6 +264,17 @@ impl Exhibit for AblationTopk {
 /// false-conclusion budget of uncorrected honeypot comparisons.
 pub struct AblationBonferroni;
 
+/// The Bonferroni ablation's (slice, characteristic) cells, in render
+/// order.
+const BONFERRONI_CELLS: &[(TrafficSlice, CharKind)] = &[
+    (TrafficSlice::SshPort22, CharKind::TopAs),
+    (TrafficSlice::SshPort22, CharKind::TopUsername),
+    (TrafficSlice::TelnetPort23, CharKind::TopAs),
+    (TrafficSlice::TelnetPort23, CharKind::TopPassword),
+    (TrafficSlice::HttpPort80, CharKind::TopPayload),
+    (TrafficSlice::HttpAllPorts, CharKind::TopPayload),
+];
+
 impl Exhibit for AblationBonferroni {
     fn name(&self) -> &'static str {
         "ablation_bonferroni"
@@ -248,8 +285,17 @@ impl Exhibit for AblationBonferroni {
     fn needs(&self) -> &'static [Need] {
         NEEDS
     }
+    fn plans(&self, _opts: &ExhibitOptions) -> Vec<PlanRequest> {
+        let d = Deployment::standard();
+        let mut plans = Vec::new();
+        for &(slice, kind) in BONFERRONI_CELLS {
+            for (_name, ips) in &neighborhoods(&d) {
+                plans.extend(ips.iter().map(|&ip| char_plan(ip, slice, kind)));
+            }
+        }
+        PlanRequest::all_for(NEEDS[0], plans)
+    }
     fn run(&self, cx: &ExhibitCx<'_>) -> String {
-        let s = cx.bundle(NEEDS[0]);
         let d = Deployment::standard();
         let mut out = header_str("Ablation: raw p<0.05 vs Bonferroni-corrected (Table 2 comparisons)");
         out.push_str(&paper_note_str(
@@ -258,14 +304,8 @@ impl Exhibit for AblationBonferroni {
         ));
 
         let hoods = neighborhoods(&d);
-        let cells: &[(TrafficSlice, CharKind)] = &[
-            (TrafficSlice::SshPort22, CharKind::TopAs),
-            (TrafficSlice::SshPort22, CharKind::TopUsername),
-            (TrafficSlice::TelnetPort23, CharKind::TopAs),
-            (TrafficSlice::TelnetPort23, CharKind::TopPassword),
-            (TrafficSlice::HttpPort80, CharKind::TopPayload),
-            (TrafficSlice::HttpAllPorts, CharKind::TopPayload),
-        ];
+        let exec = cx.exec(NEEDS[0]);
+        let cells: &[(TrafficSlice, CharKind)] = BONFERRONI_CELLS;
         let mut t = TextTable::new(&[
             "Slice",
             "Characteristic",
@@ -281,7 +321,7 @@ impl Exhibit for AblationBonferroni {
                 // live on 2 of the 4 GreyNoise IPs per region).
                 let groups: Vec<BTreeMap<String, u64>> = ips
                     .iter()
-                    .map(|&ip| s.dataset.query().at(&[ip]).slice(slice).char_freqs(kind))
+                    .map(|&ip| exec.run(&char_plan(ip, slice, kind)).into_char_freqs())
                     .filter(|g| g.values().sum::<u64>() >= 8)
                     .collect();
                 if groups.len() < 2 {

@@ -5,7 +5,7 @@
 //! appendix year but follow `--year`; cross-year exhibits (Table 14,
 //! temporal stability) pin their years.
 
-use super::{Exhibit, ExhibitCx, Need, SimBundle};
+use super::{Exhibit, ExhibitCx, ExhibitOptions, Need, PlanRequest, SimBundle};
 use crate::compare::CharKind;
 use crate::dataset::TrafficSlice;
 use crate::network::{cloud_cloud_cell, honeytrap_cell, NetworkCell, CLOUD_EDU_PAIRS};
@@ -27,6 +27,12 @@ impl Exhibit for Table12 {
     }
     fn needs(&self) -> &'static [Need] {
         &[Need::Year(ScenarioYear::Y2020)]
+    }
+    fn plans(&self, _opts: &ExhibitOptions) -> Vec<PlanRequest> {
+        PlanRequest::all_for(
+            self.needs()[0],
+            crate::neighborhood::table2_plans(&Deployment::standard()),
+        )
     }
     fn run(&self, cx: &ExhibitCx<'_>) -> String {
         let mut out = header_str("Table 12: % neighborhoods with different traffic (2020)");
@@ -55,6 +61,26 @@ impl Exhibit for Table12 {
 /// Table 13 (Appendix C.3): region-pair similarity on 2020 data.
 pub struct Table13;
 
+/// Table 13's per-slice characteristic lists, in render order.
+const TABLE13_CELLS: &[(TrafficSlice, &[CharKind])] = &[
+    (
+        TrafficSlice::SshPort22,
+        &[CharKind::TopAs, CharKind::FracMalicious, CharKind::TopUsername, CharKind::TopPassword],
+    ),
+    (
+        TrafficSlice::TelnetPort23,
+        &[CharKind::TopAs, CharKind::FracMalicious, CharKind::TopUsername, CharKind::TopPassword],
+    ),
+    (
+        TrafficSlice::HttpPort80,
+        &[CharKind::TopAs, CharKind::FracMalicious, CharKind::TopPayload],
+    ),
+    (
+        TrafficSlice::HttpAllPorts,
+        &[CharKind::TopAs, CharKind::FracMalicious, CharKind::TopPayload],
+    ),
+];
+
 impl Exhibit for Table13 {
     fn name(&self) -> &'static str {
         "table13"
@@ -65,34 +91,27 @@ impl Exhibit for Table13 {
     fn needs(&self) -> &'static [Need] {
         &[Need::Year(ScenarioYear::Y2020)]
     }
+    fn plans(&self, _opts: &ExhibitOptions) -> Vec<PlanRequest> {
+        let d = Deployment::standard();
+        let mut plans = Vec::new();
+        for &(slice, kinds) in TABLE13_CELLS {
+            for &kind in kinds {
+                plans.extend(crate::geography::table5_plans(&d, slice, kind));
+            }
+        }
+        PlanRequest::all_for(self.needs()[0], plans)
+    }
     fn run(&self, cx: &ExhibitCx<'_>) -> String {
-        let s = cx.bundle(self.needs()[0]);
         let d = Deployment::standard();
         let mut out = header_str("Table 13: % similar pairs of regions per bucket (2020)");
         out.push_str(&paper_note_str(
             "2020 keeps the APAC-least-similar shape (e.g. SSH/22 Top-AS: US 71, EU 42, APAC 30, IC 46)",
         ));
         let mut t = TextTable::new(&["Slice", "Characteristic", "US", "EU", "APAC", "Intercont."]);
-        for (slice, kinds) in [
-            (
-                TrafficSlice::SshPort22,
-                vec![CharKind::TopAs, CharKind::FracMalicious, CharKind::TopUsername, CharKind::TopPassword],
-            ),
-            (
-                TrafficSlice::TelnetPort23,
-                vec![CharKind::TopAs, CharKind::FracMalicious, CharKind::TopUsername, CharKind::TopPassword],
-            ),
-            (
-                TrafficSlice::HttpPort80,
-                vec![CharKind::TopAs, CharKind::FracMalicious, CharKind::TopPayload],
-            ),
-            (
-                TrafficSlice::HttpAllPorts,
-                vec![CharKind::TopAs, CharKind::FracMalicious, CharKind::TopPayload],
-            ),
-        ] {
-            for kind in kinds {
-                let cells = crate::geography::table5(&s.dataset, &d, slice, kind);
+        let exec = cx.exec(self.needs()[0]);
+        for &(slice, kinds) in TABLE13_CELLS {
+            for &kind in kinds {
+                let cells = crate::geography::table5_with(&exec, &d, slice, kind);
                 let find = |b: RegionPairKind| {
                     cells
                         .iter()
@@ -296,6 +315,12 @@ impl Exhibit for Table16 {
     fn needs(&self) -> &'static [Need] {
         &[Need::Year(ScenarioYear::Y2020)]
     }
+    fn plans(&self, _opts: &ExhibitOptions) -> Vec<PlanRequest> {
+        PlanRequest::all_for(
+            self.needs()[0],
+            crate::geography::table4_plans(&Deployment::standard()),
+        )
+    }
     fn run(&self, cx: &ExhibitCx<'_>) -> String {
         let mut out = header_str("Table 16: most-different geographic regions (2020)");
         out.push_str(&paper_note_str(
@@ -343,6 +368,16 @@ impl Exhibit for Table17 {
     fn needs(&self) -> &'static [Need] {
         &[Need::Year(ScenarioYear::Y2022)]
     }
+    fn plans(&self, _opts: &ExhibitOptions) -> Vec<PlanRequest> {
+        let d = Deployment::standard();
+        PlanRequest::all_for(
+            self.needs()[0],
+            [80u16, 8080]
+                .into_iter()
+                .flat_map(|port| crate::ports::protocol_breakdown_plans(&d, port))
+                .collect(),
+        )
+    }
     fn run(&self, cx: &ExhibitCx<'_>) -> String {
         let mut out = header_str("Table 17: protocol breakdown on ports 80/8080 (2022)");
         out.push_str(&paper_note_str(
@@ -380,6 +415,15 @@ impl Exhibit for TemporalStability {
             Need::Exact(ScenarioYear::Y2021),
             Need::Exact(ScenarioYear::Y2020),
         ]
+    }
+    fn plans(&self, _opts: &ExhibitOptions) -> Vec<PlanRequest> {
+        let d = Deployment::standard();
+        self.needs()
+            .iter()
+            .flat_map(|&need| {
+                PlanRequest::all_for(need, crate::overlap::table8_and_9_plans(&d))
+            })
+            .collect()
     }
     fn run(&self, cx: &ExhibitCx<'_>) -> String {
         let a = cx.bundle(self.needs()[0]);

@@ -3,14 +3,16 @@
 //! Each render is a byte-exact port of the retired single-purpose binary
 //! of the same name.
 
-use super::{Exhibit, ExhibitCx, Need, SimBundle};
+use super::{Exhibit, ExhibitCx, ExhibitOptions, Need, PlanRequest, SimBundle};
 use crate::compare::CharKind;
 use crate::dataset::TrafficSlice;
 use crate::network::{cloud_cloud_cell, honeytrap_cell, NetworkCell, CLOUD_EDU_PAIRS};
+use crate::query::Plan;
 use crate::report::{header_str, paper_note_str, pct, phi_value, TextTable};
 use cw_honeypot::deployment::{CollectorKind, Deployment, Provider};
 use cw_netsim::ip::IpExt;
 use cw_scanners::population::ScenarioYear;
+use std::net::Ipv4Addr;
 
 /// The needs of every exhibit in this module: the 2021 world, overridable.
 const NEEDS: &[Need] = &[Need::Year(ScenarioYear::Y2021)];
@@ -23,6 +25,53 @@ fn main_bundle<'a>(cx: &'a ExhibitCx<'_>) -> &'a SimBundle {
 /// Table 1: vantage points — unique scanning IPs and ASes per network.
 pub struct Table1;
 
+/// One Table 1 fleet row: label, collection kind, distinct region count,
+/// and the vantage IPs the row's one scan pushes down on.
+struct Table1Fleet {
+    name: &'static str,
+    collector: CollectorKind,
+    regions: usize,
+    ips: Vec<Ipv4Addr>,
+}
+
+/// Table 1's honeypot fleets, in render order (rows with no vantages in
+/// the deployment are dropped, as the render skips them anyway).
+fn table1_fleets(d: &Deployment) -> Vec<Table1Fleet> {
+    let rows: [(&'static str, Provider, CollectorKind); 9] = [
+        ("Hurricane Electric", Provider::HurricaneElectric, CollectorKind::GreyNoise),
+        ("AWS", Provider::Aws, CollectorKind::GreyNoise),
+        ("Azure", Provider::Azure, CollectorKind::GreyNoise),
+        ("Google", Provider::Google, CollectorKind::GreyNoise),
+        ("Linode", Provider::Linode, CollectorKind::GreyNoise),
+        ("Stanford", Provider::Stanford, CollectorKind::Honeytrap),
+        ("AWS (Honeytrap)", Provider::Aws, CollectorKind::Honeytrap),
+        ("Google (Honeytrap)", Provider::Google, CollectorKind::Honeytrap),
+        ("Merit", Provider::Merit, CollectorKind::Honeytrap),
+    ];
+    rows.into_iter()
+        .filter_map(|(name, provider, collector)| {
+            let vantages: Vec<_> = d
+                .vantages
+                .iter()
+                .filter(|v| v.provider == provider && v.collector == collector)
+                .collect();
+            if vantages.is_empty() {
+                return None;
+            }
+            let mut regions: Vec<&str> =
+                vantages.iter().map(|v| v.region.code.as_str()).collect();
+            regions.sort();
+            regions.dedup();
+            Some(Table1Fleet {
+                name,
+                collector,
+                regions: regions.len(),
+                ips: vantages.iter().map(|v| v.ip).collect(),
+            })
+        })
+        .collect()
+}
+
 impl Exhibit for Table1 {
     fn name(&self) -> &'static str {
         "table1"
@@ -32,6 +81,16 @@ impl Exhibit for Table1 {
     }
     fn needs(&self) -> &'static [Need] {
         NEEDS
+    }
+    fn plans(&self, _opts: &ExhibitOptions) -> Vec<PlanRequest> {
+        let d = Deployment::standard();
+        PlanRequest::all_for(
+            NEEDS[0],
+            table1_fleets(&d)
+                .iter()
+                .map(|f| Plan::at(&f.ips).unique_src_and_asn())
+                .collect(),
+        )
     }
     fn run(&self, cx: &ExhibitCx<'_>) -> String {
         let s = main_bundle(cx);
@@ -53,38 +112,18 @@ impl Exhibit for Table1 {
             "Unique Scan ASes",
         ]);
 
-        let rows: Vec<(&str, Provider, CollectorKind)> = vec![
-            ("Hurricane Electric", Provider::HurricaneElectric, CollectorKind::GreyNoise),
-            ("AWS", Provider::Aws, CollectorKind::GreyNoise),
-            ("Azure", Provider::Azure, CollectorKind::GreyNoise),
-            ("Google", Provider::Google, CollectorKind::GreyNoise),
-            ("Linode", Provider::Linode, CollectorKind::GreyNoise),
-            ("Stanford", Provider::Stanford, CollectorKind::Honeytrap),
-            ("AWS (Honeytrap)", Provider::Aws, CollectorKind::Honeytrap),
-            ("Google (Honeytrap)", Provider::Google, CollectorKind::Honeytrap),
-            ("Merit", Provider::Merit, CollectorKind::Honeytrap),
-        ];
-        for (name, provider, collector) in rows {
-            let vantages: Vec<_> = d
-                .vantages
-                .iter()
-                .filter(|v| v.provider == provider && v.collector == collector)
-                .collect();
-            if vantages.is_empty() {
-                continue;
-            }
-            let mut regions: Vec<&str> = vantages.iter().map(|v| v.region.code.as_str()).collect();
-            regions.sort();
-            regions.dedup();
-            let ips: Vec<_> = vantages.iter().map(|v| v.ip).collect();
-            // One query per fleet row: dst pushdown, two distinct-counts
-            // in a single pass.
-            let (srcs, asns) = s.dataset.query().at(&ips).unique_src_and_asn();
+        let exec = cx.exec(NEEDS[0]);
+        for f in table1_fleets(&d) {
+            // One plan per fleet row: dst pushdown, two distinct-counts
+            // in a single pass (prefetched when the driver planned it).
+            let (srcs, asns) = exec
+                .run(&Plan::at(&f.ips).unique_src_and_asn())
+                .into_unique_src_and_asn();
             t.row(vec![
-                name.to_string(),
-                format!("{collector:?}"),
-                regions.len().to_string(),
-                ips.len().to_string(),
+                f.name.to_string(),
+                format!("{:?}", f.collector),
+                f.regions.to_string(),
+                f.ips.len().to_string(),
                 srcs.to_string(),
                 asns.to_string(),
             ]);
@@ -116,6 +155,12 @@ impl Exhibit for Table2 {
     }
     fn needs(&self) -> &'static [Need] {
         NEEDS
+    }
+    fn plans(&self, _opts: &ExhibitOptions) -> Vec<PlanRequest> {
+        PlanRequest::all_for(
+            NEEDS[0],
+            crate::neighborhood::table2_plans(&Deployment::standard()),
+        )
     }
     fn run(&self, cx: &ExhibitCx<'_>) -> String {
         let mut out =
@@ -156,6 +201,12 @@ impl Exhibit for Table4 {
     fn needs(&self) -> &'static [Need] {
         NEEDS
     }
+    fn plans(&self, _opts: &ExhibitOptions) -> Vec<PlanRequest> {
+        PlanRequest::all_for(
+            NEEDS[0],
+            crate::geography::table4_plans(&Deployment::standard()),
+        )
+    }
     fn run(&self, cx: &ExhibitCx<'_>) -> String {
         let mut out = header_str("Table 4: most-different geographic region per provider (2021)");
         out.push_str(&paper_note_str(
@@ -195,6 +246,24 @@ impl Exhibit for Table4 {
 /// Table 5: traffic similarities within and between geo-locations.
 pub struct Table5;
 
+/// Table 5's (slice, characteristic) grid, in render order.
+const TABLE5_CELLS: &[(TrafficSlice, CharKind)] = &[
+    (TrafficSlice::SshPort22, CharKind::TopAs),
+    (TrafficSlice::SshPort22, CharKind::FracMalicious),
+    (TrafficSlice::SshPort22, CharKind::TopUsername),
+    (TrafficSlice::SshPort22, CharKind::TopPassword),
+    (TrafficSlice::TelnetPort23, CharKind::TopAs),
+    (TrafficSlice::TelnetPort23, CharKind::FracMalicious),
+    (TrafficSlice::TelnetPort23, CharKind::TopUsername),
+    (TrafficSlice::TelnetPort23, CharKind::TopPassword),
+    (TrafficSlice::HttpPort80, CharKind::TopAs),
+    (TrafficSlice::HttpPort80, CharKind::FracMalicious),
+    (TrafficSlice::HttpPort80, CharKind::TopPayload),
+    (TrafficSlice::HttpAllPorts, CharKind::TopAs),
+    (TrafficSlice::HttpAllPorts, CharKind::FracMalicious),
+    (TrafficSlice::HttpAllPorts, CharKind::TopPayload),
+];
+
 impl Exhibit for Table5 {
     fn name(&self) -> &'static str {
         "table5"
@@ -205,33 +274,27 @@ impl Exhibit for Table5 {
     fn needs(&self) -> &'static [Need] {
         NEEDS
     }
+    fn plans(&self, _opts: &ExhibitOptions) -> Vec<PlanRequest> {
+        let d = Deployment::standard();
+        PlanRequest::all_for(
+            NEEDS[0],
+            TABLE5_CELLS
+                .iter()
+                .flat_map(|&(slice, kind)| crate::geography::table5_plans(&d, slice, kind))
+                .collect(),
+        )
+    }
     fn run(&self, cx: &ExhibitCx<'_>) -> String {
-        let s = main_bundle(cx);
         let d = Deployment::standard();
         let mut out = header_str("Table 5: % similar pairs of regions per geographic bucket (2021)");
         out.push_str(&paper_note_str(
             "US/EU pairs are nearly always similar (94-100%), APAC much less (e.g. Top-3 AS SSH/22: \
              US 94, EU 100, APAC 63, intercontinental 70; HTTP/All payloads: US 50, EU 53, APAC 20, IC 11)",
         ));
-        let cells_for: &[(TrafficSlice, CharKind)] = &[
-            (TrafficSlice::SshPort22, CharKind::TopAs),
-            (TrafficSlice::SshPort22, CharKind::FracMalicious),
-            (TrafficSlice::SshPort22, CharKind::TopUsername),
-            (TrafficSlice::SshPort22, CharKind::TopPassword),
-            (TrafficSlice::TelnetPort23, CharKind::TopAs),
-            (TrafficSlice::TelnetPort23, CharKind::FracMalicious),
-            (TrafficSlice::TelnetPort23, CharKind::TopUsername),
-            (TrafficSlice::TelnetPort23, CharKind::TopPassword),
-            (TrafficSlice::HttpPort80, CharKind::TopAs),
-            (TrafficSlice::HttpPort80, CharKind::FracMalicious),
-            (TrafficSlice::HttpPort80, CharKind::TopPayload),
-            (TrafficSlice::HttpAllPorts, CharKind::TopAs),
-            (TrafficSlice::HttpAllPorts, CharKind::FracMalicious),
-            (TrafficSlice::HttpAllPorts, CharKind::TopPayload),
-        ];
         let mut t = TextTable::new(&["Slice", "Characteristic", "US", "EU", "APAC", "Intercont."]);
-        for &(slice, kind) in cells_for {
-            let cells = crate::geography::table5(&s.dataset, &d, slice, kind);
+        let exec = cx.exec(NEEDS[0]);
+        for &(slice, kind) in TABLE5_CELLS {
+            let cells = crate::geography::table5_with(&exec, &d, slice, kind);
             let find = |b: cw_netsim::geo::RegionPairKind| {
                 cells
                     .iter()
@@ -347,6 +410,12 @@ impl Exhibit for Table8 {
     fn needs(&self) -> &'static [Need] {
         NEEDS
     }
+    fn plans(&self, _opts: &ExhibitOptions) -> Vec<PlanRequest> {
+        PlanRequest::all_for(
+            NEEDS[0],
+            crate::overlap::table8_and_9_plans(&Deployment::standard()),
+        )
+    }
     fn run(&self, cx: &ExhibitCx<'_>) -> String {
         let mut out = header_str("Table 8: |Tel ∩ X| overlap per port (2021)");
         out.push_str(&paper_note_str(
@@ -381,6 +450,12 @@ impl Exhibit for Table9 {
     }
     fn needs(&self) -> &'static [Need] {
         NEEDS
+    }
+    fn plans(&self, _opts: &ExhibitOptions) -> Vec<PlanRequest> {
+        PlanRequest::all_for(
+            NEEDS[0],
+            crate::overlap::table8_and_9_plans(&Deployment::standard()),
+        )
     }
     fn run(&self, cx: &ExhibitCx<'_>) -> String {
         let mut out = header_str("Table 9: attacker-IP overlap with the telescope (2021)");
@@ -491,6 +566,16 @@ impl Exhibit for Table11 {
     fn needs(&self) -> &'static [Need] {
         NEEDS
     }
+    fn plans(&self, _opts: &ExhibitOptions) -> Vec<PlanRequest> {
+        let d = Deployment::standard();
+        PlanRequest::all_for(
+            NEEDS[0],
+            [80u16, 8080]
+                .into_iter()
+                .flat_map(|port| crate::ports::protocol_breakdown_plans(&d, port))
+                .collect(),
+        )
+    }
     fn run(&self, cx: &ExhibitCx<'_>) -> String {
         let mut out = header_str("Table 11: protocol breakdown on ports 80/8080 (2021)");
         out.push_str(&paper_note_str(
@@ -538,6 +623,12 @@ impl Exhibit for Section3_2 {
     }
     fn needs(&self) -> &'static [Need] {
         NEEDS
+    }
+    fn plans(&self, _opts: &ExhibitOptions) -> Vec<PlanRequest> {
+        PlanRequest::all_for(
+            NEEDS[0],
+            crate::ports::composition_stats_plans(&Deployment::standard()),
+        )
     }
     fn run(&self, cx: &ExhibitCx<'_>) -> String {
         let mut out = header_str("Section 3.2: traffic composition (2021)");
@@ -651,6 +742,16 @@ impl Exhibit for Recommendations {
     }
     fn needs(&self) -> &'static [Need] {
         NEEDS
+    }
+    fn plans(&self, _opts: &ExhibitOptions) -> Vec<PlanRequest> {
+        // The union of every memoized product this render consumes; the
+        // products themselves dedupe against the other exhibits' requests.
+        let d = Deployment::standard();
+        let mut plans = crate::neighborhood::table2_plans(&d);
+        plans.extend(crate::geography::table4_plans(&d));
+        plans.extend(crate::overlap::table8_and_9_plans(&d));
+        plans.extend(crate::ports::protocol_breakdown_plans(&d, 80));
+        PlanRequest::all_for(NEEDS[0], plans)
     }
     fn run(&self, cx: &ExhibitCx<'_>) -> String {
         let s = main_bundle(cx);

@@ -23,6 +23,7 @@ use crate::leak::{LeakConfig, LeakOutcome};
 use crate::neighborhood::NeighborhoodRow;
 use crate::overlap::{MaliciousOverlapRow, OverlapRow};
 use crate::ports::{CompositionStats, ProtocolBreakdownRow, UnexpectedShare};
+use crate::query::{Plan, PlanStore, ScanExec};
 use crate::scenario::{ScenarioConfig, DEFAULT_SEED};
 use cw_honeypot::deployment::Deployment;
 use cw_scanners::population::ScenarioYear;
@@ -123,7 +124,20 @@ pub struct ExhibitCx<'a> {
     pub opts: ExhibitOptions,
     bundles: &'a BTreeMap<u16, SimBundle>,
     memo: BTreeMap<u16, YearMemo>,
+    stores: BTreeMap<u16, PlanStore>,
     leak: OnceLock<LeakOutcome>,
+}
+
+/// What one bundle's plan prefetch cost — per-year fusion accounting for
+/// `cw all --trace-scans`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// Scenario year of the bundle the plans ran against.
+    pub year: u16,
+    /// Distinct plans prefetched (duplicates across exhibits collapse).
+    pub plans: usize,
+    /// Fused column passes the prefetch cost.
+    pub passes: usize,
 }
 
 impl<'a> ExhibitCx<'a> {
@@ -134,7 +148,54 @@ impl<'a> ExhibitCx<'a> {
             opts,
             bundles,
             memo,
+            stores: BTreeMap::new(),
             leak: OnceLock::new(),
+        }
+    }
+
+    /// Collect every plan `exhibits` declare ([`Exhibit::plans`]), group
+    /// them per bundle, and execute each bundle's set as one fused
+    /// [`PlanStore`] — the registry-wide scan fusion step the driver runs
+    /// between resolving worlds and fanning out renders. Renders then hit
+    /// the store through [`ExhibitCx::exec`]; without prefetch every plan
+    /// runs standalone with byte-identical results.
+    ///
+    /// Requests whose resolved year has no bundle are skipped (their
+    /// exhibit's render will fail its own `bundle` lookup, not the whole
+    /// prefetch). Returns per-year fusion stats for `--trace-scans`.
+    pub fn prefetch(&mut self, exhibits: &[&dyn Exhibit]) -> Vec<PrefetchStats> {
+        let mut per_year: BTreeMap<u16, Vec<Plan>> = BTreeMap::new();
+        for e in exhibits {
+            for req in e.plans(&self.opts) {
+                let year = req.need.resolve(&self.opts).year();
+                if self.bundles.contains_key(&year) {
+                    per_year.entry(year).or_default().push(req.plan);
+                }
+            }
+        }
+        let mut stats = Vec::new();
+        for (year, plans) in per_year {
+            let bundle = &self.bundles[&year];
+            let store = PlanStore::build(&bundle.dataset, &plans)
+                .expect("exhibit-declared plans validate");
+            stats.push(PrefetchStats {
+                year,
+                plans: store.plans(),
+                passes: store.passes(),
+            });
+            self.stores.insert(year, store);
+        }
+        stats
+    }
+
+    /// A plan runner for `need`'s bundle: serves prefetched results from
+    /// the bundle's [`PlanStore`] when [`ExhibitCx::prefetch`] ran, falls
+    /// back to standalone execution otherwise.
+    pub fn exec(&self, need: Need) -> ScanExec<'_> {
+        let s = self.bundle(need);
+        match self.stores.get(&s.config.year.year()) {
+            Some(store) => ScanExec::with_store(&s.dataset, store),
+            None => ScanExec::unplanned(&s.dataset),
         }
     }
 
@@ -156,28 +217,35 @@ impl<'a> ExhibitCx<'a> {
         (s, &self.memo[&s.config.year.year()])
     }
 
-    /// `need`'s Table 2 neighborhood rows (computed once per bundle).
+    /// `need`'s Table 2 neighborhood rows (computed once per bundle,
+    /// through the bundle's plan store when prefetched).
     pub fn table2_rows(&self, need: Need) -> &[NeighborhoodRow] {
-        let (s, m) = self.memo(need);
-        m.table2
-            .get_or_init(|| crate::neighborhood::table2(&s.dataset, &Deployment::standard()))
+        let (_, m) = self.memo(need);
+        m.table2.get_or_init(|| {
+            crate::neighborhood::table2_with(&self.exec(need), &Deployment::standard())
+        })
     }
 
     /// `need`'s Table 4 geography grid (computed once per bundle).
     pub fn table4_rows(&self, need: Need) -> &[crate::geography::MostDifferentRegion] {
-        let (s, m) = self.memo(need);
-        m.table4
-            .get_or_init(|| crate::geography::table4(&s.dataset, &Deployment::standard()))
+        let (_, m) = self.memo(need);
+        m.table4.get_or_init(|| {
+            crate::geography::table4_with(&self.exec(need), &Deployment::standard())
+        })
     }
 
     /// `need`'s Tables 8 *and* 9, computed together once per bundle: both
     /// tables group by destination port over the same two fleets, so
-    /// [`crate::overlap::table8_and_9`] derives them from one shared
-    /// [`crate::query::Batch`] scan per fleet.
+    /// [`crate::overlap::table8_and_9_with`] derives them from one shared
+    /// fused scan per fleet.
     fn overlap_rows(&self, need: Need) -> &(Vec<OverlapRow>, Vec<MaliciousOverlapRow>) {
         let (s, m) = self.memo(need);
         m.overlap.get_or_init(|| {
-            crate::overlap::table8_and_9(&s.dataset, &Deployment::standard(), &s.telescope)
+            crate::overlap::table8_and_9_with(
+                &self.exec(need),
+                &Deployment::standard(),
+                &s.telescope,
+            )
         })
     }
 
@@ -205,8 +273,8 @@ impl<'a> ExhibitCx<'a> {
             other => panic!("no memoized breakdown for port {other}"),
         };
         cell.get_or_init(|| {
-            crate::ports::protocol_breakdown(
-                &s.dataset,
+            crate::ports::protocol_breakdown_with(
+                &self.exec(need),
                 &Deployment::standard(),
                 &s.reputation,
                 port,
@@ -216,9 +284,10 @@ impl<'a> ExhibitCx<'a> {
 
     /// `need`'s §3.2 composition statistics (computed once per bundle).
     pub fn composition(&self, need: Need) -> CompositionStats {
-        let (s, m) = self.memo(need);
-        *m.composition
-            .get_or_init(|| crate::ports::composition_stats(&s.dataset, &Deployment::standard()))
+        let (_, m) = self.memo(need);
+        *m.composition.get_or_init(|| {
+            crate::ports::composition_stats_with(&self.exec(need), &Deployment::standard())
+        })
     }
 
     /// The Table 3 leak experiment for this invocation's options, run once
@@ -244,6 +313,27 @@ impl<'a> ExhibitCx<'a> {
     }
 }
 
+/// One scan an exhibit wants prefetched: the [`Plan`] plus the [`Need`]
+/// identifying the bundle it runs against. The driver groups requests per
+/// resolved bundle and fuses each group into one [`PlanStore`] build.
+#[derive(Debug, Clone)]
+pub struct PlanRequest {
+    /// Which simulated world the plan scans.
+    pub need: Need,
+    /// The declared scan.
+    pub plan: Plan,
+}
+
+impl PlanRequest {
+    /// Wrap `plans` for one `need`.
+    pub fn all_for(need: Need, plans: Vec<Plan>) -> Vec<PlanRequest> {
+        plans
+            .into_iter()
+            .map(|plan| PlanRequest { need, plan })
+            .collect()
+    }
+}
+
 /// One table, figure, or ablation: a named, pure render over simulated
 /// worlds.
 pub trait Exhibit: Sync {
@@ -256,6 +346,15 @@ pub trait Exhibit: Sync {
     /// scenario (Table 6) or run their own side experiment (Table 3's
     /// leak worlds, which are small enough to simulate inline) return `&[]`.
     fn needs(&self) -> &'static [Need];
+    /// The scans this render will ask for, for up-front fused prefetching
+    /// ([`ExhibitCx::prefetch`]). The default — no declared plans — is the
+    /// legacy path: every scan runs on demand, byte-identically. Declaring
+    /// plans never changes rendered bytes, only how many column passes
+    /// they cost.
+    fn plans(&self, opts: &ExhibitOptions) -> Vec<PlanRequest> {
+        let _ = opts;
+        Vec::new()
+    }
     /// Render the exhibit's exact stdout text from the provided worlds.
     fn run(&self, cx: &ExhibitCx<'_>) -> String;
 }

@@ -4,7 +4,7 @@
 //! Each render is a byte-exact port of the retired single-purpose binary
 //! of the same name.
 
-use super::{Exhibit, ExhibitCx, Need};
+use super::{Exhibit, ExhibitCx, ExhibitOptions, Need, PlanRequest};
 use crate::compare::CharKind;
 use crate::dataset::TrafficSlice;
 use crate::leak::{LeakGroup, LeakService};
@@ -142,6 +142,25 @@ impl Exhibit for All {
             Need::Exact(ScenarioYear::Y2020),
             Need::Exact(ScenarioYear::Y2022),
         ]
+    }
+    fn plans(&self, _opts: &ExhibitOptions) -> Vec<PlanRequest> {
+        let d = Deployment::standard();
+        // The 2021 sections consume Tables 2, 4, 8/9, 11 (both ports), and
+        // the §3.2 composition; each appendix snapshot re-reads Table 2 and
+        // the port-80 breakdown on its own year.
+        let mut main = crate::neighborhood::table2_plans(&d);
+        main.extend(crate::geography::table4_plans(&d));
+        main.extend(crate::overlap::table8_and_9_plans(&d));
+        main.extend(crate::ports::protocol_breakdown_plans(&d, 80));
+        main.extend(crate::ports::protocol_breakdown_plans(&d, 8080));
+        main.extend(crate::ports::composition_stats_plans(&d));
+        let mut reqs = PlanRequest::all_for(self.needs()[0], main);
+        for &need in &self.needs()[1..] {
+            let mut side = crate::neighborhood::table2_plans(&d);
+            side.extend(crate::ports::protocol_breakdown_plans(&d, 80));
+            reqs.extend(PlanRequest::all_for(need, side));
+        }
+        reqs
     }
     fn run(&self, cx: &ExhibitCx<'_>) -> String {
         let d = Deployment::standard();

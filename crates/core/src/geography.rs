@@ -8,6 +8,7 @@
 
 use crate::compare::{compare_freqs, median_freqs, CharKind};
 use crate::dataset::{Dataset, TrafficSlice};
+use crate::query::{Plan, PlanStore, ScanExec};
 use cw_honeypot::deployment::{CollectorKind, Deployment, Provider};
 use cw_netsim::geo::{classify_pair, Region, RegionPairKind};
 use std::collections::BTreeMap;
@@ -39,6 +40,29 @@ fn provider_region_ips(
     out
 }
 
+/// The declared per-honeypot frequency plans behind one [`region_freqs`]
+/// call.
+fn region_freq_plans(ips: &[Ipv4Addr], slice: TrafficSlice, kind: CharKind) -> Vec<Plan> {
+    ips.iter()
+        .map(|&ip| Plan::at(&[ip]).slice(slice).char_freqs(kind))
+        .collect()
+}
+
+/// The §4.4 region-representative frequency map, through a [`ScanExec`]:
+/// median across honeypots.
+pub fn region_freqs_with(
+    exec: &ScanExec<'_>,
+    ips: &[Ipv4Addr],
+    slice: TrafficSlice,
+    kind: CharKind,
+) -> BTreeMap<String, u64> {
+    let per_honeypot: Vec<BTreeMap<String, u64>> = region_freq_plans(ips, slice, kind)
+        .iter()
+        .map(|p| exec.run(p).into_char_freqs())
+        .collect();
+    median_freqs(&per_honeypot)
+}
+
 /// The §4.4 region-representative frequency map: median across honeypots.
 pub fn region_freqs(
     dataset: &Dataset,
@@ -46,11 +70,7 @@ pub fn region_freqs(
     slice: TrafficSlice,
     kind: CharKind,
 ) -> BTreeMap<String, u64> {
-    let per_honeypot: Vec<BTreeMap<String, u64>> = ips
-        .iter()
-        .map(|&ip| dataset.query().at(&[ip]).slice(slice).char_freqs(kind))
-        .collect();
-    median_freqs(&per_honeypot)
+    region_freqs_with(&ScanExec::unplanned(dataset), ips, slice, kind)
 }
 
 /// One Table 4 cell: a provider's most-different region for one
@@ -71,9 +91,10 @@ pub struct MostDifferentRegion {
 }
 
 /// Table 4: for each provider × characteristic × slice, the region whose
-/// traffic deviates most from the provider's other regions.
-pub fn most_different_region(
-    dataset: &Dataset,
+/// traffic deviates most from the provider's other regions — through a
+/// [`ScanExec`].
+pub fn most_different_region_with(
+    exec: &ScanExec<'_>,
     deployment: &Deployment,
     provider: Provider,
     slice: TrafficSlice,
@@ -83,7 +104,7 @@ pub fn most_different_region(
     let regions = provider_region_ips(deployment, provider, slice);
     let freqs: Vec<(Region, BTreeMap<String, u64>)> = regions
         .iter()
-        .map(|(r, ips)| (r.clone(), region_freqs(dataset, ips, slice, kind)))
+        .map(|(r, ips)| (r.clone(), region_freqs_with(exec, ips, slice, kind)))
         .collect();
     let n = freqs.len();
     let m = n.saturating_sub(1).max(1) * n / 2; // all pairs
@@ -131,32 +152,78 @@ pub fn most_different_region(
     }
 }
 
-/// The full Table 4 grid for AWS / Google / Linode.
-pub fn table4(dataset: &Dataset, deployment: &Deployment) -> Vec<MostDifferentRegion> {
+/// [`most_different_region_with`] without prefetched plans.
+pub fn most_different_region(
+    dataset: &Dataset,
+    deployment: &Deployment,
+    provider: Provider,
+    slice: TrafficSlice,
+    kind: CharKind,
+    alpha: f64,
+) -> MostDifferentRegion {
+    most_different_region_with(
+        &ScanExec::unplanned(dataset),
+        deployment,
+        provider,
+        slice,
+        kind,
+        alpha,
+    )
+}
+
+/// Table 4's (characteristic, slice) cell grid.
+const TABLE4_CELLS: &[(CharKind, TrafficSlice)] = &[
+    (CharKind::TopAs, TrafficSlice::SshPort22),
+    (CharKind::TopAs, TrafficSlice::TelnetPort23),
+    (CharKind::TopAs, TrafficSlice::HttpPort80),
+    (CharKind::TopAs, TrafficSlice::HttpAllPorts),
+    (CharKind::TopUsername, TrafficSlice::SshPort22),
+    (CharKind::TopUsername, TrafficSlice::TelnetPort23),
+    (CharKind::TopPassword, TrafficSlice::TelnetPort23),
+    (CharKind::TopPayload, TrafficSlice::HttpPort80),
+    (CharKind::TopPayload, TrafficSlice::HttpAllPorts),
+    (CharKind::FracMalicious, TrafficSlice::SshPort22),
+    (CharKind::FracMalicious, TrafficSlice::TelnetPort23),
+    (CharKind::FracMalicious, TrafficSlice::AnyAll),
+];
+
+/// The declared plans behind the full Table 4 grid: every provider ×
+/// region × honeypot frequency scan of every cell (the store dedupes the
+/// repeats and fuses per honeypot domain).
+pub fn table4_plans(deployment: &Deployment) -> Vec<Plan> {
     let providers = [Provider::Aws, Provider::Google, Provider::Linode];
-    let cells: &[(CharKind, TrafficSlice)] = &[
-        (CharKind::TopAs, TrafficSlice::SshPort22),
-        (CharKind::TopAs, TrafficSlice::TelnetPort23),
-        (CharKind::TopAs, TrafficSlice::HttpPort80),
-        (CharKind::TopAs, TrafficSlice::HttpAllPorts),
-        (CharKind::TopUsername, TrafficSlice::SshPort22),
-        (CharKind::TopUsername, TrafficSlice::TelnetPort23),
-        (CharKind::TopPassword, TrafficSlice::TelnetPort23),
-        (CharKind::TopPayload, TrafficSlice::HttpPort80),
-        (CharKind::TopPayload, TrafficSlice::HttpAllPorts),
-        (CharKind::FracMalicious, TrafficSlice::SshPort22),
-        (CharKind::FracMalicious, TrafficSlice::TelnetPort23),
-        (CharKind::FracMalicious, TrafficSlice::AnyAll),
-    ];
-    let mut out = Vec::new();
-    for &(kind, slice) in cells {
+    let mut plans = Vec::new();
+    for &(kind, slice) in TABLE4_CELLS {
         for provider in providers {
-            out.push(most_different_region(
-                dataset, deployment, provider, slice, kind, 0.05,
+            for (_region, ips) in provider_region_ips(deployment, provider, slice) {
+                plans.extend(region_freq_plans(&ips, slice, kind));
+            }
+        }
+    }
+    plans
+}
+
+/// The full Table 4 grid for AWS / Google / Linode, through a
+/// [`ScanExec`].
+pub fn table4_with(exec: &ScanExec<'_>, deployment: &Deployment) -> Vec<MostDifferentRegion> {
+    let providers = [Provider::Aws, Provider::Google, Provider::Linode];
+    let mut out = Vec::new();
+    for &(kind, slice) in TABLE4_CELLS {
+        for provider in providers {
+            out.push(most_different_region_with(
+                exec, deployment, provider, slice, kind, 0.05,
             ));
         }
     }
     out
+}
+
+/// The full Table 4 grid without prefetched plans: a local [`PlanStore`]
+/// fuses the grid's per-honeypot scans to one pass per honeypot.
+pub fn table4(dataset: &Dataset, deployment: &Deployment) -> Vec<MostDifferentRegion> {
+    let store =
+        PlanStore::build(dataset, &table4_plans(deployment)).expect("table4 plans validate");
+    table4_with(&ScanExec::with_store(dataset, &store), deployment)
 }
 
 /// One Table 5 cell: % similar pairs within a geographic bucket.
@@ -174,15 +241,31 @@ pub struct SimilarityCell {
     pub pct_similar: f64,
 }
 
+/// Table 5's provider list (Table 4's three plus Azure).
+const TABLE5_PROVIDERS: [Provider; 4] =
+    [Provider::Aws, Provider::Google, Provider::Linode, Provider::Azure];
+
+/// The declared plans behind one Table 5 (slice, characteristic) cell.
+pub fn table5_plans(deployment: &Deployment, slice: TrafficSlice, kind: CharKind) -> Vec<Plan> {
+    let mut plans = Vec::new();
+    for provider in TABLE5_PROVIDERS {
+        for (_region, ips) in provider_region_ips(deployment, provider, slice) {
+            plans.extend(region_freq_plans(&ips, slice, kind));
+        }
+    }
+    plans
+}
+
 /// Table 5: similarity of same-provider region pairs, bucketed into
-/// within-US / within-EU / within-APAC / intercontinental.
-pub fn table5(
-    dataset: &Dataset,
+/// within-US / within-EU / within-APAC / intercontinental — through a
+/// [`ScanExec`].
+pub fn table5_with(
+    exec: &ScanExec<'_>,
     deployment: &Deployment,
     slice: TrafficSlice,
     kind: CharKind,
 ) -> Vec<SimilarityCell> {
-    let providers = [Provider::Aws, Provider::Google, Provider::Linode, Provider::Azure];
+    let providers = TABLE5_PROVIDERS;
     // Gather all same-provider pairs with their bucket.
     struct Pair {
         bucket: RegionPairKind,
@@ -194,7 +277,7 @@ pub fn table5(
         let regions = provider_region_ips(deployment, provider, slice);
         let freqs: Vec<(Region, BTreeMap<String, u64>)> = regions
             .iter()
-            .map(|(r, ips)| (r.clone(), region_freqs(dataset, ips, slice, kind)))
+            .map(|(r, ips)| (r.clone(), region_freqs_with(exec, ips, slice, kind)))
             .collect();
         for i in 0..freqs.len() {
             for j in i + 1..freqs.len() {
@@ -246,6 +329,19 @@ pub fn table5(
             },
         })
         .collect()
+}
+
+/// One Table 5 cell without prefetched plans: a local [`PlanStore`] fuses
+/// the cell's per-honeypot scans.
+pub fn table5(
+    dataset: &Dataset,
+    deployment: &Deployment,
+    slice: TrafficSlice,
+    kind: CharKind,
+) -> Vec<SimilarityCell> {
+    let store = PlanStore::build(dataset, &table5_plans(deployment, slice, kind))
+        .expect("table5 plans validate");
+    table5_with(&ScanExec::with_store(dataset, &store), deployment, slice, kind)
 }
 
 #[cfg(test)]

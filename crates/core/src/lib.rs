@@ -70,7 +70,7 @@ pub mod temporal;
 pub use bundle::SimBundle;
 pub use compare::{CharKind, GroupComparison};
 pub use dataset::{Dataset, TrafficSlice};
-pub use query::{Batch, Query};
+pub use query::{Plan, PlanError, PlanResult, PlanSet, PlanStore, Query, ScanExec};
 pub use scenario::{Scenario, ScenarioConfig};
 
 /// `docs/QUERY.md` compiled as doctests: every `rust` block in the query

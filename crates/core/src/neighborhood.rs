@@ -9,6 +9,7 @@
 
 use crate::compare::{compare_groups, CharKind};
 use crate::dataset::{Dataset, TrafficSlice};
+use crate::query::{Plan, PlanStore, ScanExec};
 use cw_honeypot::deployment::{CollectorKind, Deployment};
 use std::net::Ipv4Addr;
 
@@ -83,14 +84,36 @@ fn observing_ips(
 /// samples make the chi-squared approximation meaningless.
 const MIN_EVENTS_PER_GROUP: usize = 8;
 
-/// Analyze one (slice, characteristic) cell across all neighborhoods.
-pub fn analyze_cell(
-    dataset: &Dataset,
+/// The declared plans one slice's neighborhood analysis needs: one
+/// per-honeypot classified scan per observing honeypot of every
+/// neighborhood with at least two of them. Characteristics share these
+/// plans — a slice's events are gathered once and compared many ways — so
+/// Table 2's 14 cells dedupe to one plan per (slice, honeypot) pair.
+pub fn cell_plans(deployment: &Deployment, slice: TrafficSlice) -> Vec<Plan> {
+    let mut plans = Vec::new();
+    for (_name, ips) in &neighborhoods(deployment) {
+        let ips = observing_ips(deployment, ips, slice);
+        if ips.len() < 2 {
+            continue;
+        }
+        plans.extend(
+            ips.iter()
+                .map(|&ip| Plan::at(&[ip]).slice(slice).classified()),
+        );
+    }
+    plans
+}
+
+/// Analyze one (slice, characteristic) cell across all neighborhoods,
+/// through a [`ScanExec`].
+pub fn analyze_cell_with(
+    exec: &ScanExec<'_>,
     deployment: &Deployment,
     slice: TrafficSlice,
     characteristic: CharKind,
     alpha: f64,
 ) -> NeighborhoodRow {
+    let dataset = exec.dataset();
     let hoods = neighborhoods(deployment);
     // First pass: gather testable neighborhoods (for the Bonferroni m).
     let mut groups_per_hood = Vec::new();
@@ -99,10 +122,16 @@ pub fn analyze_cell(
         if ips.len() < 2 {
             continue;
         }
-        // One query per honeypot: destination pushdown + slice filter.
+        // One plan per honeypot: destination pushdown + slice filter.
         let groups: Vec<Vec<crate::dataset::ClassifiedEvent<'_>>> = ips
             .iter()
-            .map(|&ip| dataset.query().at(&[ip]).slice(slice).classified())
+            .map(|&ip| {
+                exec.run(&Plan::at(&[ip]).slice(slice).classified())
+                    .into_rows()
+                    .into_iter()
+                    .map(|i| dataset.event(i))
+                    .collect()
+            })
             .collect();
         if groups.iter().all(|g| g.len() >= MIN_EVENTS_PER_GROUP) {
             groups_per_hood.push(groups);
@@ -134,8 +163,44 @@ pub fn analyze_cell(
     }
 }
 
-/// The full Table 2 cell list (4 slices × their characteristics).
-pub fn table2(dataset: &Dataset, deployment: &Deployment) -> Vec<NeighborhoodRow> {
+/// Analyze one (slice, characteristic) cell without prefetched plans —
+/// builds a local [`PlanStore`] so the cell's per-honeypot scans still
+/// fuse per honeypot domain.
+pub fn analyze_cell(
+    dataset: &Dataset,
+    deployment: &Deployment,
+    slice: TrafficSlice,
+    characteristic: CharKind,
+    alpha: f64,
+) -> NeighborhoodRow {
+    let store =
+        PlanStore::build(dataset, &cell_plans(deployment, slice)).expect("cell plans validate");
+    analyze_cell_with(
+        &ScanExec::with_store(dataset, &store),
+        deployment,
+        slice,
+        characteristic,
+        alpha,
+    )
+}
+
+/// The declared plans behind the full Table 2 grid: the union of
+/// [`cell_plans`] over its four slices (characteristics reuse them).
+pub fn table2_plans(deployment: &Deployment) -> Vec<Plan> {
+    [
+        TrafficSlice::SshPort22,
+        TrafficSlice::TelnetPort23,
+        TrafficSlice::HttpPort80,
+        TrafficSlice::HttpAllPorts,
+    ]
+    .into_iter()
+    .flat_map(|slice| cell_plans(deployment, slice))
+    .collect()
+}
+
+/// The full Table 2 cell list (4 slices × their characteristics), through
+/// a [`ScanExec`].
+pub fn table2_with(exec: &ScanExec<'_>, deployment: &Deployment) -> Vec<NeighborhoodRow> {
     let mut rows = Vec::new();
     for slice in [TrafficSlice::SshPort22, TrafficSlice::TelnetPort23] {
         for ch in [
@@ -144,15 +209,23 @@ pub fn table2(dataset: &Dataset, deployment: &Deployment) -> Vec<NeighborhoodRow
             CharKind::TopUsername,
             CharKind::TopPassword,
         ] {
-            rows.push(analyze_cell(dataset, deployment, slice, ch, 0.05));
+            rows.push(analyze_cell_with(exec, deployment, slice, ch, 0.05));
         }
     }
     for slice in [TrafficSlice::HttpPort80, TrafficSlice::HttpAllPorts] {
         for ch in [CharKind::TopAs, CharKind::FracMalicious, CharKind::TopPayload] {
-            rows.push(analyze_cell(dataset, deployment, slice, ch, 0.05));
+            rows.push(analyze_cell_with(exec, deployment, slice, ch, 0.05));
         }
     }
     rows
+}
+
+/// The full Table 2 without prefetched plans: one local [`PlanStore`]
+/// fuses the grid's scans to one pass per (slice-observing honeypot).
+pub fn table2(dataset: &Dataset, deployment: &Deployment) -> Vec<NeighborhoodRow> {
+    let store =
+        PlanStore::build(dataset, &table2_plans(deployment)).expect("table2 plans validate");
+    table2_with(&ScanExec::with_store(dataset, &store), deployment)
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! §3.2-malicious event).
 
 use crate::dataset::Dataset;
-use crate::query::Batch;
+use crate::query::{Plan, PlanStore, ScanExec};
 use cw_honeypot::deployment::{CollectorKind, Deployment, NetworkKind};
 use cw_honeypot::telescope::Telescope;
 use cw_protocols::iana::POPULAR_PORTS;
@@ -86,31 +86,42 @@ fn set_overlap(a: &BTreeSet<Ipv4Addr>, b: &BTreeSet<Ipv4Addr>) -> Option<f64> {
 /// Table 9's port list.
 pub const TABLE9_PORTS: [u16; 6] = [23, 2323, 80, 8080, 2222, 22];
 
-/// Tables 8 and 9 from **two shared column scans** (one per fleet).
-///
-/// Both tables group by destination port over the same cloud and education
-/// fleets — Table 8 over all sources, Table 9 over attacker sources only —
-/// so each fleet is swept once by a [`Batch`] whose two plans differ only
-/// in their residual verdict predicate. Four independent
-/// `port_source_sets` sweeps collapse to two passes with byte-identical
-/// sets.
-pub fn table8_and_9(
-    dataset: &Dataset,
+/// The four declared plans behind Tables 8 and 9, in fixed order:
+/// `[cloud-all, cloud-malicious, edu-all, edu-malicious]`. Both tables
+/// group by destination port over the same two fleets — Table 8 over all
+/// sources, Table 9 over attacker sources only — so the plans pair up on
+/// enumeration domain and the executor fuses them into one pass per fleet.
+pub fn table8_and_9_plans(deployment: &Deployment) -> Vec<Plan> {
+    let cloud = cloud_ips(deployment);
+    let edu = edu_ips(deployment);
+    vec![
+        Plan::at(&cloud).grouped_by_port(&POPULAR_PORTS).distinct_srcs(),
+        Plan::at(&cloud)
+            .malicious()
+            .grouped_by_port(&TABLE9_PORTS)
+            .distinct_srcs(),
+        // Honeytrap can only verify maliciousness from payloads: on the
+        // credential ports the Table 9 EDU column is the paper's ×.
+        Plan::at(&edu).grouped_by_port(&POPULAR_PORTS).distinct_srcs(),
+        Plan::at(&edu)
+            .malicious()
+            .grouped_by_port(&[80, 8080])
+            .distinct_srcs(),
+    ]
+}
+
+/// Tables 8 and 9 through a [`ScanExec`] — two fused column passes (one
+/// per fleet) when the plans were prefetched or built locally, the same
+/// four sets either way.
+pub fn table8_and_9_with(
+    exec: &ScanExec<'_>,
     deployment: &Deployment,
     telescope: &Telescope,
 ) -> (Vec<OverlapRow>, Vec<MaliciousOverlapRow>) {
-    let cloud = cloud_ips(deployment);
-    let edu = edu_ips(deployment);
-    let cloud_sets = Batch::at(dataset, &cloud)
-        .plan(dataset.query(), &POPULAR_PORTS)
-        .plan(dataset.query().malicious(), &TABLE9_PORTS)
-        .distinct_srcs();
-    // Honeytrap can only verify maliciousness from payloads: on the
-    // credential ports the Table 9 EDU column is the paper's ×.
-    let edu_sets = Batch::at(dataset, &edu)
-        .plan(dataset.query(), &POPULAR_PORTS)
-        .plan(dataset.query().malicious(), &[80, 8080])
-        .distinct_srcs();
+    let plans = table8_and_9_plans(deployment);
+    let mut sets = plans.iter().map(|p| exec.run(p).into_port_srcs());
+    let cloud_sets = [sets.next().unwrap(), sets.next().unwrap()];
+    let edu_sets = [sets.next().unwrap(), sets.next().unwrap()];
     let rows8 = POPULAR_PORTS
         .iter()
         .map(|&port| {
@@ -140,6 +151,19 @@ pub fn table8_and_9(
         })
         .collect();
     (rows8, rows9)
+}
+
+/// Tables 8 and 9 from **two shared column scans** (one per fleet):
+/// builds a local [`PlanStore`] from [`table8_and_9_plans`] so the four
+/// sweeps fuse even without the registry's prefetch.
+pub fn table8_and_9(
+    dataset: &Dataset,
+    deployment: &Deployment,
+    telescope: &Telescope,
+) -> (Vec<OverlapRow>, Vec<MaliciousOverlapRow>) {
+    let store = PlanStore::build(dataset, &table8_and_9_plans(deployment))
+        .expect("overlap plans validate");
+    table8_and_9_with(&ScanExec::with_store(dataset, &store), deployment, telescope)
 }
 
 /// Table 8 over the paper's 10 popular ports.

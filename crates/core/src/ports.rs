@@ -8,7 +8,7 @@
 
 use crate::dataset::{Dataset, TrafficSlice};
 use crate::network::honeytrap_fleet_ips;
-use crate::query::ObsKind;
+use crate::query::{ObsKind, Plan, PlanStore, ScanExec};
 use cw_detection::{ActorLabel, ReputationDb, Verdict};
 use cw_honeypot::capture::Observed;
 use cw_honeypot::deployment::Deployment;
@@ -56,32 +56,28 @@ pub fn section6_fleets(deployment: &Deployment) -> Vec<Ipv4Addr> {
     ips
 }
 
-/// Fingerprint scanners on one port: maps each source IP to the protocol it
-/// spoke (a source speaking several counts under each; the paper counts
-/// scanners, and multi-protocol sources are rare). One grouped query:
-/// filter to the port, group by fingerprint, collect distinct sources.
-fn scanners_by_protocol(
-    dataset: &Dataset,
-    ips: &[Ipv4Addr],
-    port: u16,
-) -> BTreeMap<ProtocolId, BTreeSet<Ipv4Addr>> {
-    dataset
-        .query()
-        .at(ips)
+/// The one declared plan behind [`protocol_breakdown`] for `port`:
+/// fingerprint scanners over the §6 fleets — filter to the port, group by
+/// fingerprint, collect distinct sources. The 80 and 8080 plans share the
+/// fleet domain, so prefetching both costs one pass instead of two.
+pub fn protocol_breakdown_plans(deployment: &Deployment, port: u16) -> Vec<Plan> {
+    let ips = section6_fleets(deployment);
+    vec![Plan::at(&ips)
         .port(port)
-        .group_by_fingerprint()
-        .distinct_srcs()
+        .grouped_by_fingerprint()
+        .distinct_srcs()]
 }
 
-/// Table 11 (and Table 17's left column) for one port.
-pub fn protocol_breakdown(
-    dataset: &Dataset,
+/// Table 11 (and Table 17's left column) for one port, through a
+/// [`ScanExec`].
+pub fn protocol_breakdown_with(
+    exec: &ScanExec<'_>,
     deployment: &Deployment,
     reputation: &ReputationDb,
     port: u16,
 ) -> (Vec<ProtocolBreakdownRow>, Vec<UnexpectedShare>) {
-    let ips = section6_fleets(deployment);
-    let by_proto = scanners_by_protocol(dataset, &ips, port);
+    let plan = protocol_breakdown_plans(deployment, port).pop().expect("one plan");
+    let by_proto = exec.run(&plan).into_fingerprint_srcs();
     let total: usize = by_proto.values().map(|s| s.len()).sum();
     if total == 0 {
         return (Vec::new(), Vec::new());
@@ -141,6 +137,16 @@ pub fn protocol_breakdown(
     (rows, shares)
 }
 
+/// Table 11 for one port without prefetched plans.
+pub fn protocol_breakdown(
+    dataset: &Dataset,
+    deployment: &Deployment,
+    reputation: &ReputationDb,
+    port: u16,
+) -> (Vec<ProtocolBreakdownRow>, Vec<UnexpectedShare>) {
+    protocol_breakdown_with(&ScanExec::unplanned(dataset), deployment, reputation, port)
+}
+
 /// The §3.2 composition statistics.
 #[derive(Debug, Clone, Copy)]
 pub struct CompositionStats {
@@ -154,36 +160,65 @@ pub struct CompositionStats {
     pub distinct_http_malicious_pct: f64,
 }
 
-/// Compute the §3.2 statistics over the GreyNoise fleet.
-pub fn composition_stats(dataset: &Dataset, deployment: &Deployment) -> CompositionStats {
-    let greynoise: Vec<Ipv4Addr> = deployment
+/// The GreyNoise fleet the §3.2 statistics run over.
+fn greynoise_ips(deployment: &Deployment) -> Vec<Ipv4Addr> {
+    deployment
         .vantages
         .iter()
         .filter(|v| v.collector == cw_honeypot::deployment::CollectorKind::GreyNoise)
         .map(|v| v.ip)
-        .collect();
+        .collect()
+}
 
-    let pct_non_auth = |slice: TrafficSlice| -> f64 {
-        let total = dataset.query().at(&greynoise).slice(slice).count();
+/// The seven declared plans behind [`composition_stats`], in fixed order:
+/// six counts over the GreyNoise fleet (total and non-auth per login
+/// slice, HTTP/80 payloads total and benign) plus one whole-table row scan
+/// for the distinct-payload dedup. Fused they cost two passes — one over
+/// the fleet, one over the table.
+pub fn composition_stats_plans(deployment: &Deployment) -> Vec<Plan> {
+    let g = greynoise_ips(deployment);
+    vec![
+        Plan::at(&g).slice(TrafficSlice::TelnetPort23).count(),
+        Plan::at(&g)
+            .slice(TrafficSlice::TelnetPort23)
+            .not_kind(ObsKind::Credentials)
+            .count(),
+        Plan::at(&g).slice(TrafficSlice::SshPort22).count(),
+        Plan::at(&g)
+            .slice(TrafficSlice::SshPort22)
+            .not_kind(ObsKind::Credentials)
+            .count(),
+        Plan::at(&g)
+            .slice(TrafficSlice::HttpPort80)
+            .kind(ObsKind::Payload)
+            .count(),
+        Plan::at(&g)
+            .slice(TrafficSlice::HttpPort80)
+            .kind(ObsKind::Payload)
+            .verdict(Verdict::Scanner)
+            .count(),
+        Plan::scan().fingerprint(ProtocolId::Http).rows(),
+    ]
+}
+
+/// Compute the §3.2 statistics over the GreyNoise fleet, through a
+/// [`ScanExec`].
+pub fn composition_stats_with(exec: &ScanExec<'_>, deployment: &Deployment) -> CompositionStats {
+    let dataset = exec.dataset();
+    let plans = composition_stats_plans(deployment);
+    let count = |p: &Plan| exec.run(p).into_count();
+
+    let pct_non_auth = |total: usize, non_auth: usize| -> f64 {
         if total == 0 {
             return 0.0;
         }
-        let non_auth = dataset
-            .query()
-            .at(&greynoise)
-            .slice(slice)
-            .not_kind(ObsKind::Credentials)
-            .count();
         100.0 * non_auth as f64 / total as f64
     };
+    let telnet_non_auth_pct = pct_non_auth(count(&plans[0]), count(&plans[1]));
+    let ssh_non_auth_pct = pct_non_auth(count(&plans[2]), count(&plans[3]));
 
-    let http80_payloads = dataset
-        .query()
-        .at(&greynoise)
-        .slice(TrafficSlice::HttpPort80)
-        .kind(ObsKind::Payload);
-    let payloads = http80_payloads.count();
-    let benign = http80_payloads.clone().verdict(Verdict::Scanner).count();
+    let payloads = count(&plans[4]);
+    let benign = count(&plans[5]);
     let http80_benign_pct = if payloads == 0 {
         0.0
     } else {
@@ -192,7 +227,7 @@ pub fn composition_stats(dataset: &Dataset, deployment: &Deployment) -> Composit
 
     // Distinct normalized HTTP payloads anywhere, labeled by the ruleset.
     // Interned ids make the dedup cheap: normalization and key rendering
-    // run once per distinct payload id, not once per event. The query
+    // run once per distinct payload id, not once per event. The plan
     // yields rows in table order, so the first (id, port) pair per
     // normalized key is the first one ever captured — order-sensitive.
     let rules = cw_detection::RuleSet::builtin_cached();
@@ -200,7 +235,7 @@ pub fn composition_stats(dataset: &Dataset, deployment: &Deployment) -> Composit
     let mut seen_ids: std::collections::HashSet<cw_netsim::intern::PayloadId> =
         std::collections::HashSet::new();
     let mut distinct: BTreeMap<String, (cw_netsim::intern::PayloadId, u16)> = BTreeMap::new();
-    for i in dataset.query().fingerprint(ProtocolId::Http).indices() {
+    for i in exec.run(&plans[6]).into_rows() {
         if let Observed::Payload(p) = dataset.table().observed()[i] {
             if seen_ids.insert(p) {
                 let normalized = cw_protocols::http::normalize(interner.payload(p));
@@ -220,11 +255,19 @@ pub fn composition_stats(dataset: &Dataset, deployment: &Deployment) -> Composit
     };
 
     CompositionStats {
-        telnet_non_auth_pct: pct_non_auth(TrafficSlice::TelnetPort23),
-        ssh_non_auth_pct: pct_non_auth(TrafficSlice::SshPort22),
+        telnet_non_auth_pct,
+        ssh_non_auth_pct,
         http80_benign_pct,
         distinct_http_malicious_pct,
     }
+}
+
+/// Compute the §3.2 statistics without prefetched plans: a local
+/// [`PlanStore`] fuses the seven plans into two passes.
+pub fn composition_stats(dataset: &Dataset, deployment: &Deployment) -> CompositionStats {
+    let store = PlanStore::build(dataset, &composition_stats_plans(deployment))
+        .expect("composition plans validate");
+    composition_stats_with(&ScanExec::with_store(dataset, &store), deployment)
 }
 
 #[cfg(test)]

@@ -22,10 +22,22 @@
 //!   enumerated per destination IP, in the order the IPs were given —
 //!   exactly the order of the hand-rolled sweeps this layer retired.
 //!
-//! Plans over the same snapshot that share a row scan are expressed with
-//! [`Batch`]: one pass over the candidate rows evaluates every plan's
-//! residual predicates, so Tables 8 and 9 (same fleets, same group key,
-//! different residual filters) cost two fleet scans instead of four.
+//! Analyses over the same snapshot that want to share a row scan build
+//! [`Plan`] values — an owned, declarative description of a scan (pushdown
+//! predicates + group key + terminal) that can be constructed before any
+//! dataset exists — and submit them to a [`PlanSet`]. The executor
+//! partitions the submitted plans by row-enumeration domain (identical
+//! destination pushdown), evaluates each partition in **one pass** over the
+//! interned columns, and returns typed [`PlanResult`]s in submission order.
+//! Tables 8 and 9 (same fleets, different residual filters) cost two fleet
+//! scans instead of four; across the exhibit registry, the driver prefetches
+//! every declared plan per bundle into a [`PlanStore`] so coinciding scans
+//! fuse registry-wide (see `docs/QUERY.md` and `Exhibit::plans`).
+//!
+//! Scan-count observability: every column pass (a [`Query`] terminal or a
+//! `PlanSet` partition) bumps process-wide counters, readable via
+//! [`scan_counters`]. The `cw all --trace-scans` flag and
+//! `BENCH_scenario.json` report fused vs planned scan counts from them.
 //!
 //! # Example
 //!
@@ -63,12 +75,61 @@ use cw_detection::Verdict;
 use cw_honeypot::capture::{EventTable, Observed, ScanEvent};
 use cw_netsim::intern::PayloadId;
 use cw_protocols::ProtocolId;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide column passes actually executed (each [`Query`] terminal
+/// scan and each fused [`PlanSet`] partition counts one).
+static FUSED_PASSES: AtomicU64 = AtomicU64::new(0);
+/// Process-wide plan evaluations requested (each [`Query`] terminal counts
+/// one; each plan submitted to an executed [`PlanSet`] counts one). The gap
+/// between this and [`FUSED_PASSES`] is the fusion win.
+static PLANNED_SCANS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide candidate rows enumerated across all passes.
+static SCANNED_ROWS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the process-wide scan counters (monotonic; subtract two
+/// snapshots with [`ScanCounters::since`] to meter one phase).
+///
+/// `fused` counts column passes actually executed; `planned` counts plan
+/// evaluations requested. A [`PlanStore`] hit
+/// bumps neither — the work already happened at prefetch time — so after a
+/// fully prefetched render `fused < planned` exactly when fusion shared
+/// passes between plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanCounters {
+    /// Column passes executed.
+    pub fused: u64,
+    /// Plan evaluations requested.
+    pub planned: u64,
+    /// Candidate rows enumerated.
+    pub rows: u64,
+}
+
+impl ScanCounters {
+    /// The counter deltas accumulated since `earlier`.
+    pub fn since(self, earlier: ScanCounters) -> ScanCounters {
+        ScanCounters {
+            fused: self.fused - earlier.fused,
+            planned: self.planned - earlier.planned,
+            rows: self.rows - earlier.rows,
+        }
+    }
+}
+
+/// Read the process-wide scan counters.
+pub fn scan_counters() -> ScanCounters {
+    ScanCounters {
+        fused: FUSED_PASSES.load(Ordering::Relaxed),
+        planned: PLANNED_SCANS.load(Ordering::Relaxed),
+        rows: SCANNED_ROWS.load(Ordering::Relaxed),
+    }
+}
 
 /// The observation kinds a [`Query::kind`] / [`Query::not_kind`] predicate
 /// selects on (the discriminant of [`Observed`], without its payload).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ObsKind {
     /// Bare SYN (telescope-style observation).
     Syn,
@@ -95,7 +156,7 @@ impl ObsKind {
 /// A residual row predicate. Column-only variants evaluate against the
 /// [`EventTable`]; classification variants read the dataset's verdict or
 /// fingerprint column and therefore require a dataset-backed query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum Pred {
     Port(u16),
     PortIn(Vec<u16>),
@@ -252,11 +313,15 @@ impl<'a> Query<'a> {
 
     /// Run the scan, calling `f` with each admitted row index.
     fn for_each(&self, mut f: impl FnMut(usize)) {
+        FUSED_PASSES.fetch_add(1, Ordering::Relaxed);
+        PLANNED_SCANS.fetch_add(1, Ordering::Relaxed);
+        let mut rows = 0u64;
         match &self.dsts {
             Some(ips) => {
                 let ds = class_of(self.class);
                 for &ip in ips {
                     let Some(idxs) = ds.dst_index(ip) else { continue };
+                    rows += idxs.len() as u64;
                     for &i in idxs {
                         if admits(&self.preds, self.table, self.class, i) {
                             f(i);
@@ -265,6 +330,7 @@ impl<'a> Query<'a> {
                 }
             }
             None => {
+                rows = self.table.len() as u64;
                 for i in 0..self.table.len() {
                     if admits(&self.preds, self.table, self.class, i) {
                         f(i);
@@ -272,6 +338,7 @@ impl<'a> Query<'a> {
                 }
             }
         }
+        SCANNED_ROWS.fetch_add(rows, Ordering::Relaxed);
     }
 
     /// Number of admitted rows.
@@ -446,79 +513,632 @@ impl<'a, K: Ord + Copy> Grouped<'a, K> {
     }
 }
 
-/// Several per-port distinct-source plans sharing **one** column scan.
+/// The group key of a [`Plan`]: how admitted rows are bucketed before the
+/// terminal aggregates them.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GroupKey {
+    /// No grouping: the terminal aggregates every admitted row.
+    None,
+    /// Group by destination port over a fixed, seeded key list: only listed
+    /// ports are aggregated and every listed port appears in the result,
+    /// even empty — the Tables 8/9 contract of [`Grouped::keys`].
+    Ports(Vec<u16>),
+    /// Group by LZR fingerprint; rows without a fingerprint fall outside
+    /// every group (matches [`Query::group_by_fingerprint`]).
+    Fingerprint,
+}
+
+/// The terminal aggregate of a [`Plan`] — what one pass folds the admitted
+/// rows into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Terminal {
+    /// Admitted-row count → [`PlanResult::Count`].
+    Count,
+    /// Admitted row indices in enumeration order → [`PlanResult::Rows`].
+    Rows,
+    /// Admitted row indices, for resolution to
+    /// [`ClassifiedEvent`]s via [`Dataset::event`] → [`PlanResult::Rows`].
+    Classified,
+    /// Distinct source IPs → [`PlanResult::DistinctSrcs`] (or the per-group
+    /// map variants under a [`GroupKey`]).
+    DistinctSrcs,
+    /// Distinct source-IP and source-AS counts → Table 1's columns,
+    /// [`PlanResult::UniqueSrcAndAsn`].
+    UniqueSrcAndAsn,
+    /// §3.3 characteristic frequencies of the admitted rows →
+    /// [`PlanResult::CharFreqs`]. Strings resolve once per distinct ID when
+    /// the partition finishes, never inside the scan.
+    CharFreqs(CharKind),
+}
+
+/// A [`Plan`] that cannot execute. Returned by [`PlanSet::submit`] instead
+/// of panicking at scan time, so a misdeclared exhibit plan fails loudly at
+/// submission with the offending combination attached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The group key × terminal combination has no defined aggregate (only
+    /// `DistinctSrcs` folds under a group key today).
+    Unsupported {
+        /// The plan's group key.
+        group: GroupKey,
+        /// The plan's terminal.
+        terminal: Terminal,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Unsupported { group, terminal } => write!(
+                f,
+                "unsupported plan: terminal {terminal:?} under group key {group:?} \
+                 (grouped plans support DistinctSrcs only)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A declarative scan: pushdown predicates + group key + terminal, as an
+/// **owned value** — no dataset borrow, so exhibits can declare the plans
+/// they will need before any world is simulated (`Exhibit::plans`), and
+/// identical plans deduplicate structurally ([`Plan`] is `Eq + Hash`).
 ///
-/// All plans share the destination pushdown (one fleet, one pass over its
-/// rows) and the group key (destination port); each plan contributes its
-/// own residual predicates and fixed port list. Tables 8 and 9 are the
-/// motivating case: the all-sources plan and the attackers-only plan over
-/// the same fleet coincide on group key, so one scan serves both.
-pub struct Batch<'a> {
-    dataset: &'a Dataset,
-    dsts: Vec<Ipv4Addr>,
-    plans: Vec<BatchPlan>,
-}
-
-struct BatchPlan {
+/// Builders mirror [`Query`]'s: [`Plan::at`] fixes the enumeration domain
+/// (or [`Plan::scan`] for table order), predicate methods push filters
+/// down, [`Plan::grouped_by_port`] / [`Plan::grouped_by_fingerprint`] set
+/// the group key, and the terminal methods ([`Plan::count`],
+/// [`Plan::distinct_srcs`], …) pick the aggregate. Unlike the retired
+/// `Batch`, a conflicting destination pushdown is unrepresentable: the
+/// plan owns its single domain, and the executor groups plans *by* domain
+/// instead of asserting they already agree.
+///
+/// Execute through [`PlanSet`] (fused with other plans), [`PlanStore`]
+/// (prefetched and memoized), or [`ScanExec::run`] (store hit or
+/// standalone).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Plan {
+    dsts: Option<Vec<Ipv4Addr>>,
     preds: Vec<Pred>,
-    ports: Vec<u16>,
+    group: GroupKey,
+    terminal: Terminal,
 }
 
-impl<'a> Batch<'a> {
-    /// A batch over the rows destined to `ips` (enumerated per IP in the
-    /// order given, like [`Query::at`]).
-    pub fn at(dataset: &'a Dataset, ips: &[Ipv4Addr]) -> Self {
-        Batch {
+impl Plan {
+    /// A plan over every row, in table order (no destination pushdown).
+    pub fn scan() -> Self {
+        Plan {
+            dsts: None,
+            preds: Vec::new(),
+            group: GroupKey::None,
+            terminal: Terminal::Count,
+        }
+    }
+
+    /// A plan over the rows destined to `ips`, enumerated per IP in the
+    /// order given — the same domain and order as [`Query::at`].
+    pub fn at(ips: &[Ipv4Addr]) -> Self {
+        Plan {
+            dsts: Some(ips.to_vec()),
+            ..Plan::scan()
+        }
+    }
+
+    /// Keep rows whose destination port is `port`.
+    pub fn port(mut self, port: u16) -> Self {
+        self.preds.push(Pred::Port(port));
+        self
+    }
+
+    /// Keep rows whose destination port is one of `ports`.
+    pub fn port_in(mut self, ports: &[u16]) -> Self {
+        self.preds.push(Pred::PortIn(ports.to_vec()));
+        self
+    }
+
+    /// Keep rows inside a §3.3 traffic slice.
+    pub fn slice(mut self, slice: TrafficSlice) -> Self {
+        self.preds.push(Pred::Slice(slice));
+        self
+    }
+
+    /// Keep rows with the given §3.2 verdict.
+    pub fn verdict(mut self, v: Verdict) -> Self {
+        self.preds.push(Pred::Verdict(v));
+        self
+    }
+
+    /// Keep rows classified as attacker traffic — shorthand for
+    /// `verdict(Verdict::Attacker)`.
+    pub fn malicious(self) -> Self {
+        self.verdict(Verdict::Attacker)
+    }
+
+    /// Keep rows whose payload fingerprinted as `proto`.
+    pub fn fingerprint(mut self, proto: ProtocolId) -> Self {
+        self.preds.push(Pred::Fingerprint(proto));
+        self
+    }
+
+    /// Keep rows that fingerprinted as *some* protocol.
+    pub fn fingerprinted(mut self) -> Self {
+        self.preds.push(Pred::Fingerprinted);
+        self
+    }
+
+    /// Keep rows whose observation is of `kind`.
+    pub fn kind(mut self, kind: ObsKind) -> Self {
+        self.preds.push(Pred::Kind(kind));
+        self
+    }
+
+    /// Keep rows whose observation is *not* of `kind`.
+    pub fn not_kind(mut self, kind: ObsKind) -> Self {
+        self.preds.push(Pred::NotKind(kind));
+        self
+    }
+
+    /// Group by destination port over the fixed `ports` key list (every
+    /// listed port appears in the result, even empty).
+    pub fn grouped_by_port(mut self, ports: &[u16]) -> Self {
+        self.group = GroupKey::Ports(ports.to_vec());
+        self
+    }
+
+    /// Group by LZR fingerprint.
+    pub fn grouped_by_fingerprint(mut self) -> Self {
+        self.group = GroupKey::Fingerprint;
+        self
+    }
+
+    /// Terminal: count admitted rows.
+    pub fn count(mut self) -> Self {
+        self.terminal = Terminal::Count;
+        self
+    }
+
+    /// Terminal: admitted row indices, in enumeration order.
+    pub fn rows(mut self) -> Self {
+        self.terminal = Terminal::Rows;
+        self
+    }
+
+    /// Terminal: admitted row indices, declared for resolution to
+    /// [`ClassifiedEvent`]s through [`Dataset::event`] after the scan.
+    pub fn classified(mut self) -> Self {
+        self.terminal = Terminal::Classified;
+        self
+    }
+
+    /// Terminal: distinct source IPs (per group under a group key).
+    pub fn distinct_srcs(mut self) -> Self {
+        self.terminal = Terminal::DistinctSrcs;
+        self
+    }
+
+    /// Terminal: distinct source-IP and source-AS counts in one pass.
+    pub fn unique_src_and_asn(mut self) -> Self {
+        self.terminal = Terminal::UniqueSrcAndAsn;
+        self
+    }
+
+    /// Terminal: §3.3 characteristic frequencies of the admitted rows.
+    pub fn char_freqs(mut self, kind: CharKind) -> Self {
+        self.terminal = Terminal::CharFreqs(kind);
+        self
+    }
+
+    /// Check the group key × terminal combination is executable.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        match (&self.group, self.terminal) {
+            (GroupKey::None, _) => Ok(()),
+            (GroupKey::Ports(_) | GroupKey::Fingerprint, Terminal::DistinctSrcs) => Ok(()),
+            (group, terminal) => Err(PlanError::Unsupported {
+                group: group.clone(),
+                terminal,
+            }),
+        }
+    }
+}
+
+/// The typed result of one executed [`Plan`] — owned data, cheap to clone
+/// from a [`PlanStore`], and independent of the dataset borrow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanResult {
+    /// [`Terminal::Count`].
+    Count(usize),
+    /// [`Terminal::Rows`] / [`Terminal::Classified`]: admitted row indices
+    /// in enumeration order (resolve via [`Dataset::event`] as needed).
+    Rows(Vec<usize>),
+    /// Ungrouped [`Terminal::DistinctSrcs`].
+    DistinctSrcs(BTreeSet<Ipv4Addr>),
+    /// [`Terminal::UniqueSrcAndAsn`]: (distinct sources, distinct ASes).
+    UniqueSrcAndAsn(usize, usize),
+    /// [`Terminal::CharFreqs`].
+    CharFreqs(BTreeMap<String, u64>),
+    /// [`Terminal::DistinctSrcs`] under [`GroupKey::Ports`].
+    PortSrcs(BTreeMap<u16, BTreeSet<Ipv4Addr>>),
+    /// [`Terminal::DistinctSrcs`] under [`GroupKey::Fingerprint`].
+    FingerprintSrcs(BTreeMap<ProtocolId, BTreeSet<Ipv4Addr>>),
+}
+
+impl PlanResult {
+    fn mismatch(&self, wanted: &str) -> ! {
+        panic!("plan result holds {self:?}, caller expected {wanted}")
+    }
+
+    /// Unwrap a [`PlanResult::Count`].
+    ///
+    /// # Panics
+    /// Panics if the result is another variant.
+    pub fn into_count(self) -> usize {
+        match self {
+            PlanResult::Count(n) => n,
+            other => other.mismatch("Count"),
+        }
+    }
+
+    /// Unwrap a [`PlanResult::Rows`].
+    ///
+    /// # Panics
+    /// Panics if the result is another variant.
+    pub fn into_rows(self) -> Vec<usize> {
+        match self {
+            PlanResult::Rows(v) => v,
+            other => other.mismatch("Rows"),
+        }
+    }
+
+    /// Unwrap an ungrouped [`PlanResult::DistinctSrcs`].
+    ///
+    /// # Panics
+    /// Panics if the result is another variant.
+    pub fn into_distinct_srcs(self) -> BTreeSet<Ipv4Addr> {
+        match self {
+            PlanResult::DistinctSrcs(s) => s,
+            other => other.mismatch("DistinctSrcs"),
+        }
+    }
+
+    /// Unwrap a [`PlanResult::UniqueSrcAndAsn`].
+    ///
+    /// # Panics
+    /// Panics if the result is another variant.
+    pub fn into_unique_src_and_asn(self) -> (usize, usize) {
+        match self {
+            PlanResult::UniqueSrcAndAsn(s, a) => (s, a),
+            other => other.mismatch("UniqueSrcAndAsn"),
+        }
+    }
+
+    /// Unwrap a [`PlanResult::CharFreqs`].
+    ///
+    /// # Panics
+    /// Panics if the result is another variant.
+    pub fn into_char_freqs(self) -> BTreeMap<String, u64> {
+        match self {
+            PlanResult::CharFreqs(m) => m,
+            other => other.mismatch("CharFreqs"),
+        }
+    }
+
+    /// Unwrap a [`PlanResult::PortSrcs`].
+    ///
+    /// # Panics
+    /// Panics if the result is another variant.
+    pub fn into_port_srcs(self) -> BTreeMap<u16, BTreeSet<Ipv4Addr>> {
+        match self {
+            PlanResult::PortSrcs(m) => m,
+            other => other.mismatch("PortSrcs"),
+        }
+    }
+
+    /// Unwrap a [`PlanResult::FingerprintSrcs`].
+    ///
+    /// # Panics
+    /// Panics if the result is another variant.
+    pub fn into_fingerprint_srcs(self) -> BTreeMap<ProtocolId, BTreeSet<Ipv4Addr>> {
+        match self {
+            PlanResult::FingerprintSrcs(m) => m,
+            other => other.mismatch("FingerprintSrcs"),
+        }
+    }
+}
+
+/// The in-flight accumulator for one plan inside a fused partition pass.
+enum Acc {
+    Count(usize),
+    Rows(Vec<usize>),
+    DistinctSrcs(BTreeSet<Ipv4Addr>),
+    SrcAsn(BTreeSet<Ipv4Addr>, BTreeSet<u32>),
+    CharFreqs(CharKind, Vec<usize>),
+    PortSrcs(BTreeMap<u16, BTreeSet<Ipv4Addr>>),
+    FingerprintSrcs(BTreeMap<ProtocolId, BTreeSet<Ipv4Addr>>),
+}
+
+impl Acc {
+    fn for_plan(plan: &Plan) -> Acc {
+        match (&plan.group, plan.terminal) {
+            (GroupKey::Ports(ports), Terminal::DistinctSrcs) => {
+                Acc::PortSrcs(ports.iter().map(|&p| (p, BTreeSet::new())).collect())
+            }
+            (GroupKey::Fingerprint, Terminal::DistinctSrcs) => {
+                Acc::FingerprintSrcs(BTreeMap::new())
+            }
+            (GroupKey::None, t) => match t {
+                Terminal::Count => Acc::Count(0),
+                Terminal::Rows | Terminal::Classified => Acc::Rows(Vec::new()),
+                Terminal::DistinctSrcs => Acc::DistinctSrcs(BTreeSet::new()),
+                Terminal::UniqueSrcAndAsn => Acc::SrcAsn(BTreeSet::new(), BTreeSet::new()),
+                Terminal::CharFreqs(kind) => Acc::CharFreqs(kind, Vec::new()),
+            },
+            _ => unreachable!("plan validated at submission"),
+        }
+    }
+
+    fn update(&mut self, plan: &Plan, ds: &Dataset, table: &EventTable, i: usize) {
+        if !admits(&plan.preds, table, Some(ds), i) {
+            return;
+        }
+        match self {
+            Acc::Count(n) => *n += 1,
+            Acc::Rows(v) => v.push(i),
+            Acc::DistinctSrcs(s) => {
+                s.insert(table.srcs()[i]);
+            }
+            Acc::SrcAsn(srcs, asns) => {
+                srcs.insert(table.srcs()[i]);
+                asns.insert(table.src_asns()[i].0);
+            }
+            Acc::CharFreqs(_, v) => v.push(i),
+            Acc::PortSrcs(map) => {
+                if let Some(set) = map.get_mut(&table.dst_ports()[i]) {
+                    set.insert(table.srcs()[i]);
+                }
+            }
+            Acc::FingerprintSrcs(map) => {
+                if let Some(fp) = ds.fingerprints()[i] {
+                    map.entry(fp).or_default().insert(table.srcs()[i]);
+                }
+            }
+        }
+    }
+
+    fn finish(self, ds: &Dataset) -> PlanResult {
+        match self {
+            Acc::Count(n) => PlanResult::Count(n),
+            Acc::Rows(v) => PlanResult::Rows(v),
+            Acc::DistinctSrcs(s) => PlanResult::DistinctSrcs(s),
+            Acc::SrcAsn(srcs, asns) => PlanResult::UniqueSrcAndAsn(srcs.len(), asns.len()),
+            Acc::CharFreqs(kind, v) => {
+                // The one resolution point: IDs → strings per distinct ID,
+                // after the scan, exactly like `Query::char_freqs`.
+                let events: Vec<ClassifiedEvent<'_>> =
+                    v.into_iter().map(|i| ds.event(i)).collect();
+                PlanResult::CharFreqs(kind.freqs(&events))
+            }
+            Acc::PortSrcs(m) => PlanResult::PortSrcs(m),
+            Acc::FingerprintSrcs(m) => PlanResult::FingerprintSrcs(m),
+        }
+    }
+}
+
+/// A handle to one submitted [`Plan`]: its index into the `Vec` returned by
+/// [`PlanSet::execute`] (submission order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanId(usize);
+
+impl PlanId {
+    /// The plan's position in [`PlanSet::execute`]'s result vector.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The fusing executor: submitted [`Plan`]s are partitioned by identical
+/// row-enumeration domain (the `dsts` pushdown, compared structurally) and
+/// each partition runs in **one pass** over the interned columns, every
+/// plan's accumulator seeing exactly the rows — in exactly the order — a
+/// standalone [`Query`] would have fed it. Results come back in submission
+/// order regardless of how plans were grouped into passes; partitions
+/// execute in first-submission order.
+pub struct PlanSet<'a> {
+    dataset: &'a Dataset,
+    plans: Vec<Plan>,
+}
+
+impl<'a> PlanSet<'a> {
+    /// An empty plan set over `dataset`.
+    pub fn over(dataset: &'a Dataset) -> Self {
+        PlanSet {
             dataset,
-            dsts: ips.to_vec(),
             plans: Vec::new(),
         }
     }
 
-    /// Add one plan: `q`'s residual predicates, grouped by destination port
-    /// over the fixed `ports` list (every listed port appears in the
-    /// result, matching [`Grouped::keys`]).
-    ///
-    /// # Panics
-    /// Panics if `q` carries its own destination pushdown — the batch owns
-    /// the row enumeration.
-    pub fn plan(mut self, q: Query<'a>, ports: &[u16]) -> Self {
-        assert!(
-            q.dsts.is_none(),
-            "batch plans share the batch's destination pushdown; build the plan \
-             without Query::at"
-        );
-        self.plans.push(BatchPlan {
-            preds: q.preds,
-            ports: ports.to_vec(),
-        });
-        self
+    /// Submit a plan, validating it first — the typed replacement for the
+    /// retired `Batch::plan` `assert!`. The returned [`PlanId`] indexes
+    /// [`PlanSet::execute`]'s result vector.
+    pub fn submit(&mut self, plan: Plan) -> Result<PlanId, PlanError> {
+        plan.validate()?;
+        self.plans.push(plan);
+        Ok(PlanId(self.plans.len() - 1))
     }
 
-    /// Run every plan in one shared scan: distinct source IPs per port,
-    /// one map per plan, in plan order.
-    pub fn distinct_srcs(&self) -> Vec<BTreeMap<u16, BTreeSet<Ipv4Addr>>> {
-        let mut out: Vec<BTreeMap<u16, BTreeSet<Ipv4Addr>>> = self
-            .plans
-            .iter()
-            .map(|p| p.ports.iter().map(|&port| (port, BTreeSet::new())).collect())
-            .collect();
-        let table = self.dataset.table();
-        for &ip in &self.dsts {
-            let Some(idxs) = self.dataset.dst_index(ip) else { continue };
-            for &i in idxs {
-                let port = table.dst_ports()[i];
-                let src = table.srcs()[i];
-                for (plan, sets) in self.plans.iter().zip(&mut out) {
-                    if let Some(set) = sets.get_mut(&port) {
-                        if admits(&plan.preds, table, Some(self.dataset), i) {
-                            set.insert(src);
+    /// Execute every submitted plan, one fused pass per enumeration
+    /// domain, returning results in submission order.
+    pub fn execute(self) -> Vec<PlanResult> {
+        let ds = self.dataset;
+        let table = ds.table();
+        let mut results: Vec<Option<PlanResult>> = (0..self.plans.len()).map(|_| None).collect();
+        // Partition by identical destination domain, first-submission order.
+        let mut partitions: Vec<(&Option<Vec<Ipv4Addr>>, Vec<usize>)> = Vec::new();
+        for (idx, plan) in self.plans.iter().enumerate() {
+            match partitions.iter_mut().find(|(d, _)| *d == &plan.dsts) {
+                Some((_, members)) => members.push(idx),
+                None => partitions.push((&plan.dsts, vec![idx])),
+            }
+        }
+        PLANNED_SCANS.fetch_add(self.plans.len() as u64, Ordering::Relaxed);
+        for (dsts, members) in partitions {
+            FUSED_PASSES.fetch_add(1, Ordering::Relaxed);
+            let mut accs: Vec<Acc> = members
+                .iter()
+                .map(|&p| Acc::for_plan(&self.plans[p]))
+                .collect();
+            let mut rows = 0u64;
+            let visit = |accs: &mut Vec<Acc>, i: usize| {
+                for (acc, &p) in accs.iter_mut().zip(&members) {
+                    acc.update(&self.plans[p], ds, table, i);
+                }
+            };
+            match dsts {
+                Some(ips) => {
+                    for &ip in ips {
+                        let Some(idxs) = ds.dst_index(ip) else { continue };
+                        rows += idxs.len() as u64;
+                        for &i in idxs {
+                            visit(&mut accs, i);
                         }
                     }
                 }
+                None => {
+                    rows = table.len() as u64;
+                    for i in 0..table.len() {
+                        visit(&mut accs, i);
+                    }
+                }
+            }
+            SCANNED_ROWS.fetch_add(rows, Ordering::Relaxed);
+            for (acc, &p) in accs.into_iter().zip(&members) {
+                results[p] = Some(acc.finish(ds));
             }
         }
-        out
+        results
+            .into_iter()
+            .map(|r| r.expect("every partition finishes its members"))
+            .collect()
+    }
+}
+
+/// Prefetched plan results, keyed structurally by [`Plan`].
+///
+/// [`PlanStore::build`] deduplicates the requested plans, executes the
+/// distinct ones through one fused [`PlanSet`], and memoizes the typed
+/// results; [`ScanExec`] then serves repeated requests as clones without
+/// touching the columns again. This is how the exhibit driver turns the
+/// registry's declared plans into one fused execution per bundle.
+#[derive(Debug)]
+pub struct PlanStore {
+    results: HashMap<Plan, PlanResult>,
+    passes: usize,
+}
+
+impl PlanStore {
+    /// A store with no prefetched results (every [`ScanExec::run`] misses —
+    /// the legacy, unprefetched path).
+    pub fn empty() -> Self {
+        PlanStore {
+            results: HashMap::new(),
+            passes: 0,
+        }
+    }
+
+    /// Deduplicate `plans`, execute the distinct ones in one fused
+    /// [`PlanSet`], and memoize the results. Fails on the first invalid
+    /// plan without scanning anything.
+    pub fn build(dataset: &Dataset, plans: &[Plan]) -> Result<PlanStore, PlanError> {
+        let mut set = PlanSet::over(dataset);
+        let mut distinct: Vec<Plan> = Vec::new();
+        for plan in plans {
+            if !distinct.contains(plan) {
+                set.submit(plan.clone())?;
+                distinct.push(plan.clone());
+            }
+        }
+        let mut domains: Vec<&Option<Vec<Ipv4Addr>>> = Vec::new();
+        for plan in &distinct {
+            if !domains.contains(&&plan.dsts) {
+                domains.push(&plan.dsts);
+            }
+        }
+        let passes = domains.len();
+        let results = set.execute();
+        Ok(PlanStore {
+            results: distinct.into_iter().zip(results).collect(),
+            passes,
+        })
+    }
+
+    /// The memoized result for `plan`, if it was prefetched.
+    pub fn get(&self, plan: &Plan) -> Option<&PlanResult> {
+        self.results.get(plan)
+    }
+
+    /// Number of distinct plans held.
+    pub fn plans(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Number of fused column passes the build cost.
+    pub fn passes(&self) -> usize {
+        self.passes
+    }
+}
+
+/// A plan runner over one dataset, with an optional [`PlanStore`] of
+/// prefetched results: a store hit clones the memoized result (no column
+/// pass, no counter bump — the work happened at prefetch); a miss executes
+/// the plan standalone through a one-plan [`PlanSet`]. Both paths return
+/// byte-identical results, so modules written against `ScanExec` work
+/// unmodified with or without prefetch.
+#[derive(Clone, Copy)]
+pub struct ScanExec<'a> {
+    dataset: &'a Dataset,
+    store: Option<&'a PlanStore>,
+}
+
+impl<'a> ScanExec<'a> {
+    /// An executor with no prefetched results: every plan runs standalone.
+    pub fn unplanned(dataset: &'a Dataset) -> Self {
+        ScanExec {
+            dataset,
+            store: None,
+        }
+    }
+
+    /// An executor serving hits from `store` before falling back to
+    /// standalone execution.
+    pub fn with_store(dataset: &'a Dataset, store: &'a PlanStore) -> Self {
+        ScanExec {
+            dataset,
+            store: Some(store),
+        }
+    }
+
+    /// The dataset plans run against (for resolving
+    /// [`PlanResult::Rows`] indices).
+    pub fn dataset(&self) -> &'a Dataset {
+        self.dataset
+    }
+
+    /// Run one plan: store hit → cloned memoized result, miss → standalone
+    /// execution (one pass).
+    ///
+    /// # Panics
+    /// Panics if the plan fails [`Plan::validate`] — callers constructing
+    /// plans dynamically should validate at submission via
+    /// [`PlanSet::submit`] instead.
+    pub fn run(&self, plan: &Plan) -> PlanResult {
+        if let Some(hit) = self.store.and_then(|s| s.get(plan)) {
+            return hit.clone();
+        }
+        let mut set = PlanSet::over(self.dataset);
+        let id = set
+            .submit(plan.clone())
+            .expect("statically-declared plans validate");
+        set.execute().swap_remove(id.index())
     }
 }
 
@@ -637,24 +1257,138 @@ mod tests {
     }
 
     #[test]
-    fn batch_matches_independent_plans() {
+    fn fused_plans_match_independent_queries() {
         let ds = dataset();
         let ports = [22, 23, 80, 8080];
-        let batched = Batch::at(&ds, &[DST])
-            .plan(ds.query(), &ports)
-            .plan(ds.query().malicious(), &ports)
-            .distinct_srcs();
-        let all = ds.query().at(&[DST]).group_by_port().keys(&ports).distinct_srcs();
-        let bad = ds
+        let mut set = PlanSet::over(&ds);
+        let all_id = set
+            .submit(Plan::at(&[DST]).grouped_by_port(&ports).distinct_srcs())
+            .unwrap();
+        let bad_id = set
+            .submit(
+                Plan::at(&[DST])
+                    .malicious()
+                    .grouped_by_port(&ports)
+                    .distinct_srcs(),
+            )
+            .unwrap();
+        let mut results = set.execute();
+        let bad = results.swap_remove(bad_id.index()).into_port_srcs();
+        let all = results.swap_remove(all_id.index()).into_port_srcs();
+        let q_all = ds.query().at(&[DST]).group_by_port().keys(&ports).distinct_srcs();
+        let q_bad = ds
             .query()
             .at(&[DST])
             .malicious()
             .group_by_port()
             .keys(&ports)
             .distinct_srcs();
-        assert_eq!(batched[0], all);
-        assert_eq!(batched[1], bad);
-        assert_eq!(batched[1][&80].len(), 1);
-        assert!(batched[1][&8080].is_empty());
+        assert_eq!(all, q_all);
+        assert_eq!(bad, q_bad);
+        assert_eq!(bad[&80].len(), 1);
+        assert!(bad[&8080].is_empty());
+    }
+
+    #[test]
+    fn every_terminal_matches_its_query_twin() {
+        let ds = dataset();
+        let exec = ScanExec::unplanned(&ds);
+        let base = Plan::at(&[DST]).port(80);
+        assert_eq!(
+            exec.run(&base.clone().count()).into_count(),
+            ds.query().at(&[DST]).port(80).count()
+        );
+        assert_eq!(
+            exec.run(&base.clone().rows()).into_rows(),
+            ds.query().at(&[DST]).port(80).indices()
+        );
+        assert_eq!(
+            exec.run(&base.clone().distinct_srcs()).into_distinct_srcs(),
+            ds.query().at(&[DST]).port(80).distinct_srcs()
+        );
+        assert_eq!(
+            exec.run(&Plan::at(&[DST]).unique_src_and_asn())
+                .into_unique_src_and_asn(),
+            ds.query().at(&[DST]).unique_src_and_asn()
+        );
+        assert_eq!(
+            exec.run(&base.char_freqs(CharKind::TopAs)).into_char_freqs(),
+            ds.query().at(&[DST]).port(80).char_freqs(CharKind::TopAs)
+        );
+        assert_eq!(
+            exec.run(&Plan::scan().fingerprint(ProtocolId::Http).rows())
+                .into_rows(),
+            ds.query().fingerprint(ProtocolId::Http).indices()
+        );
+        assert_eq!(
+            exec.run(
+                &Plan::at(&[DST])
+                    .port(80)
+                    .grouped_by_fingerprint()
+                    .distinct_srcs()
+            )
+            .into_fingerprint_srcs(),
+            ds.query()
+                .at(&[DST])
+                .port(80)
+                .group_by_fingerprint()
+                .distinct_srcs()
+        );
+    }
+
+    #[test]
+    fn invalid_group_terminal_combo_is_a_typed_error() {
+        let ds = dataset();
+        let mut set = PlanSet::over(&ds);
+        let bad = Plan::at(&[DST]).grouped_by_port(&[22]).count();
+        let err = set.submit(bad.clone()).unwrap_err();
+        assert!(matches!(
+            err,
+            PlanError::Unsupported {
+                group: GroupKey::Ports(_),
+                terminal: Terminal::Count,
+            }
+        ));
+        assert!(err.to_string().contains("unsupported plan"));
+        assert_eq!(PlanStore::build(&ds, &[bad]).unwrap_err(), err);
+    }
+
+    #[test]
+    fn plan_store_dedupes_and_serves_hits() {
+        let ds = dataset();
+        let plan = Plan::at(&[DST]).port(23).distinct_srcs();
+        let other = Plan::at(&[DST]).malicious().count();
+        let store =
+            PlanStore::build(&ds, &[plan.clone(), other.clone(), plan.clone()]).unwrap();
+        assert_eq!(store.plans(), 2, "duplicate plan must collapse");
+        assert_eq!(store.passes(), 1, "same domain must fuse into one pass");
+        let before = scan_counters();
+        let exec = ScanExec::with_store(&ds, &store);
+        assert_eq!(
+            exec.run(&plan).into_distinct_srcs(),
+            ds.query().at(&[DST]).port(23).distinct_srcs()
+        );
+        let after = scan_counters().since(before);
+        assert_eq!(after.fused, 1, "only the comparison query scans");
+        // A plan outside the store falls back to standalone execution.
+        assert_eq!(
+            exec.run(&Plan::at(&[DST]).port(2323).count()).into_count(),
+            1
+        );
+    }
+
+    #[test]
+    fn scan_counters_track_fusion() {
+        let ds = dataset();
+        let before = scan_counters();
+        let mut set = PlanSet::over(&ds);
+        set.submit(Plan::at(&[DST]).count()).unwrap();
+        set.submit(Plan::at(&[DST]).malicious().count()).unwrap();
+        set.submit(Plan::scan().count()).unwrap();
+        set.execute();
+        let d = scan_counters().since(before);
+        assert_eq!(d.planned, 3);
+        assert_eq!(d.fused, 2, "two domains -> two passes");
+        assert_eq!(d.rows, 14, "7 fleet rows + 7 table rows");
     }
 }

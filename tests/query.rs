@@ -8,7 +8,7 @@
 use cloud_watching::core::compare::CharKind;
 use cloud_watching::core::dataset::{Dataset, TrafficSlice};
 use cloud_watching::core::scenario::{Scenario, ScenarioConfig};
-use cloud_watching::core::{Batch, Query};
+use cloud_watching::core::{Plan, PlanSet, Query};
 use cloud_watching::detection::Verdict;
 use cloud_watching::honeypot::deployment::CollectorKind;
 use cloud_watching::protocols::iana::POPULAR_PORTS;
@@ -156,8 +156,8 @@ fn tables_8_and_9_port_source_sets_match_hand_rolled() {
         let all = hand_rolled(&POPULAR_PORTS, false);
         let bad = hand_rolled(&POPULAR_PORTS, true);
         assert!(all.values().any(|v| !v.is_empty()));
-        // The seeded grouped query, the Dataset wrapper, and the shared-scan
-        // batch must all reproduce the hand-rolled sets.
+        // The seeded grouped query, the Dataset wrapper, and the fused
+        // plan set must all reproduce the hand-rolled sets.
         let grouped = s
             .dataset
             .query()
@@ -168,12 +168,19 @@ fn tables_8_and_9_port_source_sets_match_hand_rolled() {
         assert_eq!(grouped, all);
         assert_eq!(s.dataset.port_source_sets(&ips, &POPULAR_PORTS, false), all);
         assert_eq!(s.dataset.port_source_sets(&ips, &POPULAR_PORTS, true), bad);
-        let batched = Batch::at(&s.dataset, &ips)
-            .plan(s.dataset.query(), &POPULAR_PORTS)
-            .plan(s.dataset.query().malicious(), &POPULAR_PORTS)
-            .distinct_srcs();
-        assert_eq!(batched[0], all);
-        assert_eq!(batched[1], bad);
+        let mut set = PlanSet::over(&s.dataset);
+        set.submit(Plan::at(&ips).grouped_by_port(&POPULAR_PORTS).distinct_srcs())
+            .unwrap();
+        set.submit(
+            Plan::at(&ips)
+                .malicious()
+                .grouped_by_port(&POPULAR_PORTS)
+                .distinct_srcs(),
+        )
+        .unwrap();
+        let mut fused = set.execute().into_iter();
+        assert_eq!(fused.next().unwrap().into_port_srcs(), all);
+        assert_eq!(fused.next().unwrap().into_port_srcs(), bad);
     });
 }
 
